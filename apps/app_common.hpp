@@ -1,0 +1,109 @@
+// Shared main-loop for the standalone benchmark applications.
+//
+// Each application follows the paper's §4.4.5 convention:
+//   Benchmark Device -- Arguments
+// where Device is the uniform -p/-d/-t selection and Arguments are the
+// benchmark-specific Table 3 options parsed by the app.  The app runs the
+// measurement methodology (>= 2 s loop, 50 samples by default), validates
+// against the serial reference, and prints a LibSciBench-style summary.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
+
+namespace eod::apps {
+
+/// Splits argv at "--": everything before is uniform device/suite options,
+/// everything after is benchmark-specific arguments (Table 3 style).  When
+/// no "--" is present, all arguments are treated as uniform options and the
+/// benchmark-specific argument list is the leftover positionals.
+struct SplitArgs {
+  harness::CliOptions cli;
+  std::vector<std::string> benchmark_args;
+};
+
+inline SplitArgs split_args(int argc, const char** argv) {
+  int split = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--") {
+      split = i;
+      break;
+    }
+  }
+  SplitArgs out;
+  out.cli = harness::parse_cli(split, argv);
+  if (split == argc) {
+    out.benchmark_args = out.cli.positional;
+  } else {
+    for (int i = split + 1; i < argc; ++i) {
+      out.benchmark_args.emplace_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+/// Runs an already-configured dwarf under the harness and prints the
+/// standard report.  Returns the process exit code.
+inline int run_configured(dwarfs::Dwarf& dwarf,
+                          const harness::CliOptions& cli) {
+  xcl::Device& device = cli.resolve_device();
+  harness::MeasureOptions opts;
+  opts.samples = cli.samples;
+  opts.min_loop_seconds = cli.min_loop_seconds;
+  opts.functional = true;
+  opts.validate = true;
+  opts.reuse_setup = true;  // the app configured the dwarf itself
+
+  const harness::Measurement m = harness::measure(
+      dwarf, cli.size.value_or(dwarfs::ProblemSize::kTiny), device, opts);
+
+  std::cout << dwarf.name() << " (" << dwarf.berkeley_dwarf() << ") on "
+            << device.name() << '\n';
+  std::cout << "validation: " << (m.validation.ok ? "PASS" : "FAIL") << " ("
+            << m.validation.detail << ")\n";
+  for (const harness::KernelSegment& s : m.segments) {
+    std::cout << "  kernel " << s.kernel << ": " << s.launches
+              << " launch(es), " << s.modeled_seconds * 1e3
+              << " ms/iteration\n";
+  }
+  const scibench::Summary t = m.time_summary();
+  std::cout << "kernel time: mean " << t.mean << " ms, median " << t.median
+            << " ms, cov " << t.cov() << " (" << t.n << " samples, "
+            << m.loop_iterations << "-iteration loops)\n";
+  std::cout << "transfers: " << m.transfer_seconds * 1e3
+            << " ms/iteration; energy: " << m.energy_summary().median
+            << " J\n";
+  return m.validation.ok ? 0 : 1;
+}
+
+/// Fetches argument i (0-based) from a Table 3 argument list or returns
+/// the fallback.
+inline std::string arg_or(const std::vector<std::string>& args,
+                          std::size_t i, const std::string& fallback) {
+  return i < args.size() ? args[i] : fallback;
+}
+
+/// Finds "-x value" style options in a benchmark argument list.
+inline std::string flag_value(const std::vector<std::string>& args,
+                              const std::string& flag,
+                              const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+inline bool has_flag(const std::vector<std::string>& args,
+                     const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace eod::apps

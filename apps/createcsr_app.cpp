@@ -1,0 +1,33 @@
+// createcsr -- the matrix generator of Table 3: `createcsr -n Phi -d 5000`
+// writes the sparse matrix file (Psi) that the csr benchmark loads with
+// `csr -i Psi`.
+//
+//   createcsr_app -n <dimension> -d <density, 5000 = 0.5%> [-o <file>]
+#include <iostream>
+
+#include "app_common.hpp"
+#include "dwarfs/csr/csr_io.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace eod;
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const std::size_t n =
+        std::stoul(apps::flag_value(args, "-n", "736"));
+    const double d = std::stod(apps::flag_value(args, "-d", "5000"));
+    const double density = d / 1e6;
+    const std::string out = apps::flag_value(
+        args, "-o", std::to_string(n) + ".csr");
+    const dwarfs::CsrMatrix m = dwarfs::create_csr(n, density, 0x637372ull);
+    dwarfs::save_csr(m, out);
+    std::cout << "createcsr -n " << n << " -d " << d << ": wrote " << out
+              << " (" << m.n << "x" << m.n << ", " << m.nnz()
+              << " nonzeros, " << m.bytes() / 1024.0 << " KiB)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n'
+              << "usage: createcsr_app -n <dim> -d <density per ten-mille> "
+                 "[-o <file>]\n";
+    return 2;
+  }
+}

@@ -1,0 +1,24 @@
+// Standalone lud benchmark (Table 3: lud -s Phi).
+//   lud_app [device options] -- -s <matrix dimension>
+#include "app_common.hpp"
+#include "dwarfs/lud/lud.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace eod;
+  try {
+    const apps::SplitArgs a = apps::split_args(argc, argv);
+    dwarfs::Lud dwarf;
+    const std::size_t n = std::stoul(apps::flag_value(
+        a.benchmark_args, "-s",
+        std::to_string(dwarfs::Lud::dim_for(
+            a.cli.size.value_or(dwarfs::ProblemSize::kTiny)))));
+    dwarf.configure(n);
+    std::cout << "lud -s " << n << '\n';
+    return apps::run_configured(dwarf, a.cli);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n'
+              << "usage: lud_app [device options] -- -s <dimension "
+                 "(multiple of 16)>\n";
+    return 2;
+  }
+}

@@ -1,0 +1,26 @@
+// Standalone nw benchmark (Table 3: nw Phi 10).
+//   nw_app [device options] -- <length> <penalty>
+#include "app_common.hpp"
+#include "dwarfs/nw/nw.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace eod;
+  try {
+    const apps::SplitArgs a = apps::split_args(argc, argv);
+    dwarfs::Nw dwarf;
+    const std::size_t n = std::stoul(apps::arg_or(
+        a.benchmark_args, 0,
+        std::to_string(dwarfs::Nw::length_for(
+            a.cli.size.value_or(dwarfs::ProblemSize::kTiny)))));
+    const auto penalty = static_cast<std::int32_t>(
+        std::stol(apps::arg_or(a.benchmark_args, 1, "10")));
+    dwarf.configure(n, penalty);
+    std::cout << "nw " << n << ' ' << penalty << '\n';
+    return apps::run_configured(dwarf, a.cli);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n'
+              << "usage: nw_app [device options] -- <length (multiple of "
+                 "16)> <penalty>\n";
+    return 2;
+  }
+}

@@ -1,0 +1,98 @@
+// Ablation of the queue-depth-dependent launch overhead -- the modeled
+// mechanism behind Fig. 3b's AMD degradation on nw (DESIGN.md §5).
+//
+// Runs nw across sizes on an R9 290X twice: once with the amdappsdk-style
+// depth factor, once with it forced to zero (a hypothetical AMD runtime
+// with flat enqueue cost).  Without the mechanism the AMD-vs-NVIDIA gap
+// stays flat across problem sizes; with it the gap widens, as the paper
+// observed.
+#include <iomanip>
+#include <iostream>
+
+#include "dwarfs/nw/nw.hpp"
+#include "sim/perf_model.hpp"
+#include "xcl/queue.hpp"
+
+namespace {
+
+using namespace eod;
+
+double nw_seconds(xcl::Device& device, dwarfs::ProblemSize size) {
+  dwarfs::Nw nw;
+  nw.setup(size);
+  xcl::Context ctx(device);
+  xcl::Queue q(ctx);
+  q.set_functional(false);
+  nw.bind(ctx, q);
+  q.clear_events();
+  nw.run();
+  const double t = q.modeled_kernel_seconds();
+  nw.unbind();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using dwarfs::ProblemSize;
+
+  sim::DeviceSpec amd = sim::spec_by_name("R9 290X");
+  sim::DeviceSpec amd_flat = amd;
+  amd_flat.launch_depth_factor = 0.0;
+  amd_flat.name = "R9 290X (flat enqueue)";
+  const sim::DeviceSpec& nvidia = sim::spec_by_name("GTX 1080");
+
+  xcl::DeviceInfo info;
+  info.name = amd.name;
+  info.max_work_group_size = 256;
+  xcl::Device dev_amd(info, std::make_shared<sim::DevicePerfModel>(amd));
+  info.name = amd_flat.name;
+  xcl::Device dev_flat(info,
+                       std::make_shared<sim::DevicePerfModel>(amd_flat));
+  info.name = nvidia.name;
+  info.max_work_group_size = 1024;
+  xcl::Device dev_nv(info, std::make_shared<sim::DevicePerfModel>(nvidia));
+
+  std::cout << "nw kernel time (ms) and AMD/NVIDIA gap, with and without "
+               "the depth-dependent enqueue cost\n";
+  std::cout << std::left << std::setw(9) << "size" << std::right
+            << std::setw(12) << "nvidia" << std::setw(12) << "amd"
+            << std::setw(12) << "amd-flat" << std::setw(10) << "gap"
+            << std::setw(12) << "gap-flat" << '\n';
+
+  double first_gap = 0.0, last_gap = 0.0;
+  double first_flat = 0.0, last_flat = 0.0;
+  for (const ProblemSize s : {ProblemSize::kSmall, ProblemSize::kMedium,
+                              ProblemSize::kLarge}) {
+    const double nv = nw_seconds(dev_nv, s) * 1e3;
+    const double with_depth = nw_seconds(dev_amd, s) * 1e3;
+    const double flat = nw_seconds(dev_flat, s) * 1e3;
+    const double gap = with_depth / nv;
+    const double gap_flat = flat / nv;
+    if (s == ProblemSize::kSmall) {
+      first_gap = gap;
+      first_flat = gap_flat;
+    }
+    last_gap = gap;
+    last_flat = gap_flat;
+    std::cout << std::left << std::setw(9) << to_string(s) << std::right
+              << std::fixed << std::setprecision(3) << std::setw(12) << nv
+              << std::setw(12) << with_depth << std::setw(12) << flat
+              << std::setprecision(2) << std::setw(10) << gap
+              << std::setw(12) << gap_flat << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  const bool widens = last_gap > first_gap * 1.2;
+  const bool flat_does_not = last_flat < first_flat * 1.2;
+  std::cout << "\nwith depth factor: gap " << (widens ? "widens" : "flat")
+            << " (" << first_gap << " -> " << last_gap << ")\n";
+  std::cout << "without:           gap "
+            << (flat_does_not ? "does not widen" : "widens") << " ("
+            << first_flat << " -> " << last_flat << ")\n";
+  std::cout << (widens && flat_does_not
+                    ? "the depth-dependent enqueue cost is necessary and "
+                      "sufficient for the Fig. 3b shape\n"
+                    : "ABLATION DID NOT SEPARATE THE MECHANISM\n");
+  return widens && flat_does_not ? 0 : 1;
+}

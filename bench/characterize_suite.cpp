@@ -1,0 +1,45 @@
+// AIWC-style characterization of every kernel in the suite (§7: "Each
+// OpenCL kernel presented in this paper has been inspected using the
+// Architecture Independent Workload Characterization (AIWC) ... and will
+// be published in the future").  Prints the compute / parallelism /
+// memory / control metric table per benchmark at the small problem size,
+// plus memory-entropy metrics for the benchmarks that expose traces.
+#include <iostream>
+
+#include "aiwc/aiwc.hpp"
+#include "dwarfs/registry.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace eod;
+  const dwarfs::ProblemSize size =
+      (argc > 1 && std::string(argv[1]) == "--tiny")
+          ? dwarfs::ProblemSize::kTiny
+          : dwarfs::ProblemSize::kSmall;
+
+  for (const std::string& name : dwarfs::benchmark_names()) {
+    auto dwarf = dwarfs::create_dwarf(name);
+    const auto sizes = dwarf->supported_sizes();
+    const dwarfs::ProblemSize use =
+        std::find(sizes.begin(), sizes.end(), size) != sizes.end()
+            ? size
+            : sizes.front();
+    const auto kernels = aiwc::characterize(*dwarf, use);
+    aiwc::print_characteristics(std::cout, name + " (" +
+                                               std::string(to_string(use)) +
+                                               ")",
+                                kernels);
+
+    dwarf->setup(use);
+    const aiwc::TraceEntropy e = aiwc::trace_entropy(*dwarf);
+    if (e.unique_addresses > 0.0) {
+      std::cout << "  memory entropy " << e.address_entropy_bits
+                << " bits over " << e.unique_addresses
+                << " unique lines; spatial locality " << e.spatial_locality
+                << "; masked-entropy decay:";
+      for (const double h : e.masked_entropy_bits) std::cout << ' ' << h;
+      std::cout << '\n';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

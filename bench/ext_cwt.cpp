@@ -1,0 +1,15 @@
+// Device-comparison panel for the cwt extension benchmark (the continuous
+// wavelet transform the paper planned to add, §2), in the same format as
+// the Figure 2 panels.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Extension: cwt";
+  spec.benchmark = "cwt";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall,
+                ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 1 of the paper: crc kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 1";
+  spec.benchmark = "crc";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = true;
+  return eod::bench::run_figure(spec, argc, argv);
+}

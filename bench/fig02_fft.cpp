@@ -1,0 +1,12 @@
+// Regenerates Figure 2e of the paper: fft kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 2e";
+  spec.benchmark = "fft";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

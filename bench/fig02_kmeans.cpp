@@ -1,0 +1,12 @@
+// Regenerates Figure 2a of the paper: kmeans kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 2a";
+  spec.benchmark = "kmeans";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

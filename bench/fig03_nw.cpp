@@ -1,0 +1,12 @@
+// Regenerates Figure 3b of the paper: nw kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 3b";
+  spec.benchmark = "nw";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

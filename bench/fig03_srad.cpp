@@ -1,0 +1,12 @@
+// Regenerates Figure 3a of the paper: srad kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 3a";
+  spec.benchmark = "srad";
+  spec.sizes = {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

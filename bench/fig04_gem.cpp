@@ -1,0 +1,12 @@
+// Regenerates Figure 4a of the paper: gem kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 4a";
+  spec.benchmark = "gem";
+  spec.sizes = {ProblemSize::kTiny};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

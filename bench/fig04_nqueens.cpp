@@ -1,0 +1,12 @@
+// Regenerates Figure 4b of the paper: nqueens kernel execution times.
+#include "figure_common.hpp"
+
+int main(int argc, const char** argv) {
+  using eod::dwarfs::ProblemSize;
+  eod::bench::FigureSpec spec;
+  spec.figure = "Figure 4b";
+  spec.benchmark = "nqueens";
+  spec.sizes = {ProblemSize::kTiny};
+  spec.include_knl = false;
+  return eod::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,179 @@
+// google-benchmark microbenches of the substrate itself: runtime dispatch,
+// fiber-based barriers vs plain loops (the DESIGN.md §5 fiber ablation),
+// cache-simulator throughput, and the measurement library's statistics.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dwarfs/crc/crc.hpp"
+#include "scibench/stats.hpp"
+#include "sim/cache_sim.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/fiber.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/queue.hpp"
+
+namespace {
+
+using namespace eod;
+
+// ---- runtime dispatch ----
+
+void BM_QueueEnqueueModelOnly(benchmark::State& state) {
+  xcl::Context ctx(sim::testbed_device("GTX 1080"));
+  xcl::Queue q(ctx);
+  q.set_functional(false);
+  xcl::Kernel k("noop", [](xcl::WorkItem&) {});
+  xcl::WorkloadProfile p;
+  p.flops = 1e6;
+  p.bytes_read = 1e6;
+  p.working_set_bytes = 1e6;
+  for (auto _ : state) {
+    q.enqueue(k, xcl::NDRange(1024, 64), p);
+    if (q.events().size() > 4096) q.clear_events();
+  }
+}
+BENCHMARK(BM_QueueEnqueueModelOnly);
+
+void BM_NDRangeFunctionalDispatch(benchmark::State& state) {
+  const auto items = static_cast<std::size_t>(state.range(0));
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  std::vector<int> sink(items, 0);
+  int* data = sink.data();
+  xcl::Kernel k("touch", [data](xcl::WorkItem& it) {
+    data[it.global_id(0)] += 1;
+  });
+  xcl::WorkloadProfile p;
+  for (auto _ : state) {
+    q.enqueue(k, xcl::NDRange(items, 64), p);
+    q.clear_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_NDRangeFunctionalDispatch)->Arg(1024)->Arg(65536);
+
+// ---- fibers vs loop: the work-group execution ablation ----
+
+void BM_GroupExecutionLoop(benchmark::State& state) {
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  std::vector<float> sink(4096, 0.0f);
+  float* data = sink.data();
+  xcl::Kernel k("loop_mode", [data](xcl::WorkItem& it) {
+    data[it.global_id(0)] += 1.0f;
+  });
+  xcl::WorkloadProfile p;
+  for (auto _ : state) {
+    q.enqueue(k, xcl::NDRange(4096, 64), p);
+    q.clear_events();
+  }
+}
+BENCHMARK(BM_GroupExecutionLoop);
+
+void BM_GroupExecutionFibers(benchmark::State& state) {
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  std::vector<float> sink(4096, 0.0f);
+  float* data = sink.data();
+  xcl::Kernel k("fiber_mode", [data](xcl::WorkItem& it) {
+    data[it.global_id(0)] += 1.0f;
+    it.barrier();  // forces one fiber yield per work-item
+    data[it.global_id(0)] += 1.0f;
+  });
+  k.uses_barriers();
+  xcl::WorkloadProfile p;
+  for (auto _ : state) {
+    q.enqueue(k, xcl::NDRange(4096, 64), p);
+    q.clear_events();
+  }
+}
+BENCHMARK(BM_GroupExecutionFibers);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  // Cost of one suspend/resume round-trip.
+  for (auto _ : state) {
+    state.PauseTiming();
+    xcl::Fiber f([] {
+      for (int i = 0; i < 1000; ++i) xcl::Fiber::yield_current();
+    });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) f.resume();
+    state.PauseTiming();
+    f.resume();  // let it finish
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FiberSwitch);
+
+// ---- cache simulator ----
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  sim::CacheHierarchy h(sim::skylake());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    h.access(addr, 4, false);
+    addr = (addr + 64) & 0xFFFFFF;  // 16 MiB streaming loop
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_CacheReplayCrcTiny(benchmark::State& state) {
+  dwarfs::Crc crc;
+  crc.setup(dwarfs::ProblemSize::kTiny);
+  const sim::MemoryTrace trace = crc.memory_trace();
+  for (auto _ : state) {
+    sim::CacheHierarchy h(sim::skylake());
+    h.replay(trace);
+    benchmark::DoNotOptimize(h.counters().l1_dcm);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheReplayCrcTiny);
+
+// ---- measurement library ----
+
+void BM_Summarize50(benchmark::State& state) {
+  std::vector<double> xs(50);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 1.0 + 0.01 * static_cast<double>(i % 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scibench::summarize(xs).stddev);
+  }
+}
+BENCHMARK(BM_Summarize50);
+
+void BM_WelchTTest(benchmark::State& state) {
+  std::vector<double> a(50), b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a[i] = 10.0 + 0.05 * static_cast<double>(i % 5);
+    b[i] = 10.2 + 0.05 * static_cast<double>(i % 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scibench::welch_t_test(a, b).p_value);
+  }
+}
+BENCHMARK(BM_WelchTTest);
+
+void BM_Crc32Reference(benchmark::State& state) {
+  std::vector<std::uint8_t> data(65536);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwarfs::Crc::crc32_reference(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32Reference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

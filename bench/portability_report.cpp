@@ -1,0 +1,50 @@
+// Performance-portability report (§7 future work): per-device
+// architectural efficiency (roofline-ideal / achieved) for every benchmark
+// at the medium problem size, plus Pennycook's harmonic-mean PP metric
+// across the testbed.  Launch-bound and under-occupied codes score low;
+// well-shaped bulk kernels approach their rooflines.
+#include <iomanip>
+#include <iostream>
+
+#include "dwarfs/registry.hpp"
+#include "harness/portability.hpp"
+#include "sim/testbed.hpp"
+
+int main() {
+  using namespace eod;
+  using namespace eod::harness;
+
+  const std::vector<xcl::Device*> devices = {
+      &sim::testbed_device("i7-6700K"), &sim::testbed_device("GTX 1080"),
+      &sim::testbed_device("K40m"),     &sim::testbed_device("R9 290X"),
+      &sim::testbed_device("Xeon Phi 7210")};
+
+  std::cout << "Architectural efficiency (ideal/achieved) per device and "
+               "Pennycook PP, medium size\n";
+  std::cout << std::left << std::setw(10) << "benchmark";
+  for (const xcl::Device* d : devices) {
+    std::cout << std::right << std::setw(15) << d->name().substr(0, 14);
+  }
+  std::cout << std::right << std::setw(9) << "PP" << '\n';
+
+  for (const std::string& name : dwarfs::benchmark_names()) {
+    auto probe = dwarfs::create_dwarf(name);
+    const auto sizes = probe->supported_sizes();
+    const dwarfs::ProblemSize size =
+        sizes.size() > 2 ? dwarfs::ProblemSize::kMedium : sizes.front();
+    const PortabilityReport r = portability_report(name, size, devices);
+    std::cout << std::left << std::setw(10) << name;
+    for (const DeviceEfficiency& e : r.devices) {
+      std::cout << std::right << std::fixed << std::setprecision(3)
+                << std::setw(15) << e.efficiency();
+      std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << std::right << std::fixed << std::setprecision(3)
+              << std::setw(9) << r.performance_portability << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\n(low rows are the improvement targets the paper's ideal-"
+               "performance notion is meant to expose: launch-bound "
+               "kernels, partial wavefronts, uncoalesced layouts.)\n";
+  return 0;
+}

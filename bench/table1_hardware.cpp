@@ -1,0 +1,10 @@
+// Regenerates Table 1: the fifteen test platforms and their published
+// characteristics, from the device registry that backs the simulator.
+#include <iostream>
+
+#include "harness/report.hpp"
+
+int main() {
+  eod::harness::print_table1(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Table 2: the workload scale parameter Phi for every
+// benchmark and size class, with each footprint verified against the §4.4
+// methodology (tiny -> L1, small -> L2, medium -> L3, large out of cache on
+// the Skylake reference hierarchy), and demonstrates the k-means sizing
+// walkthrough of §4.4.1.
+#include <iomanip>
+#include <iostream>
+
+#include "dwarfs/kmeans/kmeans.hpp"
+#include "harness/problem_size.hpp"
+#include "harness/report.hpp"
+#include "sim/device_spec.hpp"
+
+int main() {
+  using namespace eod;
+  using namespace eod::harness;
+  using dwarfs::ProblemSize;
+
+  print_table2(std::cout);
+
+  const SizeClassBounds bounds =
+      SizeClassBounds::from_device(sim::skylake());
+  std::cout << "\nSize-class verification against the Skylake hierarchy "
+               "(L1 32 KiB / L2 256 KiB / L3 8192 KiB):\n";
+  int mismatches = 0;
+  for (const Table2Row& row : table2()) {
+    for (std::size_t i = 0; i < row.sizes.size(); ++i) {
+      const bool fits =
+          footprint_fits_class(bounds, row.sizes[i], row.footprint[i]);
+      // The paper's own exceptions: gem/nqueens/hmm cannot scale to the
+      // hierarchy (§4.4.4); crc's 4 MiB large input stays inside L3; the
+      // published kmeans/csr large parameters stop short of 4x L3.
+      const bool exception =
+          row.benchmark == "gem" || row.benchmark == "nqueens" ||
+          row.benchmark == "hmm" ||
+          (row.sizes[i] == ProblemSize::kLarge &&
+           (row.benchmark == "crc" || row.benchmark == "kmeans" ||
+            row.benchmark == "csr"));
+      std::cout << "  " << std::left << std::setw(9) << row.benchmark
+                << std::setw(8) << to_string(row.sizes[i])
+                << (fits ? "fits intended level"
+                         : (exception ? "documented exception (§4.4.4)"
+                                      : "MISMATCH"))
+                << '\n';
+      if (!fits && !exception) ++mismatches;
+    }
+  }
+
+  std::cout << "\n§4.4.1 k-means walkthrough (Equation 1):\n";
+  std::cout << "  256 points x 30 features -> "
+            << dwarfs::KMeans::working_set_bytes(256, 30, 5) / 1024.0
+            << " KiB (paper: 31.5 KiB, just under the 32 KiB L1)\n";
+  for (const ProblemSize s :
+       {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium,
+        ProblemSize::kLarge}) {
+    const auto p = dwarfs::KMeans::params_for(s);
+    std::cout << "  " << to_string(s) << ": Pn=" << p.points << " -> "
+              << dwarfs::KMeans::working_set_bytes(p.points, p.features,
+                                                   p.clusters) /
+                     1024.0
+              << " KiB\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Quickstart: run one benchmark on one device and read the results.
+//
+//   $ quickstart                 # kmeans, small, on the Skylake CPU
+//   $ quickstart -d 1 -t 1 --size large --samples 50
+//
+// Walks the whole public API surface: device selection with the paper's
+// -p/-d/-t notation, the benchmark registry, the measurement harness
+// (>= 2 s loops, 50 samples), validation against the serial reference, and
+// the summary statistics LibSciBench-style post-processing provides.
+#include <iostream>
+
+#include "dwarfs/registry.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace eod;
+  using namespace eod::harness;
+
+  CliOptions cli;
+  try {
+    cli = parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << usage(argv[0]) << '\n';
+    return 2;
+  }
+  const std::string benchmark =
+      cli.positional.empty() ? "kmeans" : cli.positional.front();
+  const dwarfs::ProblemSize size =
+      cli.size.value_or(dwarfs::ProblemSize::kSmall);
+
+  xcl::Device& device = cli.resolve_device();
+  std::cout << "benchmark: " << benchmark << "  size: " << to_string(size)
+            << "  device: " << device.name() << " ("
+            << to_string(device.type()) << ")\n";
+
+  auto dwarf = dwarfs::create_dwarf(benchmark);
+  MeasureOptions opts;
+  opts.samples = cli.samples;
+  opts.functional = true;
+  opts.validate = true;
+
+  const Measurement m = measure(*dwarf, size, device, opts);
+
+  std::cout << "validation: " << (m.validation.ok ? "PASS" : "FAIL") << " ("
+            << m.validation.detail << ")\n";
+  std::cout << "kernel segments:\n";
+  for (const KernelSegment& s : m.segments) {
+    std::cout << "  " << s.kernel << ": " << s.launches << " launch(es), "
+              << s.modeled_seconds * 1e3 << " ms\n";
+  }
+  const scibench::Summary t = m.time_summary();
+  std::cout << "iteration kernel time over " << t.n << " samples ("
+            << m.loop_iterations << " loop iterations each):\n"
+            << "  mean " << t.mean << " ms, median " << t.median
+            << " ms, CoV " << t.cov() << '\n';
+  std::cout << "modeled transfer time: " << m.transfer_seconds * 1e3
+            << " ms per iteration\n";
+  std::cout << "kernel energy: " << m.energy_summary().median << " J\n";
+  return m.validation.ok ? 0 : 1;
+}

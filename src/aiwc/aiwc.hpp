@@ -1,0 +1,80 @@
+// Architecture-Independent Workload Characterization (AIWC).
+//
+// §7: "Each OpenCL kernel presented in this paper has been inspected using
+// the Architecture Independent Workload Characterization (AIWC).  Analysis
+// using AIWC helps understand how the structure of kernels contributes to
+// the varying runtime characteristics between devices."  This module
+// computes an AIWC-style metric set -- compute, parallelism, memory and
+// control categories -- for every kernel of a benchmark, from the recorded
+// launch stream and (where a benchmark provides one) its memory trace.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "sim/cache_sim.hpp"
+#include "xcl/modeling.hpp"
+
+namespace eod::aiwc {
+
+/// AIWC-style metrics for one kernel (aggregated over its launches within
+/// one application iteration).
+struct KernelCharacteristics {
+  std::string kernel;
+  std::size_t launches = 0;
+
+  // -- compute --
+  double total_ops = 0.0;      ///< flops + integer ops
+  double flop_fraction = 0.0;  ///< flops / total_ops ("opcode" mix)
+  double arithmetic_intensity = 0.0;  ///< flop per byte of traffic
+
+  // -- parallelism --
+  double work_items = 0.0;         ///< total work-items across launches
+  double granularity = 0.0;        ///< ops per work-item
+  double work_group_size = 0.0;    ///< mean local size
+  double simd_friendliness = 0.0;  ///< 1 - branch divergence
+  double barriers_per_item = 0.0;  ///< synchronisation intensity
+
+  // -- memory --
+  double total_bytes = 0.0;
+  double unique_bytes = 0.0;       ///< working set
+  double read_write_ratio = 0.0;
+  double reuse_factor = 0.0;       ///< total / unique bytes
+  xcl::AccessPattern dominant_pattern = xcl::AccessPattern::kStreaming;
+
+  // -- control --
+  double branch_divergence = 0.0;
+  double dependency_fraction = 0.0;  ///< dependent accesses / total ops
+};
+
+/// Entropy metrics computed from a memory trace (the real AIWC's most-cited
+/// metrics: memory address entropy and its locality-revealing decay as low
+/// bits are masked off).
+struct TraceEntropy {
+  double address_entropy_bits = 0.0;  ///< Shannon entropy of line addresses
+  /// Entropy after dropping the lowest `skipped` address bits: flat decay
+  /// means random access, steep decay means spatial locality.
+  std::vector<double> masked_entropy_bits;  ///< for 1..10 dropped bits
+  double unique_addresses = 0.0;
+  double spatial_locality = 0.0;  ///< fraction of accesses within 64 B of
+                                  ///< the previous access
+};
+
+/// Characterizes every kernel of one application iteration of `dwarf` at
+/// `size` (functional execution on the host device; results keyed by
+/// kernel name, in first-launch order).
+[[nodiscard]] std::vector<KernelCharacteristics> characterize(
+    dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size);
+
+/// Computes entropy metrics from a benchmark's memory trace stream; returns
+/// nullopt-like zero struct when the benchmark provides no trace.
+[[nodiscard]] TraceEntropy trace_entropy(const dwarfs::Dwarf& dwarf);
+
+/// Renders the characterization as a table (one row per kernel).
+void print_characteristics(
+    std::ostream& os, const std::string& benchmark,
+    const std::vector<KernelCharacteristics>& kernels);
+
+}  // namespace eod::aiwc

@@ -1,0 +1,66 @@
+#include "dwarfs/common.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace eod::dwarfs {
+
+const char* to_string(ProblemSize s) noexcept {
+  switch (s) {
+    case ProblemSize::kTiny:
+      return "tiny";
+    case ProblemSize::kSmall:
+      return "small";
+    case ProblemSize::kMedium:
+      return "medium";
+    case ProblemSize::kLarge:
+      return "large";
+  }
+  return "unknown";
+}
+
+std::optional<ProblemSize> parse_problem_size(
+    const std::string& name) noexcept {
+  if (name == "tiny") return ProblemSize::kTiny;
+  if (name == "small") return ProblemSize::kSmall;
+  if (name == "medium") return ProblemSize::kMedium;
+  if (name == "large") return ProblemSize::kLarge;
+  return std::nullopt;
+}
+
+double rel_l2_diff(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) return HUGE_VAL;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    num += d * d;
+    den += static_cast<double>(b[i]) * b[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : HUGE_VAL;
+  return std::sqrt(num / den);
+}
+
+double max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) return HUGE_VAL;
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+Validation validate_norm(std::span<const float> got,
+                         std::span<const float> want, double tolerance,
+                         const std::string& what) {
+  Validation v;
+  v.error = rel_l2_diff(got, want);
+  v.ok = v.error <= tolerance;
+  std::ostringstream os;
+  os << what << ": relative L2 difference " << v.error << " (tolerance "
+     << tolerance << ")";
+  v.detail = os.str();
+  return v;
+}
+
+}  // namespace eod::dwarfs

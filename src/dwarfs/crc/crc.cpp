@@ -1,0 +1,170 @@
+#include "dwarfs/crc/crc.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;  // reflected CRC-32
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = build_table();
+  return table;
+}
+
+}  // namespace
+
+std::size_t Crc::buffer_bytes_for(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::kTiny:
+      return 2000;
+    case ProblemSize::kSmall:
+      return 16000;
+    case ProblemSize::kMedium:
+      return 524000;
+    case ProblemSize::kLarge:
+      return 4194304;
+  }
+  return 0;
+}
+
+std::size_t Crc::footprint_bytes(ProblemSize s) const {
+  const std::size_t bytes = buffer_bytes_for(s);
+  const std::size_t n_pages = (bytes + kPageBytes - 1) / kPageBytes;
+  return bytes + 256 * sizeof(std::uint32_t) +
+         n_pages * sizeof(std::uint32_t);
+}
+
+std::uint32_t Crc::crc32_reference(std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Crc::setup(ProblemSize size) { configure(buffer_bytes_for(size)); }
+
+void Crc::configure(std::size_t bytes) {
+  require(bytes > 0, xcl::Status::kInvalidValue,
+          "crc input must be non-empty");
+  SplitMix64 rng(0x637263ull);  // "crc"
+  data_.resize(bytes);
+  for (auto& b : data_) b = static_cast<std::uint8_t>(rng.next());
+  page_crcs_.assign(pages(), 0);
+}
+
+void Crc::bind(xcl::Context& ctx, xcl::Queue& q) {
+  queue_ = &q;
+  data_buf_.emplace(ctx, data_.size());
+  table_buf_.emplace(ctx, 256 * sizeof(std::uint32_t));
+  crc_buf_.emplace(ctx, page_crcs_.size() * sizeof(std::uint32_t));
+  q.enqueue_write<std::uint8_t>(*data_buf_, data_);
+  q.enqueue_write<std::uint32_t>(
+      *table_buf_, std::span<const std::uint32_t>(crc_table()));
+}
+
+void Crc::run() {
+  const std::size_t n_pages = pages();
+  const std::size_t total = data_.size();
+  auto bytes = data_buf_->view<const std::uint8_t>();
+  auto table = table_buf_->view<const std::uint32_t>();
+  auto out = crc_buf_->view<std::uint32_t>();
+
+  xcl::Kernel kernel("crc_page", [=](xcl::WorkItem& it) {
+    const std::size_t page = it.global_id(0);
+    if (page >= n_pages) return;
+    const std::size_t begin = page * kPageBytes;
+    const std::size_t end = std::min(total, begin + kPageBytes);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = begin; i < end; ++i) {
+      c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    }
+    out[page] = c ^ 0xFFFFFFFFu;
+  });
+
+  xcl::WorkloadProfile prof;
+  // Per byte: xor, mask, table index, shift, xor plus loop bookkeeping.
+  prof.int_ops = static_cast<double>(total) * 8.0;
+  prof.bytes_read = static_cast<double>(total);  // the data streams once
+  prof.bytes_written = static_cast<double>(n_pages) * sizeof(std::uint32_t);
+  prof.working_set_bytes =
+      static_cast<double>(total + 256 * sizeof(std::uint32_t) +
+                          n_pages * sizeof(std::uint32_t));
+  prof.pattern = xcl::AccessPattern::kStreaming;
+  // The per-page byte chain is strictly dependent -- each table lookup
+  // feeds the next -- and the chain's structure is the 1 KiB table.
+  prof.dependent_accesses = static_cast<double>(total);
+  prof.chain_working_set_bytes = 256 * sizeof(std::uint32_t);
+  prof.parallel_fraction = 1.0;
+  const std::size_t wg = std::min<std::size_t>(64, n_pages);
+  const std::size_t global = (n_pages + wg - 1) / wg * wg;
+  queue_->enqueue(kernel, xcl::NDRange(global, wg), prof);
+}
+
+void Crc::finish() {
+  queue_->enqueue_read<std::uint32_t>(*crc_buf_, std::span(page_crcs_));
+}
+
+Validation Crc::validate() {
+  Validation v;
+  std::size_t bad = 0;
+  const std::size_t n_pages = pages();
+  for (std::size_t p = 0; p < n_pages; ++p) {
+    const std::size_t begin = p * kPageBytes;
+    const std::size_t end = std::min(data_.size(), begin + kPageBytes);
+    const std::uint32_t want = crc32_reference(
+        std::span(data_).subspan(begin, end - begin));
+    if (page_crcs_[p] != want) ++bad;
+  }
+  v.error = static_cast<double>(bad);
+  v.ok = bad == 0;
+  std::ostringstream os;
+  os << "crc: " << bad << " of " << n_pages
+     << " page CRCs mismatch the serial reference";
+  v.detail = os.str();
+  return v;
+}
+
+void Crc::unbind() {
+  crc_buf_.reset();
+  table_buf_.reset();
+  data_buf_.reset();
+  queue_ = nullptr;
+}
+
+void Crc::stream_trace(
+    const std::function<void(const sim::MemAccess&)>& sink) const {
+  const std::uint64_t data_base = 0x10000;
+  const std::uint64_t table_base = data_base + data_.size();
+  const std::uint64_t out_base = table_base + 256 * 4;
+  // Program order of one work-item sweep over its page, pages in sequence.
+  for (std::size_t p = 0; p < pages(); ++p) {
+    const std::size_t begin = p * kPageBytes;
+    const std::size_t end = std::min(data_.size(), begin + kPageBytes);
+    for (std::size_t i = begin; i < end; ++i) {
+      sink({data_base + i, 1, false});
+      sink({table_base + (data_[i] & 0xFFu) * 4ull, 4, false});
+    }
+    sink({out_base + p * 4, 4, true});
+  }
+}
+
+}  // namespace eod::dwarfs

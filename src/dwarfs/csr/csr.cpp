@@ -1,0 +1,168 @@
+#include "dwarfs/csr/csr.hpp"
+
+#include <algorithm>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+CsrMatrix create_csr(std::size_t n, double density, std::uint64_t seed) {
+  CsrMatrix m;
+  m.n = n;
+  m.row_ptr.resize(n + 1, 0);
+  SplitMix64 rng(seed);
+  const auto per_row = std::max<std::size_t>(
+      1, static_cast<std::size_t>(density * static_cast<double>(n)));
+  std::vector<std::uint32_t> row_cols;
+  for (std::size_t r = 0; r < n; ++r) {
+    row_cols.clear();
+    while (row_cols.size() < per_row) {
+      const auto c = static_cast<std::uint32_t>(rng.below(n));
+      if (std::find(row_cols.begin(), row_cols.end(), c) == row_cols.end()) {
+        row_cols.push_back(c);
+      }
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    for (const std::uint32_t c : row_cols) {
+      m.cols.push_back(c);
+      m.vals.push_back(rng.uniform(-1.0f, 1.0f));
+    }
+    m.row_ptr[r + 1] = static_cast<std::uint32_t>(m.cols.size());
+  }
+  return m;
+}
+
+std::size_t Csr::dim_for(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::kTiny:
+      return 736;
+    case ProblemSize::kSmall:
+      return 2416;
+    case ProblemSize::kMedium:
+      return 14336;
+    case ProblemSize::kLarge:
+      return 16384;
+  }
+  return 0;
+}
+
+std::size_t Csr::footprint_bytes(ProblemSize s) const {
+  const std::size_t n = dim_for(s);
+  const auto per_row = std::max<std::size_t>(
+      1, static_cast<std::size_t>(kDensity * static_cast<double>(n)));
+  const std::size_t nnz = n * per_row;
+  return nnz * (sizeof(float) + sizeof(std::uint32_t)) +
+         (n + 1) * sizeof(std::uint32_t) + 2 * n * sizeof(float);
+}
+
+void Csr::setup(ProblemSize size) { configure(dim_for(size), kDensity); }
+
+void Csr::configure_with_matrix(CsrMatrix matrix) {
+  require(matrix.n > 0, xcl::Status::kInvalidValue, "empty CSR matrix");
+  m_ = std::move(matrix);
+  SplitMix64 rng(0x637372aaull);
+  x_.resize(m_.n);
+  for (float& v : x_) v = rng.uniform(-1.0f, 1.0f);
+  y_.assign(m_.n, 0.0f);
+}
+
+void Csr::configure(std::size_t n, double density) {
+  m_ = create_csr(n, density, 0x637372ull);  // "csr"
+  SplitMix64 rng(0x637372aaull);
+  x_.resize(n);
+  for (float& v : x_) v = rng.uniform(-1.0f, 1.0f);
+  y_.assign(n, 0.0f);
+}
+
+void Csr::bind(xcl::Context& ctx, xcl::Queue& q) {
+  queue_ = &q;
+  rowptr_buf_.emplace(ctx, m_.row_ptr.size() * sizeof(std::uint32_t));
+  cols_buf_.emplace(ctx, m_.cols.size() * sizeof(std::uint32_t));
+  vals_buf_.emplace(ctx, m_.vals.size() * sizeof(float));
+  x_buf_.emplace(ctx, x_.size() * sizeof(float));
+  y_buf_.emplace(ctx, y_.size() * sizeof(float));
+  q.enqueue_write<std::uint32_t>(*rowptr_buf_, m_.row_ptr);
+  q.enqueue_write<std::uint32_t>(*cols_buf_, m_.cols);
+  q.enqueue_write<float>(*vals_buf_, m_.vals);
+  q.enqueue_write<float>(*x_buf_, x_);
+}
+
+void Csr::run() {
+  const std::size_t n = m_.n;
+  auto row_ptr = rowptr_buf_->view<const std::uint32_t>();
+  auto cols = cols_buf_->view<const std::uint32_t>();
+  auto vals = vals_buf_->view<const float>();
+  auto x = x_buf_->view<const float>();
+  auto y = y_buf_->view<float>();
+
+  xcl::Kernel spmv("csr_spmv", [=](xcl::WorkItem& it) {
+    const std::size_t r = it.global_id(0);
+    if (r >= n) return;
+    float acc = 0.0f;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += vals[k] * x[cols[k]];
+    }
+    y[r] = acc;
+  });
+
+  const double nnz = static_cast<double>(m_.nnz());
+  xcl::WorkloadProfile prof;
+  prof.flops = 2.0 * nnz;
+  prof.int_ops = 3.0 * nnz;
+  prof.bytes_read = nnz * (sizeof(float) + sizeof(std::uint32_t) +
+                           sizeof(float)) +  // vals, cols, gathered x
+                    static_cast<double>(n + 1) * sizeof(std::uint32_t);
+  prof.bytes_written = static_cast<double>(n) * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(
+      m_.bytes() + 2 * n * sizeof(float));
+  prof.pattern = xcl::AccessPattern::kGather;
+  // Row lengths vary around the mean: mild divergence within a SIMD group.
+  prof.branch_divergence = 0.1;
+  const std::size_t wg = 64;
+  queue_->enqueue(spmv, xcl::NDRange((n + wg - 1) / wg * wg, wg), prof);
+}
+
+void Csr::finish() {
+  queue_->enqueue_read<float>(*y_buf_, std::span(y_));
+}
+
+Validation Csr::validate() {
+  std::vector<float> want(m_.n, 0.0f);
+  for (std::size_t r = 0; r < m_.n; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = m_.row_ptr[r]; k < m_.row_ptr[r + 1]; ++k) {
+      acc += static_cast<double>(m_.vals[k]) * x_[m_.cols[k]];
+    }
+    want[r] = static_cast<float>(acc);
+  }
+  return validate_norm(y_, want, 1e-5, "csr SpMV");
+}
+
+void Csr::unbind() {
+  y_buf_.reset();
+  x_buf_.reset();
+  vals_buf_.reset();
+  cols_buf_.reset();
+  rowptr_buf_.reset();
+  queue_ = nullptr;
+}
+
+void Csr::stream_trace(
+    const std::function<void(const sim::MemAccess&)>& sink) const {
+  const std::uint64_t rp_base = 0x10000;
+  const std::uint64_t cols_base = rp_base + m_.row_ptr.size() * 4;
+  const std::uint64_t vals_base = cols_base + m_.cols.size() * 4;
+  const std::uint64_t x_base = vals_base + m_.vals.size() * 4;
+  const std::uint64_t y_base = x_base + x_.size() * 4;
+  for (std::size_t r = 0; r < m_.n; ++r) {
+    sink({rp_base + r * 4, 8, false});
+    for (std::uint32_t k = m_.row_ptr[r]; k < m_.row_ptr[r + 1]; ++k) {
+      sink({cols_base + k * 4ull, 4, false});
+      sink({vals_base + k * 4ull, 4, false});
+      sink({x_base + m_.cols[k] * 4ull, 4, false});
+    }
+    sink({y_base + r * 4, 4, true});
+  }
+}
+
+}  // namespace eod::dwarfs

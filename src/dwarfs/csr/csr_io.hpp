@@ -1,0 +1,21 @@
+// CSR matrix file IO -- Table 3's csr workflow is two-stage: `createcsr -n
+// Phi -d 5000` writes a matrix file (the paper's Psi), and `csr -i Psi`
+// loads it.  This module defines that file format: a small magic/header
+// block followed by the row_ptr / cols / vals arrays, little-endian.
+#pragma once
+
+#include <string>
+
+#include "dwarfs/csr/csr.hpp"
+
+namespace eod::dwarfs {
+
+/// Writes `m` to `path` in the suite's .csr format.  Throws
+/// std::runtime_error on IO failure.
+void save_csr(const CsrMatrix& m, const std::string& path);
+
+/// Loads a .csr file; throws std::runtime_error on IO/format errors
+/// (bad magic, truncated arrays, inconsistent row pointers).
+[[nodiscard]] CsrMatrix load_csr(const std::string& path);
+
+}  // namespace eod::dwarfs

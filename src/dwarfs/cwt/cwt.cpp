@@ -1,0 +1,162 @@
+#include "dwarfs/cwt/cwt.hpp"
+
+#include <cmath>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+namespace {
+
+constexpr double kOmega0 = 5.0;    // Morlet centre frequency
+constexpr double kSupport = 4.0;   // Gaussian support radius in u = t/s
+
+/// Analysis scale j: quarter-octave spacing.
+double scale_of(unsigned j) { return std::pow(2.0, j / 4.0); }
+
+}  // namespace
+
+std::size_t Cwt::length_for(ProblemSize s) {
+  // footprint = 4 * N * (1 + kScales) bytes = 132 N: sized to the Skylake
+  // hierarchy like the rest of the suite.
+  switch (s) {
+    case ProblemSize::kTiny:
+      return 240;      // 31.0 KiB <= L1
+    case ProblemSize::kSmall:
+      return 1984;     // 255.8 KiB <= L2
+    case ProblemSize::kMedium:
+      return 63488;    // 8.0 MiB <= L3
+    case ProblemSize::kLarge:
+      return 262144;   // 33 MiB, out of cache
+  }
+  return 0;
+}
+
+std::size_t Cwt::footprint_bytes(ProblemSize s) const {
+  const std::size_t n = length_for(s);
+  return n * sizeof(float) + std::size_t{kScales} * n * sizeof(float);
+}
+
+void Cwt::setup(ProblemSize size) { configure(length_for(size), kScales); }
+
+void Cwt::configure(std::size_t n, unsigned scales) {
+  require(n >= 16, xcl::Status::kInvalidValue,
+          "cwt signal must have at least 16 samples");
+  require(scales >= 1, xcl::Status::kInvalidValue,
+          "cwt needs at least one scale");
+  n_ = n;
+  scales_ = scales;
+  // Test signal: two chirping tones plus noise -- structured content at
+  // several scales, like the suite's other generated inputs.
+  SplitMix64 rng(0x637774ull);  // "cwt"
+  signal_.resize(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    const double x = static_cast<double>(t);
+    signal_[t] = static_cast<float>(
+        std::sin(2.0 * M_PI * x / 16.0) +
+        0.5 * std::sin(2.0 * M_PI * x / 64.0 + 0.1) +
+        0.1 * (rng.uniform() - 0.5));
+  }
+  magnitude_.assign(std::size_t{scales_} * n_, 0.0f);
+}
+
+void Cwt::bind(xcl::Context& ctx, xcl::Queue& q) {
+  queue_ = &q;
+  signal_buf_.emplace(ctx, signal_.size() * sizeof(float));
+  mag_buf_.emplace(ctx, magnitude_.size() * sizeof(float));
+  q.enqueue_write<float>(*signal_buf_, signal_);
+}
+
+void Cwt::run() {
+  const std::size_t n = n_;
+  const unsigned scales = scales_;
+  auto x = signal_buf_->view<const float>();
+  auto w = mag_buf_->view<float>();
+
+  xcl::Kernel kernel("cwt_morlet", [=](xcl::WorkItem& it) {
+    const std::size_t idx = it.global_id(0);
+    if (idx >= std::size_t{scales} * n) return;
+    const unsigned j = static_cast<unsigned>(idx / n);
+    const std::size_t b = idx % n;
+    const float s = static_cast<float>(scale_of(j));
+    const auto radius = static_cast<std::ptrdiff_t>(kSupport * s);
+    const auto bb = static_cast<std::ptrdiff_t>(b);
+    const auto nn = static_cast<std::ptrdiff_t>(n);
+    float re = 0.0f;
+    float im = 0.0f;
+    for (std::ptrdiff_t t = std::max<std::ptrdiff_t>(0, bb - radius);
+         t <= std::min(nn - 1, bb + radius); ++t) {
+      const float u = static_cast<float>(t - bb) / s;
+      const float g = std::exp(-0.5f * u * u);
+      re += x[static_cast<std::size_t>(t)] * g *
+            std::cos(static_cast<float>(kOmega0) * u);
+      im -= x[static_cast<std::size_t>(t)] * g *
+            std::sin(static_cast<float>(kOmega0) * u);
+    }
+    const float norm = 1.0f / std::sqrt(s);
+    w[idx] = norm * std::sqrt(re * re + im * im);
+  });
+
+  // Total taps: sum over scales of N * (2 * support * s + 1).
+  double taps = 0.0;
+  for (unsigned j = 0; j < scales; ++j) {
+    taps += static_cast<double>(n) * (2.0 * kSupport * scale_of(j) + 1.0);
+  }
+  xcl::WorkloadProfile prof;
+  prof.flops = taps * 12.0;  // exp + sin/cos pair + MACs per tap
+  prof.int_ops = taps * 2.0;
+  // Sliding windows reuse the signal heavily (reuse ~ window length);
+  // requested traffic is the small uncached fraction plus the output.
+  prof.bytes_read = taps * sizeof(float) * 0.02 +
+                    static_cast<double>(scales) * n * sizeof(float);
+  prof.bytes_written =
+      static_cast<double>(scales) * n * sizeof(float);
+  prof.working_set_bytes =
+      static_cast<double>(n) * sizeof(float) * (1.0 + scales);
+  prof.pattern = xcl::AccessPattern::kStencil;  // sliding windows
+  // Inner-loop length varies ~64x across scales: divergence across a SIMD
+  // group that spans scale boundaries (mild, since rows are contiguous).
+  prof.branch_divergence = 0.15;
+  const std::size_t total = std::size_t{scales} * n;
+  const std::size_t wg = 64;
+  queue_->enqueue(kernel, xcl::NDRange((total + wg - 1) / wg * wg, wg),
+                  prof);
+}
+
+void Cwt::finish() {
+  queue_->enqueue_read<float>(*mag_buf_, std::span(magnitude_));
+}
+
+Validation Cwt::validate() {
+  std::vector<float> want(magnitude_.size());
+  for (unsigned j = 0; j < scales_; ++j) {
+    const double s = scale_of(j);
+    const auto radius = static_cast<std::ptrdiff_t>(kSupport * s);
+    for (std::size_t b = 0; b < n_; ++b) {
+      double re = 0.0;
+      double im = 0.0;
+      const auto bb = static_cast<std::ptrdiff_t>(b);
+      const auto nn = static_cast<std::ptrdiff_t>(n_);
+      for (std::ptrdiff_t t = std::max<std::ptrdiff_t>(0, bb - radius);
+           t <= std::min(nn - 1, bb + radius); ++t) {
+        const double u = static_cast<double>(t - bb) / s;
+        const double g = std::exp(-0.5 * u * u);
+        re += signal_[static_cast<std::size_t>(t)] * g *
+              std::cos(kOmega0 * u);
+        im -= signal_[static_cast<std::size_t>(t)] * g *
+              std::sin(kOmega0 * u);
+      }
+      want[std::size_t{j} * n_ + b] = static_cast<float>(
+          std::sqrt(re * re + im * im) / std::sqrt(s));
+    }
+  }
+  return validate_norm(magnitude_, want, 1e-4, "cwt Morlet magnitudes");
+}
+
+void Cwt::unbind() {
+  mag_buf_.reset();
+  signal_buf_.reset();
+  queue_ = nullptr;
+}
+
+}  // namespace eod::dwarfs

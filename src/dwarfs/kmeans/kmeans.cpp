@@ -1,0 +1,245 @@
+#include "dwarfs/kmeans/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+namespace {
+constexpr std::uint64_t kSeed = 0x6b6d65616e73ull;  // "kmeans"
+}  // namespace
+
+KMeans::Params KMeans::params_for(ProblemSize s) {
+  // Table 2, kmeans row: Phi = number of points; 26 features (Table 3),
+  // 5 clusters (§4.4.1).
+  Params p;
+  switch (s) {
+    case ProblemSize::kTiny:
+      p.points = 256;
+      break;
+    case ProblemSize::kSmall:
+      p.points = 2048;
+      break;
+    case ProblemSize::kMedium:
+      p.points = 65600;
+      break;
+    case ProblemSize::kLarge:
+      p.points = 131072;
+      break;
+  }
+  return p;
+}
+
+std::string KMeans::scale_parameter(ProblemSize s) const {
+  return std::to_string(params_for(s).points);
+}
+
+std::size_t KMeans::working_set_bytes(std::size_t points, unsigned features,
+                                      unsigned clusters) {
+  // Equation (1): size(feature) + size(membership) + size(cluster).
+  return points * features * sizeof(float) + points * sizeof(std::int32_t) +
+         std::size_t{clusters} * features * sizeof(float);
+}
+
+std::size_t KMeans::footprint_bytes(ProblemSize s) const {
+  const Params p = params_for(s);
+  return working_set_bytes(p.points, p.features, p.clusters);
+}
+
+void KMeans::setup(ProblemSize size) { configure(params_for(size)); }
+
+void KMeans::configure(const Params& params) {
+  params_ = params;
+  SplitMix64 rng(kSeed);
+  features_.resize(params_.points * params_.features);
+  for (float& f : features_) f = rng.uniform(0.0f, 10.0f);
+  // Deterministic starting centroids: the first Cn points (the paper uses
+  // random starting positions; a fixed choice keeps validation exact).
+  centroids_.assign(features_.begin(),
+                    features_.begin() + params_.clusters * params_.features);
+  membership_.assign(params_.points, -1);
+}
+
+void KMeans::bind(xcl::Context& ctx, xcl::Queue& q) {
+  ctx_ = &ctx;
+  queue_ = &q;
+  feature_buf_.emplace(ctx, features_.size() * sizeof(float));
+  cluster_buf_.emplace(ctx, centroids_.size() * sizeof(float));
+  membership_buf_.emplace(ctx, membership_.size() * sizeof(std::int32_t));
+  q.enqueue_write<float>(*feature_buf_, features_);
+  q.enqueue_write<float>(*cluster_buf_, centroids_);
+}
+
+void KMeans::enqueue_assign() {
+  const std::size_t pn = params_.points;
+  const unsigned fn = params_.features;
+  const unsigned cn = params_.clusters;
+  auto feats = feature_buf_->view<const float>();
+  auto clus = cluster_buf_->view<const float>();
+  auto member = membership_buf_->view<std::int32_t>();
+
+  xcl::Kernel assign("kmeans_assign", [=](xcl::WorkItem& it) {
+    const std::size_t i = it.global_id(0);
+    if (i >= pn) return;
+    float best = HUGE_VALF;
+    std::int32_t best_c = 0;
+    for (unsigned c = 0; c < cn; ++c) {
+      float dist = 0.0f;
+      for (unsigned f = 0; f < fn; ++f) {
+        const float d = feats[i * fn + f] - clus[c * fn + f];
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<std::int32_t>(c);
+      }
+    }
+    member[i] = best_c;
+  });
+
+  xcl::WorkloadProfile prof;
+  prof.flops = static_cast<double>(pn) * cn * (3.0 * fn);
+  prof.int_ops = static_cast<double>(pn) * cn * 2.0;
+  prof.bytes_read = static_cast<double>(pn) * fn * sizeof(float);
+  prof.bytes_written = static_cast<double>(pn) * sizeof(std::int32_t);
+  prof.working_set_bytes = static_cast<double>(
+      working_set_bytes(pn, fn, cn));
+  // Each work-item scans its point's contiguous feature row: ideal for CPU
+  // prefetchers, uncoalesced across GPU lanes -- the layout behind the
+  // paper's "CPU execution times were comparable to GPU" observation.
+  prof.pattern = xcl::AccessPattern::kRowPerItem;
+  prof.parallel_fraction = 1.0;
+  queue_->enqueue(assign, xcl::NDRange(((pn + 63) / 64) * 64, 64), prof);
+}
+
+void KMeans::host_update_centroids() {
+  const unsigned fn = params_.features;
+  const unsigned cn = params_.clusters;
+  std::vector<double> sums(std::size_t{cn} * fn, 0.0);
+  std::vector<std::size_t> counts(cn, 0);
+  for (std::size_t i = 0; i < params_.points; ++i) {
+    const auto c = static_cast<unsigned>(membership_[i]);
+    ++counts[c];
+    for (unsigned f = 0; f < fn; ++f) {
+      sums[std::size_t{c} * fn + f] += features_[i * fn + f];
+    }
+  }
+  for (unsigned c = 0; c < cn; ++c) {
+    if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+    for (unsigned f = 0; f < fn; ++f) {
+      centroids_[std::size_t{c} * fn + f] = static_cast<float>(
+          sums[std::size_t{c} * fn + f] / static_cast<double>(counts[c]));
+    }
+  }
+}
+
+void KMeans::run() {
+  for (unsigned round = 0; round < params_.rounds; ++round) {
+    enqueue_assign();
+    queue_->enqueue_read<std::int32_t>(*membership_buf_,
+                                       std::span(membership_));
+    if (queue_->functional()) host_update_centroids();
+    queue_->enqueue_write<float>(*cluster_buf_, centroids_);
+  }
+}
+
+void KMeans::finish() {
+  queue_->enqueue_read<std::int32_t>(*membership_buf_,
+                                     std::span(membership_));
+}
+
+Validation KMeans::validate() {
+  // Serial reference: identical fixed-round Lloyd iterations from the same
+  // deterministic start.
+  const unsigned fn = params_.features;
+  const unsigned cn = params_.clusters;
+  std::vector<float> ref_centroids(
+      features_.begin(), features_.begin() + std::size_t{cn} * fn);
+  std::vector<std::int32_t> ref_member(params_.points, -1);
+
+  for (unsigned round = 0; round < params_.rounds; ++round) {
+    for (std::size_t i = 0; i < params_.points; ++i) {
+      float best = HUGE_VALF;
+      std::int32_t best_c = 0;
+      for (unsigned c = 0; c < cn; ++c) {
+        float dist = 0.0f;
+        for (unsigned f = 0; f < fn; ++f) {
+          const float d =
+              features_[i * fn + f] - ref_centroids[std::size_t{c} * fn + f];
+          dist += d * d;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<std::int32_t>(c);
+        }
+      }
+      ref_member[i] = best_c;
+    }
+    std::vector<double> sums(std::size_t{cn} * fn, 0.0);
+    std::vector<std::size_t> counts(cn, 0);
+    for (std::size_t i = 0; i < params_.points; ++i) {
+      const auto c = static_cast<unsigned>(ref_member[i]);
+      ++counts[c];
+      for (unsigned f = 0; f < fn; ++f) {
+        sums[std::size_t{c} * fn + f] += features_[i * fn + f];
+      }
+    }
+    for (unsigned c = 0; c < cn; ++c) {
+      if (counts[c] == 0) continue;
+      for (unsigned f = 0; f < fn; ++f) {
+        ref_centroids[std::size_t{c} * fn + f] = static_cast<float>(
+            sums[std::size_t{c} * fn + f] / static_cast<double>(counts[c]));
+      }
+    }
+  }
+
+  Validation v;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < params_.points; ++i) {
+    if (membership_[i] != ref_member[i]) ++mismatches;
+  }
+  v.error = static_cast<double>(mismatches);
+  v.ok = mismatches == 0;
+  std::ostringstream os;
+  os << "kmeans membership: " << mismatches << " of " << params_.points
+     << " points disagree with the serial reference";
+  v.detail = os.str();
+  return v;
+}
+
+void KMeans::unbind() {
+  membership_buf_.reset();
+  cluster_buf_.reset();
+  feature_buf_.reset();
+  ctx_ = nullptr;
+  queue_ = nullptr;
+}
+
+void KMeans::stream_trace(
+    const std::function<void(const sim::MemAccess&)>& sink) const {
+  // One assign pass in program order, as §4.4.1 describes the kernel's
+  // traffic: stream features, reread the small centroid block per point,
+  // write membership.  Addresses are laid out as on the device.
+  const std::uint64_t feat_base = 0x10000;
+  const std::uint64_t clus_base =
+      feat_base + features_.size() * sizeof(float);
+  const std::uint64_t memb_base =
+      clus_base + centroids_.size() * sizeof(float);
+  const unsigned fn = params_.features;
+  const unsigned cn = params_.clusters;
+  for (std::size_t i = 0; i < params_.points; ++i) {
+    for (unsigned c = 0; c < cn; ++c) {
+      for (unsigned f = 0; f < fn; ++f) {
+        sink({feat_base + (i * fn + f) * sizeof(float), 4, false});
+        sink({clus_base + (std::size_t{c} * fn + f) * sizeof(float), 4,
+              false});
+      }
+    }
+    sink({memb_base + i * sizeof(std::int32_t), 4, true});
+  }
+}
+
+}  // namespace eod::dwarfs

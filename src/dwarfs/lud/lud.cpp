@@ -1,0 +1,241 @@
+#include "dwarfs/lud/lud.hpp"
+
+#include <cmath>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+namespace {
+constexpr std::size_t B = Lud::kBlock;
+}  // namespace
+
+std::size_t Lud::dim_for(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::kTiny:
+      return 80;
+    case ProblemSize::kSmall:
+      return 240;
+    case ProblemSize::kMedium:
+      return 1440;
+    case ProblemSize::kLarge:
+      return 4096;
+  }
+  return 0;
+}
+
+void Lud::setup(ProblemSize size) { configure(dim_for(size)); }
+
+void Lud::configure(std::size_t n) {
+  require(n >= B && n % B == 0, xcl::Status::kInvalidValue,
+          "lud dimension must be a positive multiple of 16");
+  n_ = n;
+  SplitMix64 rng(0x6c7564ull);  // "lud"
+  input_.resize(n_ * n_);
+  for (float& x : input_) x = rng.uniform(0.0f, 1.0f);
+  // Diagonal dominance keeps the pivot-free factorization stable.
+  for (std::size_t i = 0; i < n_; ++i) {
+    input_[i * n_ + i] += static_cast<float>(n_);
+  }
+  result_.assign(input_.size(), 0.0f);
+}
+
+void Lud::bind(xcl::Context& ctx, xcl::Queue& q) {
+  queue_ = &q;
+  matrix_buf_.emplace(ctx, input_.size() * sizeof(float));
+}
+
+void Lud::enqueue_diagonal(std::size_t k) {
+  const std::size_t n = n_;
+  auto a = matrix_buf_->view<float>();
+  const std::size_t base = k * B * n + k * B;
+
+  xcl::Kernel diag("lud_diagonal", [=](xcl::WorkItem& it) {
+    const std::size_t j = it.local_id(0);
+    for (std::size_t i = 0; i + 1 < B; ++i) {
+      it.barrier();
+      if (j > i) {
+        const float pivot = a[base + i * n + i];
+        const float lji = a[base + j * n + i] / pivot;
+        a[base + j * n + i] = lji;
+        for (std::size_t l = i + 1; l < B; ++l) {
+          a[base + j * n + l] -= lji * a[base + i * n + l];
+        }
+      }
+      it.barrier();
+    }
+  });
+  diag.uses_barriers();
+
+  xcl::WorkloadProfile prof;
+  prof.flops = 2.0 / 3.0 * B * B * B;
+  prof.int_ops = static_cast<double>(B) * B * 2;
+  prof.bytes_read = static_cast<double>(B) * B * sizeof(float) * 2;
+  prof.bytes_written = static_cast<double>(B) * B * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
+  prof.pattern = xcl::AccessPattern::kTiled;
+  queue_->enqueue(diag, xcl::NDRange(B, B), prof);
+}
+
+void Lud::enqueue_perimeter(std::size_t k) {
+  const std::size_t n = n_;
+  const std::size_t nb = n / B;
+  const std::size_t rem = nb - k - 1;
+  if (rem == 0) return;
+  auto a = matrix_buf_->view<float>();
+  const std::size_t diag_base = k * B * n + k * B;
+
+  // Row blocks (k, m): U := L_kk^-1 A.  One work-item owns one column of
+  // its block; the in-column dependency is carried inside the item, so no
+  // barrier is required.
+  xcl::Kernel row("lud_perimeter_row", [=](xcl::WorkItem& it) {
+    const std::size_t m = k + 1 + it.group_id(0);
+    const std::size_t c = it.local_id(0);
+    const std::size_t blk = k * B * n + m * B;
+    for (std::size_t i = 1; i < B; ++i) {
+      float acc = a[blk + i * n + c];
+      for (std::size_t t = 0; t < i; ++t) {
+        acc -= a[diag_base + i * n + t] * a[blk + t * n + c];
+      }
+      a[blk + i * n + c] = acc;
+    }
+  });
+
+  // Column blocks (m, k): L := A U_kk^-1.  One work-item owns one row.
+  xcl::Kernel col("lud_perimeter_col", [=](xcl::WorkItem& it) {
+    const std::size_t m = k + 1 + it.group_id(0);
+    const std::size_t r = it.local_id(0);
+    const std::size_t blk = m * B * n + k * B;
+    for (std::size_t j = 0; j < B; ++j) {
+      float acc = a[blk + r * n + j];
+      for (std::size_t t = 0; t < j; ++t) {
+        acc -= a[blk + r * n + t] * a[diag_base + t * n + j];
+      }
+      a[blk + r * n + j] = acc / a[diag_base + j * n + j];
+    }
+  });
+
+  xcl::WorkloadProfile prof;
+  prof.flops = static_cast<double>(rem) * B * B * B;
+  prof.int_ops = static_cast<double>(rem) * B * B * 2;
+  prof.bytes_read = static_cast<double>(rem) * 2 * B * B * sizeof(float);
+  prof.bytes_written = static_cast<double>(rem) * B * B * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
+  prof.pattern = xcl::AccessPattern::kTiled;
+  queue_->enqueue(row, xcl::NDRange(rem * B, B), prof);
+  queue_->enqueue(col, xcl::NDRange(rem * B, B), prof);
+}
+
+void Lud::enqueue_internal(std::size_t k) {
+  const std::size_t n = n_;
+  const std::size_t nb = n / B;
+  const std::size_t rem = nb - k - 1;
+  if (rem == 0) return;
+  auto a = matrix_buf_->view<float>();
+
+  // Tiled GEMM update A_ij -= L_ik * U_kj staged through __local memory.
+  xcl::Kernel internal("lud_internal", [=](xcl::WorkItem& it) {
+    const std::size_t bi = k + 1 + it.group_id(1);
+    const std::size_t bj = k + 1 + it.group_id(0);
+    const std::size_t r = it.local_id(1);
+    const std::size_t c = it.local_id(0);
+    auto l_tile = it.local<float>(0, B * B);
+    auto u_tile = it.local<float>(1, B * B);
+    l_tile[r * B + c] = a[(bi * B + r) * n + k * B + c];
+    u_tile[r * B + c] = a[(k * B + r) * n + bj * B + c];
+    it.barrier();
+    float acc = 0.0f;
+    for (std::size_t t = 0; t < B; ++t) {
+      acc += l_tile[r * B + t] * u_tile[t * B + c];
+    }
+    it.barrier();
+    a[(bi * B + r) * n + bj * B + c] -= acc;
+  });
+  internal.uses_barriers();
+
+  xcl::WorkloadProfile prof;
+  prof.flops = static_cast<double>(rem) * rem * 2.0 * B * B * B;
+  prof.int_ops = static_cast<double>(rem) * rem * B * B * 3;
+  prof.bytes_read =
+      static_cast<double>(rem) * rem * 3 * B * B * sizeof(float);
+  prof.bytes_written =
+      static_cast<double>(rem) * rem * B * B * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
+  prof.pattern = xcl::AccessPattern::kTiled;
+  queue_->enqueue(internal,
+                  xcl::NDRange(rem * B, rem * B, B, B), prof);
+}
+
+void Lud::run() {
+  // The factorization is destructive, so each application iteration
+  // re-uploads the input (a memory-transfer segment, as in OpenDwarfs).
+  queue_->enqueue_write<float>(*matrix_buf_, input_);
+  const std::size_t nb = n_ / B;
+  for (std::size_t k = 0; k < nb; ++k) {
+    enqueue_diagonal(k);
+    enqueue_perimeter(k);
+    enqueue_internal(k);
+  }
+}
+
+void Lud::finish() {
+  queue_->enqueue_read<float>(*matrix_buf_, std::span(result_));
+}
+
+Validation Lud::validate() {
+  // Reconstruct L*U from the packed factor and compare with the original
+  // matrix (norm comparison, §4.4.2).
+  const std::size_t n = n_;
+  std::vector<float> recon(n * n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t t = 0; t <= kmax; ++t) {
+        const double l = (t == i) ? 1.0 : result_[i * n + t];
+        acc += l * result_[t * n + j];
+      }
+      recon[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return validate_norm(recon, input_, 1e-4, "lud L*U reconstruction");
+}
+
+void Lud::stream_trace(
+    const std::function<void(const sim::MemAccess&)>& sink) const {
+  // Blocked factorization order: per step k, the diagonal block, the
+  // perimeter row/column panels, then every interior block re-reading its
+  // L/U panels -- the tiled-reuse pattern the kTiled factor models.
+  const std::size_t n = n_;
+  const std::size_t nb = n / B;
+  const std::uint64_t base = 0x10000;
+  auto touch_block = [&](std::size_t bi, std::size_t bj, bool write) {
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t cidx = 0; cidx < B; ++cidx) {
+        sink({base + ((bi * B + r) * n + bj * B + cidx) * 4, 4, write});
+      }
+    }
+  };
+  for (std::size_t k = 0; k < nb; ++k) {
+    touch_block(k, k, true);
+    for (std::size_t m = k + 1; m < nb; ++m) {
+      touch_block(k, k, false);
+      touch_block(k, m, true);  // row panel
+      touch_block(m, k, true);  // column panel
+    }
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      for (std::size_t bj = k + 1; bj < nb; ++bj) {
+        touch_block(bi, k, false);
+        touch_block(k, bj, false);
+        touch_block(bi, bj, true);
+      }
+    }
+  }
+}
+
+void Lud::unbind() {
+  matrix_buf_.reset();
+  queue_ = nullptr;
+}
+
+}  // namespace eod::dwarfs

@@ -1,0 +1,66 @@
+// Blocked LU decomposition -- the Dense Linear Algebra dwarf.
+//
+// Rodinia-style three-kernel blocked factorization (block size 16): a
+// diagonal kernel (work-group cooperating through barriers), two perimeter
+// kernels (independent row/column solves), and an internal kernel (tiled
+// matrix-multiply update staged through __local memory with barriers).
+// The input matrix is generated diagonally dominant so the factorization is
+// stable without pivoting; validation reconstructs L*U and compares norms
+// against the original matrix.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+
+namespace eod::dwarfs {
+
+class Lud final : public Dwarf {
+ public:
+  static constexpr std::size_t kBlock = 16;
+
+  /// Table 2, lud row: Phi = matrix dimension n (n x n floats).
+  [[nodiscard]] static std::size_t dim_for(ProblemSize s);
+
+  /// Custom matrix dimension (must be a multiple of kBlock); setup(size)
+  /// is the Table 2 preset configure(dim_for(size)).
+  void configure(std::size_t n);
+
+  [[nodiscard]] std::string name() const override { return "lud"; }
+  [[nodiscard]] std::string berkeley_dwarf() const override {
+    return "Dense Linear Algebra";
+  }
+  [[nodiscard]] std::string scale_parameter(ProblemSize s) const override {
+    return std::to_string(dim_for(s));
+  }
+  [[nodiscard]] std::size_t footprint_bytes(ProblemSize s) const override {
+    const std::size_t n = dim_for(s);
+    return n * n * sizeof(float);
+  }
+
+  void stream_trace(const std::function<void(const sim::MemAccess&)>& sink)
+      const override;
+
+  void setup(ProblemSize size) override;
+  void bind(xcl::Context& ctx, xcl::Queue& q) override;
+  void run() override;
+  void finish() override;
+  [[nodiscard]] Validation validate() override;
+  void unbind() override;
+
+ private:
+  void enqueue_diagonal(std::size_t k);
+  void enqueue_perimeter(std::size_t k);
+  void enqueue_internal(std::size_t k);
+
+  std::size_t n_ = 0;
+  std::vector<float> input_;   // original matrix (restored every run)
+  std::vector<float> result_;  // factorized matrix read back by finish()
+
+  xcl::Queue* queue_ = nullptr;
+  std::optional<xcl::Buffer> matrix_buf_;
+};
+
+}  // namespace eod::dwarfs

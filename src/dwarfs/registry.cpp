@@ -1,0 +1,56 @@
+#include "dwarfs/registry.hpp"
+
+#include <stdexcept>
+
+#include "dwarfs/crc/crc.hpp"
+#include "dwarfs/csr/csr.hpp"
+#include "dwarfs/cwt/cwt.hpp"
+#include "dwarfs/dwt/dwt.hpp"
+#include "dwarfs/fft/fft.hpp"
+#include "dwarfs/gem/gem.hpp"
+#include "dwarfs/hmm/hmm.hpp"
+#include "dwarfs/kmeans/kmeans.hpp"
+#include "dwarfs/lud/lud.hpp"
+#include "dwarfs/nqueens/nqueens.hpp"
+#include "dwarfs/nw/nw.hpp"
+#include "dwarfs/srad/srad.hpp"
+
+namespace eod::dwarfs {
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "kmeans", "lud", "csr",     "fft", "dwt", "srad",
+      "crc",    "nw",  "gem",     "nqueens", "hmm"};
+  return names;
+}
+
+const std::vector<std::string>& extension_names() {
+  static const std::vector<std::string> names = {"cwt"};
+  return names;
+}
+
+std::unique_ptr<Dwarf> create_dwarf(const std::string& name) {
+  if (name == "cwt") return std::make_unique<Cwt>();
+  if (name == "kmeans") return std::make_unique<KMeans>();
+  if (name == "lud") return std::make_unique<Lud>();
+  if (name == "csr") return std::make_unique<Csr>();
+  if (name == "fft") return std::make_unique<Fft>();
+  if (name == "dwt") return std::make_unique<Dwt>();
+  if (name == "srad") return std::make_unique<Srad>();
+  if (name == "crc") return std::make_unique<Crc>();
+  if (name == "nw") return std::make_unique<Nw>();
+  if (name == "gem") return std::make_unique<Gem>();
+  if (name == "nqueens") return std::make_unique<Nqueens>();
+  if (name == "hmm") return std::make_unique<Hmm>();
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<std::unique_ptr<Dwarf>> create_all_dwarfs() {
+  std::vector<std::unique_ptr<Dwarf>> out;
+  for (const std::string& n : benchmark_names()) {
+    out.push_back(create_dwarf(n));
+  }
+  return out;
+}
+
+}  // namespace eod::dwarfs

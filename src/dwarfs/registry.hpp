@@ -1,0 +1,25 @@
+// Factory and enumeration for the eleven benchmarks of the suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+
+namespace eod::dwarfs {
+
+/// The benchmark names in the order of the paper's Table 2.
+[[nodiscard]] const std::vector<std::string>& benchmark_names();
+
+/// Extension benchmarks beyond the paper's Table 2 (the continuous wavelet
+/// transform the paper planned to add, §2).
+[[nodiscard]] const std::vector<std::string>& extension_names();
+
+/// Creates a benchmark by name; throws std::invalid_argument if unknown.
+[[nodiscard]] std::unique_ptr<Dwarf> create_dwarf(const std::string& name);
+
+/// Creates every benchmark in Table 2 order.
+[[nodiscard]] std::vector<std::unique_ptr<Dwarf>> create_all_dwarfs();
+
+}  // namespace eod::dwarfs

@@ -1,0 +1,264 @@
+#include "dwarfs/srad/srad.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xcl/kernel.hpp"
+
+namespace eod::dwarfs {
+
+namespace {
+
+// ROI statistics (paper args fix the ROI at rows/cols 0..127, clamped to
+// the grid) -> q0sqr, the speckle-scale estimate.
+float roi_q0sqr(const std::vector<float>& j, std::size_t rows,
+                std::size_t cols) {
+  const std::size_t r1 = std::min<std::size_t>(127, rows - 1);
+  const std::size_t c1 = std::min<std::size_t>(127, cols - 1);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r <= r1; ++r) {
+    for (std::size_t c = 0; c <= c1; ++c) {
+      const double v = j[r * cols + c];
+      sum += v;
+      sum2 += v * v;
+      ++count;
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var = sum2 / static_cast<double>(count) - mean * mean;
+  return static_cast<float>(var / (mean * mean));
+}
+
+}  // namespace
+
+Srad::Extent Srad::extent_for(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::kTiny:
+      return {80, 16};
+    case ProblemSize::kSmall:
+      return {128, 80};
+    case ProblemSize::kMedium:
+      return {1024, 336};
+    case ProblemSize::kLarge:
+      return {2048, 1024};
+  }
+  return {};
+}
+
+void Srad::setup(ProblemSize size) {
+  const Extent e = extent_for(size);
+  configure({e.rows, e.cols, kLambda, 1});
+}
+
+void Srad::configure(const Params& params) {
+  require(params.rows >= 2 && params.cols >= 2, xcl::Status::kInvalidValue,
+          "srad grid must be at least 2x2");
+  require(params.lambda > 0.0f && params.lambda <= 1.0f,
+          xcl::Status::kInvalidValue, "srad lambda must be in (0, 1]");
+  extent_ = {params.rows, params.cols};
+  lambda_ = params.lambda;
+  iterations_ = std::max(1u, params.iterations);
+  SplitMix64 rng(0x73726164ull);  // "srad"
+  j_in_.resize(extent_.rows * extent_.cols);
+  // Rodinia seeds J = exp(image); a positive speckled field works the same.
+  for (float& v : j_in_) v = std::exp(rng.uniform(0.0f, 1.0f));
+  j_out_.assign(j_in_.size(), 0.0f);
+  q0sqr_ = roi_q0sqr(j_in_, extent_.rows, extent_.cols);
+}
+
+void Srad::bind(xcl::Context& ctx, xcl::Queue& q) {
+  queue_ = &q;
+  const std::size_t bytes = j_in_.size() * sizeof(float);
+  j_buf_.emplace(ctx, bytes);
+  c_buf_.emplace(ctx, bytes);
+  dn_buf_.emplace(ctx, bytes);
+  ds_buf_.emplace(ctx, bytes);
+  dw_buf_.emplace(ctx, bytes);
+  de_buf_.emplace(ctx, bytes);
+}
+
+void Srad::run() {
+  const std::size_t rows = extent_.rows;
+  const std::size_t cols = extent_.cols;
+  const float q0 = q0sqr_;
+  const float lam = lambda_;
+  queue_->enqueue_write<float>(*j_buf_, j_in_);
+
+  auto j = j_buf_->view<float>();
+  auto c = c_buf_->view<float>();
+  auto dn = dn_buf_->view<float>();
+  auto ds = ds_buf_->view<float>();
+  auto dw = dw_buf_->view<float>();
+  auto de = de_buf_->view<float>();
+
+  xcl::Kernel srad1("srad_cuda_1", [=](xcl::WorkItem& it) {
+    const std::size_t idx = it.global_id(0);
+    if (idx >= rows * cols) return;
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rn = r == 0 ? 0 : r - 1;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t cw = col == 0 ? 0 : col - 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    const float jc = j[idx];
+    const float n = j[rn * cols + col] - jc;
+    const float s = j[rs * cols + col] - jc;
+    const float w = j[r * cols + cw] - jc;
+    const float e = j[r * cols + ce] - jc;
+    dn[idx] = n;
+    ds[idx] = s;
+    dw[idx] = w;
+    de[idx] = e;
+    const float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+    const float l = (n + s + w + e) / jc;
+    const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+    const float den1 = 1.0f + 0.25f * l;
+    const float qsqr = num / (den1 * den1);
+    const float den2 = (qsqr - q0) / (q0 * (1.0f + q0));
+    c[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
+  });
+
+  xcl::Kernel srad2("srad_cuda_2", [=](xcl::WorkItem& it) {
+    const std::size_t idx = it.global_id(0);
+    if (idx >= rows * cols) return;
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    const float cc = c[idx];
+    const float cs = c[rs * cols + col];
+    const float cev = c[r * cols + ce];
+    const float d =
+        cc * dn[idx] + cs * ds[idx] + cc * dw[idx] + cev * de[idx];
+    j[idx] += 0.25f * lam * d;
+  });
+
+  const double cells = static_cast<double>(rows) * cols;
+  xcl::WorkloadProfile p1;
+  p1.flops = cells * 22.0;
+  p1.int_ops = cells * 12.0;
+  p1.bytes_read = cells * 5 * sizeof(float);
+  p1.bytes_written = cells * 5 * sizeof(float);
+  p1.working_set_bytes = cells * 6 * sizeof(float);
+  p1.pattern = xcl::AccessPattern::kStencil;
+
+  xcl::WorkloadProfile p2;
+  p2.flops = cells * 8.0;
+  p2.int_ops = cells * 10.0;
+  p2.bytes_read = cells * 7 * sizeof(float);
+  p2.bytes_written = cells * sizeof(float);
+  p2.working_set_bytes = cells * 6 * sizeof(float);
+  p2.pattern = xcl::AccessPattern::kStencil;
+
+  const std::size_t total = rows * cols;
+  const std::size_t wg = 64;
+  const std::size_t global = (total + wg - 1) / wg * wg;
+  for (unsigned iter = 0; iter < iterations_; ++iter) {
+    queue_->enqueue(srad1, xcl::NDRange(global, wg), p1);
+    queue_->enqueue(srad2, xcl::NDRange(global, wg), p2);
+  }
+}
+
+void Srad::finish() {
+  queue_->enqueue_read<float>(*j_buf_, std::span(j_out_));
+}
+
+Validation Srad::validate() {
+  const std::size_t rows = extent_.rows;
+  const std::size_t cols = extent_.cols;
+  std::vector<float> jr = j_in_;
+  std::vector<float> cr(jr.size()), dnr(jr.size()), dsr(jr.size()),
+      dwr(jr.size()), der(jr.size());
+  for (unsigned iter = 0; iter < iterations_; ++iter) {
+  for (std::size_t idx = 0; idx < jr.size(); ++idx) {
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rn = r == 0 ? 0 : r - 1;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t cw = col == 0 ? 0 : col - 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    const float jc = jr[idx];
+    const float n = jr[rn * cols + col] - jc;
+    const float s = jr[rs * cols + col] - jc;
+    const float w = jr[r * cols + cw] - jc;
+    const float e = jr[r * cols + ce] - jc;
+    dnr[idx] = n;
+    dsr[idx] = s;
+    dwr[idx] = w;
+    der[idx] = e;
+    const float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+    const float l = (n + s + w + e) / jc;
+    const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+    const float den1 = 1.0f + 0.25f * l;
+    const float qsqr = num / (den1 * den1);
+    const float den2 = (qsqr - q0sqr_) / (q0sqr_ * (1.0f + q0sqr_));
+    cr[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
+  }
+  for (std::size_t idx = 0; idx < jr.size(); ++idx) {
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    const float d = cr[idx] * dnr[idx] + cr[rs * cols + col] * dsr[idx] +
+                    cr[idx] * dwr[idx] + cr[r * cols + ce] * der[idx];
+    jr[idx] += 0.25f * lambda_ * d;
+  }
+  }
+  return validate_norm(j_out_, jr, 1e-6, "srad diffusion steps");
+}
+
+void Srad::stream_trace(
+    const std::function<void(const sim::MemAccess&)>& sink) const {
+  // One diffusion step: srad1's 5-point stencil reads + coefficient and
+  // derivative writes, then srad2's coefficient-weighted update.
+  const std::size_t rows = extent_.rows;
+  const std::size_t cols = extent_.cols;
+  const std::uint64_t cells = rows * cols;
+  const std::uint64_t j_base = 0x10000;
+  const std::uint64_t c_base = j_base + cells * 4;
+  const std::uint64_t d_base = c_base + cells * 4;  // dN,dS,dW,dE packed
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rn = r == 0 ? 0 : r - 1;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t cw = col == 0 ? 0 : col - 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    sink({j_base + idx * 4, 4, false});
+    sink({j_base + (rn * cols + col) * 4, 4, false});
+    sink({j_base + (rs * cols + col) * 4, 4, false});
+    sink({j_base + (r * cols + cw) * 4, 4, false});
+    sink({j_base + (r * cols + ce) * 4, 4, false});
+    for (unsigned k = 0; k < 4; ++k) {
+      sink({d_base + (k * cells + idx) * 4, 4, true});
+    }
+    sink({c_base + idx * 4, 4, true});
+  }
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    const std::size_t r = idx / cols;
+    const std::size_t col = idx % cols;
+    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+    sink({c_base + idx * 4, 4, false});
+    sink({c_base + (rs * cols + col) * 4, 4, false});
+    sink({c_base + (r * cols + ce) * 4, 4, false});
+    for (unsigned k = 0; k < 4; ++k) {
+      sink({d_base + (k * cells + idx) * 4, 4, false});
+    }
+    sink({j_base + idx * 4, 4, true});
+  }
+}
+
+void Srad::unbind() {
+  de_buf_.reset();
+  dw_buf_.reset();
+  ds_buf_.reset();
+  dn_buf_.reset();
+  c_buf_.reset();
+  j_buf_.reset();
+  queue_ = nullptr;
+}
+
+}  // namespace eod::dwarfs

@@ -1,0 +1,86 @@
+#include "harness/cli.hpp"
+
+#include <stdexcept>
+
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+
+namespace {
+
+std::size_t parse_index(const std::string& flag, const std::string& value) {
+  try {
+    return static_cast<std::size_t>(std::stoull(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value for " + flag + ": " + value);
+  }
+}
+
+}  // namespace
+
+xcl::Device& CliOptions::resolve_device() const {
+  xcl::Platform& p = sim::testbed_platform();
+  (void)platform;  // single simulated platform; kept for CLI fidelity
+  if (device_name.has_value()) return sim::testbed_device(*device_name);
+  if (type < 0) return p.device(device);
+  const xcl::DeviceType t = type == 0   ? xcl::DeviceType::kCpu
+                            : type == 1 ? xcl::DeviceType::kGpu
+                                        : xcl::DeviceType::kAccelerator;
+  return p.select(device, t);
+}
+
+CliOptions parse_cli(int argc, const char* const* argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + " requires a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "-p" || arg == "--platform") {
+      o.platform = parse_index(arg, next(arg));
+    } else if (arg == "-d" || arg == "--device") {
+      o.device = parse_index(arg, next(arg));
+    } else if (arg == "-t" || arg == "--type") {
+      o.type = static_cast<int>(parse_index(arg, next(arg)));
+      if (o.type > 2) throw std::invalid_argument("-t must be 0, 1 or 2");
+    } else if (arg == "--device-name") {
+      o.device_name = next(arg);
+    } else if (arg == "--size") {
+      const std::string v = next(arg);
+      const auto s = dwarfs::parse_problem_size(v);
+      if (!s.has_value()) {
+        throw std::invalid_argument("bad --size (tiny|small|medium|large): " +
+                                    v);
+      }
+      o.size = s;
+    } else if (arg == "--samples") {
+      o.samples = parse_index(arg, next(arg));
+    } else if (arg == "--min-loop-seconds") {
+      o.min_loop_seconds = std::stod(next(arg));
+    } else if (arg == "--validate") {
+      o.validate = true;
+    } else if (arg == "--all-devices") {
+      o.all_devices = true;
+    } else if (arg == "--long-table") {
+      o.long_table = true;
+    } else {
+      o.positional.push_back(arg);
+    }
+  }
+  return o;
+}
+
+std::string usage(const std::string& program) {
+  return "usage: " + program +
+         " [-p P] [-d D] [-t 0|1|2] [--device-name NAME]\n"
+         "          [--size tiny|small|medium|large] [--samples N]\n"
+         "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
+         "          [--long-table]\n"
+         "device selection follows the paper's notation: -p <platform>\n"
+         "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n";
+}
+
+}  // namespace eod::harness

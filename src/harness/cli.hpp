@@ -1,0 +1,41 @@
+// Uniform command-line conventions for benchmark binaries, matching the
+// paper's device-selection notation: every application takes
+//   -p <platform> -d <device> -t <type>   (type: 0 = CPU, 1 = GPU, 2 = MIC)
+// plus suite options (--size, --samples, --validate, ...), "allowing each
+// device to be selected in a uniform way between applications" (§4.4.5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "xcl/device.hpp"
+
+namespace eod::harness {
+
+struct CliOptions {
+  std::size_t platform = 0;
+  std::size_t device = 0;
+  int type = -1;  ///< -1 = any; 0 = CPU, 1 = GPU, 2 = accelerator (MIC)
+  std::optional<std::string> device_name;  ///< --device-name "GTX 1080"
+  std::optional<dwarfs::ProblemSize> size;
+  std::size_t samples = 50;
+  double min_loop_seconds = 2.0;
+  bool validate = false;
+  bool all_devices = false;  ///< sweep the whole testbed
+  bool long_table = false;   ///< emit the R-compatible long table
+  std::vector<std::string> positional;
+
+  /// Resolves the requested device within the simulated testbed platform.
+  [[nodiscard]] xcl::Device& resolve_device() const;
+};
+
+/// Parses the uniform options; throws std::invalid_argument (with a usage
+/// string) on malformed input.  Unrecognised tokens land in `positional`.
+[[nodiscard]] CliOptions parse_cli(int argc, const char* const* argv);
+
+/// The usage text shared by all benchmark binaries.
+[[nodiscard]] std::string usage(const std::string& program);
+
+}  // namespace eod::harness

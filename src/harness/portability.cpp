@@ -1,0 +1,80 @@
+#include "harness/portability.hpp"
+
+#include <algorithm>
+
+#include "dwarfs/registry.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/queue.hpp"
+
+namespace eod::harness {
+
+namespace {
+
+/// Replays a benchmark's launch plan (model-only, launches recorded) and
+/// returns both the achieved modeled time and the roofline-ideal time.
+struct PlanCost {
+  double achieved_s = 0.0;
+  double ideal_s = 0.0;
+};
+
+PlanCost plan_cost(const std::string& benchmark, dwarfs::ProblemSize size,
+                   xcl::Device& device) {
+  auto dwarf = dwarfs::create_dwarf(benchmark);
+  dwarf->setup(size);
+  xcl::Context ctx(device);
+  xcl::Queue queue(ctx);
+  queue.set_functional(false);
+  queue.set_record_launches(true);
+  dwarf->bind(ctx, queue);
+  queue.clear_events();
+  dwarf->run();
+
+  PlanCost cost;
+  cost.achieved_s = queue.modeled_kernel_seconds();
+  const sim::DevicePerfModel model(sim::spec_by_name(device.name()));
+  for (const xcl::KernelLaunchStats& launch : queue.launches()) {
+    cost.ideal_s += model.roofline_seconds(launch);
+  }
+  dwarf->unbind();
+  return cost;
+}
+
+}  // namespace
+
+double ideal_seconds(const std::string& benchmark, dwarfs::ProblemSize size,
+                     xcl::Device& device) {
+  return plan_cost(benchmark, size, device).ideal_s;
+}
+
+double pennycook_pp(const std::vector<double>& efficiencies) {
+  if (efficiencies.empty()) return 0.0;
+  double denom = 0.0;
+  for (const double e : efficiencies) {
+    if (e <= 0.0) return 0.0;  // failed on some device: PP is zero
+    denom += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / denom;
+}
+
+PortabilityReport portability_report(
+    const std::string& benchmark, dwarfs::ProblemSize size,
+    const std::vector<xcl::Device*>& devices) {
+  PortabilityReport report;
+  report.benchmark = benchmark;
+  report.size = size;
+  std::vector<double> effs;
+  for (xcl::Device* dev : devices) {
+    const PlanCost cost = plan_cost(benchmark, size, *dev);
+    DeviceEfficiency e;
+    e.device = dev->name();
+    e.ideal_seconds = cost.ideal_s;
+    e.achieved_seconds = cost.achieved_s;
+    report.devices.push_back(e);
+    effs.push_back(e.efficiency());
+  }
+  report.performance_portability = pennycook_pp(effs);
+  return report;
+}
+
+}  // namespace eod::harness

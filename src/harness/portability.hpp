@@ -1,0 +1,59 @@
+// Performance portability analysis -- §7 future work: "we would also like
+// to develop some notion of 'ideal' performance for each combination of
+// benchmark and device, which would guide efforts to improve performance
+// portability."
+//
+// The ideal time for a launch on a device is its bare roofline bound:
+// work at full peak throughput or traffic at full memory bandwidth,
+// whichever dominates, with no launch overhead, occupancy loss, divergence
+// or pattern penalties.  Architectural efficiency = ideal / achieved in
+// (0, 1].  Across a device set H the suite reports Pennycook's performance
+// portability metric: the harmonic mean of efficiencies when the
+// application runs everywhere, 0 otherwise.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "xcl/device.hpp"
+
+namespace eod::harness {
+
+/// Efficiency of one (benchmark, size) on one device.
+struct DeviceEfficiency {
+  std::string device;
+  double ideal_seconds = 0.0;     ///< roofline lower bound
+  double achieved_seconds = 0.0;  ///< modeled time of the real launch plan
+  /// ideal/achieved in (0, 1]; how close the code comes to the device's
+  /// architectural best.
+  [[nodiscard]] double efficiency() const noexcept {
+    return achieved_seconds > 0.0 ? ideal_seconds / achieved_seconds : 0.0;
+  }
+};
+
+/// Efficiency of one benchmark across a device set.
+struct PortabilityReport {
+  std::string benchmark;
+  dwarfs::ProblemSize size = dwarfs::ProblemSize::kSmall;
+  std::vector<DeviceEfficiency> devices;
+  /// Pennycook PP: harmonic mean of per-device efficiencies (0 if any
+  /// device failed to run the benchmark).
+  double performance_portability = 0.0;
+};
+
+/// Roofline-ideal seconds for a benchmark's launch plan on a device.
+[[nodiscard]] double ideal_seconds(const std::string& benchmark,
+                                   dwarfs::ProblemSize size,
+                                   xcl::Device& device);
+
+/// Full report over a device set (defaults to the whole testbed).
+[[nodiscard]] PortabilityReport portability_report(
+    const std::string& benchmark, dwarfs::ProblemSize size,
+    const std::vector<xcl::Device*>& devices);
+
+/// The harmonic-mean PP metric over arbitrary efficiencies.
+[[nodiscard]] double pennycook_pp(const std::vector<double>& efficiencies);
+
+}  // namespace eod::harness

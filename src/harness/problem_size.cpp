@@ -1,0 +1,73 @@
+#include "harness/problem_size.hpp"
+
+#include "dwarfs/registry.hpp"
+
+namespace eod::harness {
+
+bool footprint_fits_class(const SizeClassBounds& bounds,
+                          dwarfs::ProblemSize size,
+                          std::size_t footprint_bytes) {
+  switch (size) {
+    case dwarfs::ProblemSize::kTiny:
+      return footprint_bytes <= bounds.l1_bytes;
+    case dwarfs::ProblemSize::kSmall:
+      return footprint_bytes <= bounds.l2_bytes;
+    case dwarfs::ProblemSize::kMedium:
+      return footprint_bytes <= bounds.l3_bytes;
+    case dwarfs::ProblemSize::kLarge:
+      return static_cast<double>(footprint_bytes) >=
+             bounds.large_multiplier *
+                 static_cast<double>(bounds.l3_bytes);
+  }
+  return false;
+}
+
+std::size_t solve_scale_parameter(
+    const SizeClassBounds& bounds, dwarfs::ProblemSize size,
+    const std::function<std::size_t(std::size_t)>& footprint,
+    std::size_t param_lo, std::size_t param_hi) {
+  if (size == dwarfs::ProblemSize::kLarge) {
+    // Smallest parameter whose footprint reaches multiplier x L3.
+    std::size_t lo = param_lo;
+    std::size_t hi = param_hi;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (footprint_fits_class(bounds, size, footprint(mid))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+  // Largest parameter that still fits the class's cache level.
+  std::size_t lo = param_lo;
+  std::size_t hi = param_hi;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (footprint_fits_class(bounds, size, footprint(mid))) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<Table2Row> table2() {
+  std::vector<Table2Row> rows;
+  for (const auto& dwarf : dwarfs::create_all_dwarfs()) {
+    Table2Row row;
+    row.benchmark = dwarf->name();
+    row.dwarf = dwarf->berkeley_dwarf();
+    row.sizes = dwarf->supported_sizes();
+    for (const dwarfs::ProblemSize s : row.sizes) {
+      row.scale.push_back(dwarf->scale_parameter(s));
+      row.footprint.push_back(dwarf->footprint_bytes(s));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace eod::harness

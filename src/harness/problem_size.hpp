@@ -1,0 +1,59 @@
+// The §4.4 problem-size methodology, generalised so it "can now be easily
+// adjusted for next generation accelerator systems" (paper §6).
+//
+// tiny fits L1, small fits L2, medium fits L3, large is at least 4x the
+// last-level cache of the reference CPU (the Skylake i7-6700K by default).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "sim/device_spec.hpp"
+
+namespace eod::harness {
+
+/// The cache-capacity targets each size class must satisfy.
+struct SizeClassBounds {
+  std::size_t l1_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+  /// large must exceed this multiple of the last-level cache (paper: 4x).
+  double large_multiplier = 4.0;
+
+  [[nodiscard]] static SizeClassBounds from_device(const sim::DeviceSpec& d) {
+    return {d.l1.size_bytes, d.l2.size_bytes, d.l3.size_bytes, 4.0};
+  }
+};
+
+/// Checks a footprint against its class target: tiny/small/medium must fit
+/// the corresponding level; large must be >= multiplier x L3.
+[[nodiscard]] bool footprint_fits_class(const SizeClassBounds& bounds,
+                                        dwarfs::ProblemSize size,
+                                        std::size_t footprint_bytes);
+
+/// Finds the largest integer scale parameter whose footprint (given by
+/// `footprint(param)`, monotonically non-decreasing) still fits the target
+/// level of `size` -- the search the paper performs per benchmark when
+/// porting the methodology to a new memory hierarchy.  For kLarge, returns
+/// the smallest parameter exceeding multiplier x L3.
+[[nodiscard]] std::size_t solve_scale_parameter(
+    const SizeClassBounds& bounds, dwarfs::ProblemSize size,
+    const std::function<std::size_t(std::size_t)>& footprint,
+    std::size_t param_lo = 1, std::size_t param_hi = 1u << 24);
+
+/// One row of Table 2 with the footprints filled in.
+struct Table2Row {
+  std::string benchmark;
+  std::string dwarf;
+  std::vector<std::string> scale;      // per supported size
+  std::vector<std::size_t> footprint;  // bytes, per supported size
+  std::vector<dwarfs::ProblemSize> sizes;
+};
+
+/// Regenerates Table 2 from the benchmark registry.
+[[nodiscard]] std::vector<Table2Row> table2();
+
+}  // namespace eod::harness

@@ -1,0 +1,120 @@
+#include "harness/report.hpp"
+
+#include <iomanip>
+
+#include "harness/problem_size.hpp"
+#include "scibench/logger.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+
+namespace {
+
+const char* class_of(const std::string& device_name) {
+  return to_string(sim::spec_by_name(device_name).klass);
+}
+
+}  // namespace
+
+void print_panel(std::ostream& os, const std::string& title,
+                 const std::vector<Measurement>& measurements) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(18) << "device" << std::setw(14) << "class"
+     << std::setw(8) << "size" << std::right << std::setw(12) << "mean(ms)"
+     << std::setw(12) << "median(ms)" << std::setw(9) << "cov"
+     << std::setw(12) << "q1(ms)" << std::setw(12) << "q3(ms)"
+     << std::setw(8) << "loops" << '\n';
+  for (const Measurement& m : measurements) {
+    const scibench::Summary s = m.time_summary();
+    os << std::left << std::setw(18) << m.device << std::setw(14)
+       << class_of(m.device) << std::setw(8) << to_string(m.size)
+       << std::right << std::fixed << std::setprecision(4) << std::setw(12)
+       << s.mean << std::setw(12) << s.median << std::setprecision(3)
+       << std::setw(9) << s.cov() << std::setprecision(4) << std::setw(12)
+       << s.q1 << std::setw(12) << s.q3 << std::setw(8) << m.loop_iterations
+       << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+void print_long_table(std::ostream& os,
+                      const std::vector<Measurement>& measurements) {
+  scibench::TableLogger log(os, {"benchmark", "device", "class", "size",
+                                 "sample", "time_ms", "energy_j"});
+  for (const Measurement& m : measurements) {
+    for (std::size_t i = 0; i < m.time_samples_ms.size(); ++i) {
+      log.row({m.benchmark, '"' + m.device + '"', '"' + std::string(
+                   class_of(m.device)) + '"',
+               to_string(m.size), std::to_string(i),
+               scibench::TableLogger::num(m.time_samples_ms[i]),
+               scibench::TableLogger::num(
+                   i < m.energy_samples_j.size() ? m.energy_samples_j[i]
+                                                 : 0.0)});
+    }
+  }
+}
+
+void print_energy_panel(std::ostream& os, const std::string& title,
+                        const std::vector<Measurement>& measurements) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(12) << "benchmark" << std::setw(18)
+     << "device" << std::right << std::setw(14) << "mean(J)"
+     << std::setw(14) << "median(J)" << std::setw(9) << "cov" << '\n';
+  for (const Measurement& m : measurements) {
+    const scibench::Summary s = m.energy_summary();
+    os << std::left << std::setw(12) << m.benchmark << std::setw(18)
+       << m.device << std::right << std::fixed << std::setprecision(3)
+       << std::setw(14) << s.mean << std::setw(14) << s.median
+       << std::setw(9) << s.cov() << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+void print_table1(std::ostream& os) {
+  os << "== Table 1: Hardware ==\n";
+  os << std::left << std::setw(18) << "Name" << std::setw(8) << "Vendor"
+     << std::setw(6) << "Type" << std::setw(12) << "Series" << std::right
+     << std::setw(7) << "Cores" << std::setw(17) << "Clock(min/max/t)"
+     << std::setw(19) << "Cache KiB(L1/2/3)" << std::setw(6) << "TDP"
+     << std::setw(9) << "Launch" << '\n';
+  for (const sim::DeviceSpec& d : sim::testbed()) {
+    std::string clock = std::to_string(d.clock_min_mhz) + "/" +
+                        (d.clock_max_mhz ? std::to_string(d.clock_max_mhz)
+                                         : std::string("-")) +
+                        "/" +
+                        (d.clock_turbo_mhz
+                             ? std::to_string(d.clock_turbo_mhz)
+                             : std::string("-"));
+    std::string cache = std::to_string(d.l1_kib) + "/" +
+                        std::to_string(d.l2_kib) + "/" +
+                        (d.l3_kib ? std::to_string(d.l3_kib)
+                                  : std::string("-"));
+    os << std::left << std::setw(18) << d.name << std::setw(8) << d.vendor
+       << std::setw(6)
+       << (d.klass == sim::AcceleratorClass::kCpu
+               ? "CPU"
+               : d.klass == sim::AcceleratorClass::kMic ? "MIC" : "GPU")
+       << std::setw(12) << d.series << std::right << std::setw(7)
+       << d.core_count << std::setw(17) << clock << std::setw(19) << cache
+       << std::setw(6) << d.tdp_w << std::setw(9) << d.launch_date << '\n';
+  }
+}
+
+void print_table2(std::ostream& os) {
+  os << "== Table 2: OpenDwarfs workload scale parameters (footprint "
+        "verified against the device allocator) ==\n";
+  os << std::left << std::setw(10) << "benchmark" << std::setw(10) << "size"
+     << std::setw(14) << "scale" << std::right << std::setw(14)
+     << "footprint(KiB)" << '\n';
+  for (const Table2Row& row : table2()) {
+    for (std::size_t i = 0; i < row.sizes.size(); ++i) {
+      os << std::left << std::setw(10) << row.benchmark << std::setw(10)
+         << to_string(row.sizes[i]) << std::setw(14) << row.scale[i]
+         << std::right << std::fixed << std::setprecision(1) << std::setw(14)
+         << static_cast<double>(row.footprint[i]) / 1024.0 << '\n';
+      os.unsetf(std::ios::fixed);
+    }
+  }
+}
+
+}  // namespace eod::harness

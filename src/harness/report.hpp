@@ -1,0 +1,34 @@
+// Figure/table output: prints the same rows and series the paper reports,
+// in both human-readable and R-compatible (LibSciBench-style) long form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace eod::harness {
+
+/// Human-readable summary block for one figure panel: one row per device
+/// with class colour, mean/median/CoV/quartiles (what the paper's box plots
+/// show).
+void print_panel(std::ostream& os, const std::string& title,
+                 const std::vector<Measurement>& measurements);
+
+/// LibSciBench-style long table: one row per sample
+/// (benchmark device class size sample time_ms energy_j).
+void print_long_table(std::ostream& os,
+                      const std::vector<Measurement>& measurements);
+
+/// Energy panel (Fig. 5): joules per benchmark per device.
+void print_energy_panel(std::ostream& os, const std::string& title,
+                        const std::vector<Measurement>& measurements);
+
+/// Renders Table 1 (hardware characteristics) from the device registry.
+void print_table1(std::ostream& os);
+
+/// Renders Table 2 (workload scale parameters) with verified footprints.
+void print_table2(std::ostream& os);
+
+}  // namespace eod::harness

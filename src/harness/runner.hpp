@@ -1,0 +1,98 @@
+// The measurement engine: reproduces the paper's methodology (§2, §4.3).
+//
+//  * Each benchmark executes "in a loop for a minimum of two seconds, to
+//    ensure that sampling ... was not significantly affected by operating
+//    system noise".
+//  * 50 samples per (benchmark, problem size) group, the sample size given
+//    by the t-test power calculation (power 0.8 at half-a-sigma separation).
+//  * Per-kernel timing segments and energy (RAPL on CPUs/MIC, NVML on GPUs).
+//
+// The kernels are executed functionally once (optionally validated against
+// the serial reference); the per-device timing distribution is produced by
+// the device's timing model plus its clock-dependent measurement noise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "scibench/sample_set.hpp"
+#include "scibench/stats.hpp"
+#include "sim/counters.hpp"
+#include "xcl/device.hpp"
+
+namespace eod::harness {
+
+struct MeasureOptions {
+  std::size_t samples = 50;       ///< paper: 50 per group
+  double min_loop_seconds = 2.0;  ///< paper: >= 2 s measurement loop
+  bool functional = true;         ///< execute kernels on the host
+  bool validate = false;          ///< compare against the serial reference
+  std::uint64_t seed = 1;         ///< measurement-noise stream seed
+  /// Skip setup() because the dwarf already holds this size's dataset
+  /// (device sweeps reuse one generated workload, as the paper does).
+  bool reuse_setup = false;
+  /// Collect PAPI-style hardware counters by replaying the benchmark's
+  /// memory trace through the device's cache hierarchy (§4.3; only
+  /// benchmarks that expose a trace produce cache events).
+  bool collect_counters = false;
+};
+
+/// Per-kernel aggregate over one application iteration.
+struct KernelSegment {
+  std::string kernel;
+  std::size_t launches = 0;
+  double modeled_seconds = 0.0;
+};
+
+/// One (benchmark, size, device) measurement group.
+struct Measurement {
+  std::string benchmark;
+  std::string device;
+  dwarfs::ProblemSize size = dwarfs::ProblemSize::kTiny;
+
+  std::size_t loop_iterations = 1;  ///< iterations per >= 2 s sample loop
+  /// Modeled per-iteration segment times, seconds.
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double energy_joules = 0.0;  ///< modeled device energy per iteration
+  std::vector<KernelSegment> segments;
+
+  /// 50 sampled per-iteration kernel times, milliseconds.
+  std::vector<double> time_samples_ms;
+  /// 50 sampled whole-loop energies, joules (RAPL/NVML emulation).
+  std::vector<double> energy_samples_j;
+
+  bool validated = false;
+  dwarfs::Validation validation;
+
+  /// PAPI-style counters for the kernel segment (§4.3), present when
+  /// collect_counters was requested and the benchmark exposes a trace.
+  bool counters_collected = false;
+  sim::CounterSet counters;
+
+  [[nodiscard]] scibench::Summary time_summary() const {
+    return scibench::summarize(time_samples_ms);
+  }
+  [[nodiscard]] scibench::Summary energy_summary() const {
+    return scibench::summarize(energy_samples_j);
+  }
+};
+
+/// Runs one measurement group.  The dwarf must NOT be bound; it is set up,
+/// bound to `device`, run, optionally validated, and unbound.
+[[nodiscard]] Measurement measure(dwarfs::Dwarf& dwarf,
+                                  dwarfs::ProblemSize size,
+                                  xcl::Device& device,
+                                  const MeasureOptions& options = {});
+
+/// Convenience sweep over every testbed device (Table 1 order).  Devices
+/// are measured model-only after a single functional pass, exactly like
+/// moving one binary across the cluster.
+[[nodiscard]] std::vector<Measurement> measure_all_devices(
+    const std::string& benchmark, dwarfs::ProblemSize size,
+    const MeasureOptions& options = {});
+
+}  // namespace eod::harness

@@ -1,0 +1,105 @@
+#include "harness/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "dwarfs/registry.hpp"
+#include "xcl/queue.hpp"
+
+namespace eod::harness {
+
+Prediction predict(const Task& task, xcl::Device& device) {
+  auto dwarf = dwarfs::create_dwarf(task.benchmark);
+  dwarf->setup(task.size);
+  xcl::Context ctx(device);
+  xcl::Queue queue(ctx);
+  queue.set_functional(false);  // predictions come from the model alone
+  dwarf->bind(ctx, queue);
+  queue.clear_events();
+  dwarf->run();
+  Prediction p;
+  p.seconds =
+      queue.modeled_kernel_seconds() + queue.modeled_transfer_seconds();
+  p.joules = queue.modeled_kernel_energy_j();
+  dwarf->unbind();
+  return p;
+}
+
+Schedule schedule_tasks(const std::vector<Task>& tasks,
+                        const std::vector<xcl::Device*>& devices,
+                        Objective objective,
+                        std::optional<double> deadline_s) {
+  Schedule out;
+  if (devices.empty()) {
+    out.feasible = tasks.empty();
+    return out;
+  }
+
+  // Predict every (task, device) pair once.
+  struct Candidate {
+    Task task;
+    std::vector<Prediction> per_device;
+    double best_seconds = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(tasks.size());
+  for (const Task& t : tasks) {
+    Candidate c;
+    c.task = t;
+    c.best_seconds = std::numeric_limits<double>::infinity();
+    for (xcl::Device* d : devices) {
+      c.per_device.push_back(predict(t, *d));
+      c.best_seconds = std::min(c.best_seconds, c.per_device.back().seconds);
+    }
+    candidates.push_back(std::move(c));
+  }
+  // Longest-processing-time-first keeps the greedy makespan within 4/3 of
+  // optimal; it is also a sensible order for the energy objective.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.best_seconds > b.best_seconds;
+            });
+
+  std::vector<double> device_busy(devices.size(), 0.0);
+  for (const Candidate& c : candidates) {
+    std::size_t pick = 0;
+    double pick_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const Prediction& p = c.per_device[i];
+      const double finish = device_busy[i] + p.seconds;
+      double score = 0.0;
+      switch (objective) {
+        case Objective::kMinimizeMakespan:
+          score = finish;
+          break;
+        case Objective::kMinimizeEnergy:
+          score = p.joules;
+          // Respect the deadline: placements that would blow it are
+          // penalised out of contention when any alternative meets it.
+          if (deadline_s.has_value() && finish > *deadline_s) {
+            score += 1e12 + finish;
+          }
+          break;
+      }
+      if (score < pick_score) {
+        pick_score = score;
+        pick = i;
+      }
+    }
+    Assignment a;
+    a.task = c.task;
+    a.device = devices[pick]->name();
+    a.prediction = c.per_device[pick];
+    a.start_s = device_busy[pick];
+    device_busy[pick] += a.prediction.seconds;
+    out.total_energy_j += a.prediction.joules;
+    out.assignments.push_back(std::move(a));
+  }
+  out.makespan_s =
+      *std::max_element(device_busy.begin(), device_busy.end());
+  out.feasible = !deadline_s.has_value() || out.makespan_s <= *deadline_s;
+  return out;
+}
+
+}  // namespace eod::harness

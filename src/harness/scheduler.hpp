@@ -1,0 +1,65 @@
+// Device selection / scheduling support -- the paper's original goal:
+// "to discover methods for choosing the best device for a particular
+// computational task, for example to support scheduling decisions under
+// time and/or energy constraints" (§7).
+//
+// The benchmark suite supplies per-(task, device) predictions; the
+// scheduler assigns a task list to a heterogeneous device pool minimising
+// either makespan (LPT greedy) or total energy, optionally under a
+// completion-deadline constraint.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+#include "xcl/device.hpp"
+
+namespace eod::harness {
+
+/// One unit of work to place: a benchmark instance at a problem size.
+struct Task {
+  std::string benchmark;
+  dwarfs::ProblemSize size = dwarfs::ProblemSize::kSmall;
+};
+
+/// Model-predicted cost of running a task on a device.
+struct Prediction {
+  double seconds = 0.0;  ///< kernel + transfer time per application run
+  double joules = 0.0;   ///< kernel energy per application run
+};
+
+/// Predicts one (task, device) cost via a model-only run through the suite.
+[[nodiscard]] Prediction predict(const Task& task, xcl::Device& device);
+
+enum class Objective {
+  kMinimizeMakespan,  ///< finish everything as early as possible
+  kMinimizeEnergy,    ///< spend as little energy as possible
+};
+
+struct Assignment {
+  Task task;
+  std::string device;
+  Prediction prediction;
+  double start_s = 0.0;  ///< scheduled start on the device's timeline
+};
+
+struct Schedule {
+  std::vector<Assignment> assignments;
+  double makespan_s = 0.0;
+  double total_energy_j = 0.0;
+  /// True when a deadline was requested and the schedule meets it.
+  bool feasible = true;
+};
+
+/// Greedy scheduler: tasks sorted by their best-case duration (LPT), each
+/// placed on the device minimising the objective.  With kMinimizeEnergy and
+/// a deadline, energy-optimal placements that would break the deadline are
+/// overridden by the fastest available device.
+[[nodiscard]] Schedule schedule_tasks(
+    const std::vector<Task>& tasks, const std::vector<xcl::Device*>& devices,
+    Objective objective,
+    std::optional<double> deadline_s = std::nullopt);
+
+}  // namespace eod::harness

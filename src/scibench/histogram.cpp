@@ -1,0 +1,70 @@
+#include "scibench/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eod::scibench {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram needs hi > lo and bins >= 1");
+  }
+}
+
+Histogram Histogram::of(std::span<const double> xs, std::size_t bins) {
+  double lo = 0.0;
+  double hi = 1.0;
+  if (!xs.empty()) {
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    lo = *mn;
+    hi = *mx;
+    if (hi <= lo) hi = lo + 1.0;  // degenerate: all samples equal
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto raw = static_cast<long long>(t * static_cast<double>(bins()));
+  const std::size_t bin = static_cast<std::size_t>(
+      std::clamp<long long>(raw, 0, static_cast<long long>(bins()) - 1));
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::sparkline() const {
+  static constexpr char kLevels[] = {' ', '.', ':', '|', '#'};
+  std::size_t peak = 0;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  out.reserve(bins());
+  for (const std::size_t c : counts_) {
+    if (peak == 0) {
+      out.push_back(' ');
+      continue;
+    }
+    const auto level = static_cast<std::size_t>(
+        (static_cast<double>(c) / static_cast<double>(peak)) * 4.0);
+    out.push_back(kLevels[std::min<std::size_t>(level, 4)]);
+  }
+  return out;
+}
+
+}  // namespace eod::scibench

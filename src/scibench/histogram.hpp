@@ -1,0 +1,46 @@
+// Fixed-bin histograms for sample distributions -- the raw material of the
+// box/violin plots LibSciBench's R tooling draws from the logged samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eod::scibench {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) uniformly; values outside the range land in the
+  /// saturating first/last bin.  Requires hi > lo and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds limits from the data itself (min..max, right-inclusive).
+  [[nodiscard]] static Histogram of(std::span<const double> xs,
+                                    std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Centre value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// The bin with the most samples (smallest index on ties).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// One-line ASCII sparkline ("▁▂▃..."-style using '.',':','|','#'),
+  /// for quick terminal inspection of a sample distribution.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eod::scibench

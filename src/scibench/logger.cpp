@@ -1,0 +1,49 @@
+#include "scibench/logger.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace eod::scibench {
+
+TableLogger::TableLogger(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("TableLogger needs at least one column");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os_ << ' ';
+    os_ << columns_[i];
+  }
+  os_ << '\n';
+}
+
+void TableLogger::row(std::initializer_list<std::string> values) {
+  row(std::vector<std::string>(values));
+}
+
+void TableLogger::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("TableLogger row arity mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os_ << ' ';
+    os_ << values[i];
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+std::string TableLogger::num(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
+}
+
+FileTableLogger::FileTableLogger(const std::string& path,
+                                 std::vector<std::string> columns)
+    : file_(path), logger_(file_, std::move(columns)) {
+  if (!file_) throw std::runtime_error("cannot open log file: " + path);
+}
+
+}  // namespace eod::scibench

@@ -1,0 +1,49 @@
+// R-compatible tabular logging, mirroring LibSciBench's output format:
+// whitespace-separated columns with a header row, directly readable by
+// R's read.table() / pandas read_csv(delim_whitespace=True).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eod::scibench {
+
+/// Streams rows of a fixed-schema measurement table.
+class TableLogger {
+ public:
+  /// Writes to an ostream owned by the caller (must outlive the logger).
+  TableLogger(std::ostream& os, std::vector<std::string> columns);
+
+  /// Appends one row; throws std::invalid_argument on arity mismatch.
+  void row(std::initializer_list<std::string> values);
+  void row(const std::vector<std::string>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Formats a double with enough digits to round-trip.
+  [[nodiscard]] static std::string num(double v);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+  std::size_t rows_ = 0;
+};
+
+/// TableLogger writing to a file it owns.
+class FileTableLogger {
+ public:
+  FileTableLogger(const std::string& path, std::vector<std::string> columns);
+  TableLogger& table() noexcept { return logger_; }
+
+ private:
+  std::ofstream file_;
+  TableLogger logger_;
+};
+
+}  // namespace eod::scibench

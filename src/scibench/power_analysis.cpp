@@ -1,0 +1,42 @@
+#include "scibench/power_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "scibench/stats.hpp"
+
+namespace eod::scibench {
+
+double t_test_power(std::size_t n_per_group, double effect_size,
+                    double alpha) {
+  if (n_per_group < 2) return 0.0;
+  if (effect_size <= 0.0) return alpha;
+  // Noncentrality parameter for two independent groups of size n.
+  const double n = static_cast<double>(n_per_group);
+  const double ncp = effect_size * std::sqrt(n / 2.0);
+  const double z_crit = normal_quantile(1.0 - alpha / 2.0);
+  // Normal approximation: reject if |T| > z_crit, T ~ N(ncp, 1).
+  return (1.0 - normal_cdf(z_crit - ncp)) + normal_cdf(-z_crit - ncp);
+}
+
+std::size_t required_sample_size(double effect_size, double power,
+                                 double alpha) {
+  if (effect_size <= 0.0) {
+    throw std::domain_error("required_sample_size needs effect_size > 0");
+  }
+  if (!(power > alpha && power < 1.0)) {
+    throw std::domain_error("required_sample_size needs alpha < power < 1");
+  }
+  // Closed-form seed from the normal approximation, then walk to the exact
+  // (approximated-power) boundary.
+  const double za = normal_quantile(1.0 - alpha / 2.0);
+  const double zb = normal_quantile(power);
+  const double seed = 2.0 * (za + zb) * (za + zb) / (effect_size * effect_size);
+  auto n = static_cast<std::size_t>(std::ceil(seed));
+  if (n < 2) n = 2;
+  while (t_test_power(n, effect_size, alpha) < power) ++n;
+  while (n > 2 && t_test_power(n - 1, effect_size, alpha) >= power) --n;
+  return n;
+}
+
+}  // namespace eod::scibench

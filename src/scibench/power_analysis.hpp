@@ -1,0 +1,26 @@
+// t-test power analysis used to justify the paper's sample size.
+//
+// §4.3: "A sample size of 50 per group ... was used to ensure that
+// sufficient statistical power β = 0.8 would be available to detect a
+// significant difference in means on the scale of half standard deviation
+// of separation. This sample size was computed using the t-test power
+// calculation over a normal distribution."
+#pragma once
+
+#include <cstddef>
+
+namespace eod::scibench {
+
+/// Statistical power of a two-sample, two-sided t-test with `n` samples per
+/// group for standardized effect size `d` (Cohen's d) at level `alpha`,
+/// using the normal approximation to the noncentral t distribution.
+[[nodiscard]] double t_test_power(std::size_t n_per_group, double effect_size,
+                                  double alpha = 0.05);
+
+/// Smallest per-group sample size achieving at least `power` for the given
+/// effect size and alpha.
+[[nodiscard]] std::size_t required_sample_size(double effect_size,
+                                               double power = 0.8,
+                                               double alpha = 0.05);
+
+}  // namespace eod::scibench

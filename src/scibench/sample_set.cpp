@@ -1,0 +1,58 @@
+#include "scibench/sample_set.hpp"
+
+namespace eod::scibench {
+
+const char* segment_name(Segment s) noexcept {
+  switch (s) {
+    case Segment::kHostSetup:
+      return "host_setup";
+    case Segment::kMemoryTransfer:
+      return "memory_transfer";
+    case Segment::kKernel:
+      return "kernel";
+  }
+  return "unknown";
+}
+
+void SampleSet::add(Segment segment, double value) {
+  add(segment_name(segment), value);
+}
+
+void SampleSet::add(const std::string& name, double value) {
+  series_[name].push_back(value);
+}
+
+std::span<const double> SampleSet::samples(const std::string& name) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second;
+}
+
+std::span<const double> SampleSet::samples(Segment segment) const {
+  return samples(std::string(segment_name(segment)));
+}
+
+Summary SampleSet::summary(const std::string& name) const {
+  return summarize(samples(name));
+}
+
+Summary SampleSet::summary(Segment segment) const {
+  return summarize(samples(segment));
+}
+
+std::vector<std::string> SampleSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [k, _] : series_) out.push_back(k);
+  return out;
+}
+
+std::size_t SampleSet::total_samples() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [_, v] : series_) n += v.size();
+  return n;
+}
+
+void SampleSet::clear() { series_.clear(); }
+
+}  // namespace eod::scibench

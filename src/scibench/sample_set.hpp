@@ -1,0 +1,38 @@
+// Named sample collections for the three timing segments the paper records
+// per benchmark: kernel execution, host setup, and memory transfers.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scibench/stats.hpp"
+
+namespace eod::scibench {
+
+/// The application-time components instrumented in §2 of the paper.
+enum class Segment { kHostSetup, kMemoryTransfer, kKernel };
+
+[[nodiscard]] const char* segment_name(Segment s) noexcept;
+
+/// Accumulates timing (or energy) samples keyed by segment name.
+class SampleSet {
+ public:
+  void add(Segment segment, double value);
+  void add(const std::string& name, double value);
+
+  [[nodiscard]] std::span<const double> samples(const std::string& name) const;
+  [[nodiscard]] std::span<const double> samples(Segment segment) const;
+  [[nodiscard]] Summary summary(const std::string& name) const;
+  [[nodiscard]] Summary summary(Segment segment) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t total_samples() const noexcept;
+  void clear();
+
+ private:
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace eod::scibench

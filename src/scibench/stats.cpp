@@ -1,0 +1,234 @@
+#include "scibench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace eod::scibench {
+
+namespace {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// Lanczos log-gamma; accurate to ~1e-13 for positive arguments.
+double log_gamma(double x) {
+  static constexpr double kCoeff[] = {
+      676.5203681218851,     -1259.1392167224028,  771.32342877765313,
+      -176.61502916214059,   12.507343278686905,   -0.13857109526572012,
+      9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = 0.99999999999980993;
+  const double t = x + 7.5;
+  for (int i = 0; i < 8; ++i) a += kCoeff[i] / (x + i + 1);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+// Continued fraction for the incomplete beta function (Numerical Recipes
+// "betacf" style, with Lentz's algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted_quantile(sorted, 0.5);
+  s.q1 = sorted_quantile(sorted, 0.25);
+  s.q3 = sorted_quantile(sorted, 0.75);
+
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double x : sorted) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.n - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, std::clamp(q, 0.0, 1.0));
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("normal_quantile requires p in (0,1)");
+  }
+  // Acklam's rational approximation, refined by one Halley step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement against the true CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::domain_error("student_t_cdf requires df > 0");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  TTestResult r;
+  if (sa.n < 2 || sb.n < 2) return r;
+  const double va = sa.variance / static_cast<double>(sa.n);
+  const double vb = sb.variance / static_cast<double>(sb.n);
+  const double se = std::sqrt(va + vb);
+  if (se == 0.0) {
+    r.t = (sa.mean == sb.mean) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.df = static_cast<double>(sa.n + sb.n - 2);
+    r.p_value = (sa.mean == sb.mean) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / se;
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / static_cast<double>(sa.n - 1) +
+                     vb * vb / static_cast<double>(sb.n - 1);
+  r.df = num / den;
+  r.p_value = 2.0 * (1.0 - student_t_cdf(std::fabs(r.t), r.df));
+  return r;
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> xs,
+                                            double alpha) {
+  const Summary s = summarize(xs);
+  if (s.n < 2) return {s.mean, s.mean};
+  // Invert the t CDF by bisection on [0, 1e3]; monotone and fast enough.
+  const double target = 1.0 - alpha / 2.0;
+  const double df = static_cast<double>(s.n - 1);
+  double lo = 0.0;
+  double hi = 1000.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (student_t_cdf(mid, df) < target ? lo : hi) = mid;
+  }
+  const double tcrit = 0.5 * (lo + hi);
+  const double half = tcrit * s.stddev / std::sqrt(static_cast<double>(s.n));
+  return {s.mean - half, s.mean + half};
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs, double alpha,
+                                     int resamples, std::uint64_t seed) {
+  if (xs.empty()) return {0.0, 0.0};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, xs.size() - 1);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) sum += xs[pick(rng)];
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  return {quantile(means, alpha / 2.0), quantile(means, 1.0 - alpha / 2.0)};
+}
+
+}  // namespace eod::scibench

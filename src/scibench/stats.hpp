@@ -1,0 +1,77 @@
+// Summary statistics and distribution functions for benchmark samples.
+//
+// The paper reports mean kernel execution times over 50-run distributions
+// and discusses the coefficient of variation across devices; LibSciBench's
+// statistical post-processing is reproduced here (summaries, quantiles,
+// confidence intervals, Welch's t-test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eod::scibench {
+
+/// Descriptive summary of a sample vector.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;   // sample (n-1) standard deviation
+  double variance = 0.0; // sample variance
+  double min = 0.0;
+  double max = 0.0;
+  double q1 = 0.0;  // 25th percentile
+  double q3 = 0.0;  // 75th percentile
+  /// Coefficient of variation, stddev/mean (0 when mean == 0).
+  [[nodiscard]] double cov() const noexcept {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile (R type-7), q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+/// Standard normal quantile (inverse CDF), p in (0,1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b).
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Result of a two-sample Welch t-test.
+struct TTestResult {
+  double t = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;  // two-sided
+  [[nodiscard]] bool significant(double alpha = 0.05) const noexcept {
+    return p_value < alpha;
+  }
+};
+
+/// Welch's unequal-variance t-test for a difference in means.
+[[nodiscard]] TTestResult welch_t_test(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Two-sided (1-alpha) confidence interval for the mean using Student's t.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    std::span<const double> xs, double alpha = 0.05);
+
+/// Percentile-bootstrap CI for the mean with a deterministic RNG seed.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                                   double alpha = 0.05,
+                                                   int resamples = 2000,
+                                                   std::uint64_t seed = 42);
+
+}  // namespace eod::scibench

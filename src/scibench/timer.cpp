@@ -1,0 +1,17 @@
+#include "scibench/timer.hpp"
+
+namespace eod::scibench {
+
+double measure_timer_overhead_ns(int iterations) {
+  if (iterations <= 0) return 0.0;
+  // Warm the clock path so the first few vDSO calls don't skew the mean.
+  for (int i = 0; i < 64; ++i) (void)now_ns();
+  const std::uint64_t begin = now_ns();
+  std::uint64_t sink = 0;
+  for (int i = 0; i < iterations; ++i) sink ^= now_ns();
+  const std::uint64_t end = now_ns();
+  asm volatile("" : : "r"(sink));  // keep the loop from being elided
+  return static_cast<double>(end - begin) / iterations;
+}
+
+}  // namespace eod::scibench

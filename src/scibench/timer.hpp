@@ -1,0 +1,62 @@
+// High-resolution timing for short-running kernel codes.
+//
+// LibSciBench (Hoefler & Belli, SC'15) offers a one-cycle-resolution timer
+// with ~6 ns overhead; this is the equivalent substrate used throughout the
+// suite.  Timestamps are taken from std::chrono::steady_clock (which on
+// Linux maps to clock_gettime(CLOCK_MONOTONIC), vDSO, tens of ns) plus a
+// TSC-based cycle counter where available.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace eod::scibench {
+
+/// Nanosecond timestamp from a monotonic clock.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  const auto tp = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp).count());
+}
+
+/// Raw cycle counter (TSC on x86-64; falls back to the ns clock elsewhere).
+[[nodiscard]] inline std::uint64_t now_cycles() noexcept {
+#if defined(__x86_64__)
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return now_ns();
+#endif
+}
+
+/// Scoped stopwatch accumulating elapsed nanoseconds.
+class Timer {
+ public:
+  void start() noexcept { start_ns_ = now_ns(); }
+
+  /// Stops and returns the elapsed time of this lap in nanoseconds.
+  std::uint64_t stop() noexcept {
+    const std::uint64_t lap = now_ns() - start_ns_;
+    total_ns_ += lap;
+    ++laps_;
+    return lap;
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept { return total_ns_; }
+  [[nodiscard]] std::uint64_t laps() const noexcept { return laps_; }
+  void reset() noexcept { *this = Timer{}; }
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t laps_ = 0;
+};
+
+/// Measures the intrinsic overhead of taking one timestamp pair, in ns.
+/// LibSciBench reports roughly 6 ns; this lets callers subtract the
+/// equivalent constant for the host clock actually in use.
+[[nodiscard]] double measure_timer_overhead_ns(int iterations = 10000);
+
+}  // namespace eod::scibench

@@ -1,0 +1,119 @@
+#include "sim/cache_sim.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace eod::sim {
+
+namespace {
+constexpr bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(std::size_t size_bytes, unsigned line_bytes,
+                       unsigned associativity)
+    : line_bytes_(line_bytes), assoc_(associativity) {
+  if (line_bytes == 0 || !is_pow2(line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (associativity == 0) {
+    throw std::invalid_argument("associativity must be positive");
+  }
+  const std::size_t lines = size_bytes / line_bytes;
+  if (lines == 0 || lines % assoc_ != 0) {
+    throw std::invalid_argument("cache size/line/assoc mismatch");
+  }
+  sets_ = lines / assoc_;
+  ways_.resize(lines);
+}
+
+bool CacheLevel::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line = address / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  Way* base = &ways_[set * assoc_];
+
+  Way* victim = base;
+  for (unsigned w = 0; w < assoc_; ++w) {
+    if (base[w].tag == line) {
+      base[w].lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->tag = line;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(const DeviceSpec& spec, unsigned tlb_entries,
+                               unsigned page_bytes)
+    : l1_(spec.l1.size_bytes, spec.l1.line_bytes, spec.l1.associativity),
+      l2_(spec.l2.size_bytes, spec.l2.line_bytes, spec.l2.associativity),
+      // Data TLBs are (near-)fully associative; set-indexing one would
+      // alias page-aligned array strides into false conflicts.
+      tlb_(static_cast<std::size_t>(tlb_entries) * page_bytes, page_bytes,
+           tlb_entries),
+      page_bytes_(page_bytes) {
+  if (spec.l3.size_bytes != 0) {
+    l3_.emplace(spec.l3.size_bytes, spec.l3.line_bytes,
+                spec.l3.associativity);
+  }
+}
+
+void CacheHierarchy::access(std::uint64_t address, std::uint32_t bytes,
+                            bool is_write) {
+  (void)is_write;  // write-allocate: the miss path is identical to reads
+  const unsigned line = l1_.line_bytes();
+  std::uint64_t first = address / line;
+  const std::uint64_t last = (address + (bytes == 0 ? 0 : bytes - 1)) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    const std::uint64_t a = l * line;
+    ++counters_.total_accesses;
+    if (!tlb_.access(a / page_bytes_ * page_bytes_)) ++counters_.tlb_dm;
+    if (l1_.access(a)) continue;
+    ++counters_.l1_dcm;
+    if (l2_.access(a)) continue;
+    ++counters_.l2_dcm;
+    if (l3_.has_value()) {
+      if (l3_->access(a)) continue;
+      ++counters_.l3_tcm;
+    } else {
+      ++counters_.l3_tcm;  // no L3: every L2 miss goes to DRAM
+    }
+  }
+}
+
+void CacheHierarchy::replay(const MemoryTrace& trace) {
+  for (const MemAccess& a : trace) access(a.address, a.bytes, a.is_write);
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset_counters();
+  l2_.reset_counters();
+  if (l3_) l3_->reset_counters();
+  tlb_.reset_counters();
+  counters_ = {};
+}
+
+double CacheHierarchy::l1_miss_rate() const noexcept {
+  return counters_.total_accesses == 0
+             ? 0.0
+             : static_cast<double>(counters_.l1_dcm) /
+                   counters_.total_accesses;
+}
+double CacheHierarchy::l2_miss_rate() const noexcept {
+  return counters_.total_accesses == 0
+             ? 0.0
+             : static_cast<double>(counters_.l2_dcm) /
+                   counters_.total_accesses;
+}
+double CacheHierarchy::l3_miss_rate() const noexcept {
+  return counters_.total_accesses == 0
+             ? 0.0
+             : static_cast<double>(counters_.l3_tcm) /
+                   counters_.total_accesses;
+}
+
+}  // namespace eod::sim

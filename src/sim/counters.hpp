@@ -1,0 +1,66 @@
+// PAPI-style named hardware event counters.
+//
+// §4.3 lists the events collected per timing segment: total instructions and
+// IPC, L1/L2 data cache misses, L3 total cache events (request rate, miss
+// rate, miss ratio), data TLB miss rate, and branch instructions /
+// mispredictions.  CounterSet is the container those land in, and
+// derive_papi_counters() fills one from a kernel's workload profile plus a
+// cache hierarchy replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/cache_sim.hpp"
+#include "xcl/modeling.hpp"
+
+namespace eod::sim {
+
+/// The PAPI preset events the paper records.
+enum class PapiEvent : std::uint8_t {
+  kTotIns,   // PAPI_TOT_INS
+  kTotCyc,   // PAPI_TOT_CYC
+  kL1Dcm,    // PAPI_L1_DCM
+  kL2Dcm,    // PAPI_L2_DCM
+  kL3Tcm,    // PAPI_L3_TCM
+  kL3Tca,    // PAPI_L3_TCA (total cache accesses = requests)
+  kTlbDm,    // PAPI_TLB_DM
+  kBrIns,    // PAPI_BR_INS
+  kBrMsp,    // PAPI_BR_MSP
+};
+
+[[nodiscard]] const char* papi_name(PapiEvent e) noexcept;
+
+class CounterSet {
+ public:
+  void set(PapiEvent e, std::uint64_t v) { values_[e] = v; }
+  void add(PapiEvent e, std::uint64_t v) { values_[e] += v; }
+  [[nodiscard]] std::uint64_t get(PapiEvent e) const {
+    const auto it = values_.find(e);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// Instructions per cycle (0 when cycles are unknown).
+  [[nodiscard]] double ipc() const;
+  /// L3 metrics exactly as the paper defines them (§4.3): request rate =
+  /// requests/instructions, miss rate = misses/instructions, miss ratio =
+  /// misses/requests.
+  [[nodiscard]] double l3_request_rate() const;
+  [[nodiscard]] double l3_miss_rate() const;
+  [[nodiscard]] double l3_miss_ratio() const;
+  [[nodiscard]] double tlb_miss_rate() const;
+  [[nodiscard]] double branch_misprediction_rate() const;
+
+ private:
+  std::map<PapiEvent, std::uint64_t> values_;
+};
+
+/// Builds the counter set for one kernel launch: instruction counts from the
+/// workload profile, cache events from a hierarchy replay (when a trace was
+/// provided) and a branch-predictor model from the divergence estimate.
+[[nodiscard]] CounterSet derive_papi_counters(
+    const xcl::WorkloadProfile& profile, const HierarchyCounters& cache,
+    double clock_ghz, double seconds, unsigned simd_width = 1);
+
+}  // namespace eod::sim

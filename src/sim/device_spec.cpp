@@ -1,0 +1,417 @@
+#include "sim/device_spec.hpp"
+
+#include <stdexcept>
+
+namespace eod::sim {
+
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * kKiB;
+constexpr std::size_t kGiB = 1024 * kMiB;
+
+// Common hierarchy shapes.  Per-level bandwidths are expressed relative to
+// DRAM bandwidth with the usual ratios (CPU L1 ~16x DRAM, L2 ~8x, L3 ~4x;
+// GPU L1/LDS ~8x, L2 ~3x).
+
+void finish_cpu(DeviceSpec& d) {
+  d.l1 = {d.l1_kib * kKiB, 64, 8, 1.2, d.mem_bandwidth_gbs * 16};
+  d.l2 = {d.l2_kib * kKiB, 64, 8, 3.8, d.mem_bandwidth_gbs * 8};
+  d.l3 = {d.l3_kib * kKiB, 64, 16, 12.0, d.mem_bandwidth_gbs * 4};
+  d.dram_latency_ns = 85.0;
+  d.transfer_bandwidth_gbs = 10.0;  // host<->"device" is a memcpy
+  d.transfer_latency_us = 1.0;
+  d.launch_overhead_us = 3.0;       // Intel CPU runtime enqueues are cheap
+  d.simd_width = 8;                 // AVX/AVX2 float lanes
+  d.int_ratio = 1.0;                // CPUs are as fast on ints as floats
+  d.concurrency = 10.0 * d.core_count / 2;  // ~10 MSHRs per physical core
+  d.opencl_efficiency = 0.80;
+  d.idle_power_w = 0.12 * d.tdp_w;
+  // Superscalar OoO core: ~4 ops/cycle serial throughput at turbo clock.
+  d.scalar_gops = 4.0e-3 * d.nominal_clock_mhz();
+}
+
+void finish_nvidia(DeviceSpec& d, double l2_total_mib) {
+  d.l1 = {d.l1_kib * kKiB, 128, 4, 28.0, d.mem_bandwidth_gbs * 8};
+  d.l2 = {static_cast<std::size_t>(l2_total_mib * 1024) * kKiB, 128, 16, 120.0,
+          d.mem_bandwidth_gbs * 3};
+  d.l3 = {};
+  d.dram_latency_ns = 280.0;
+  d.transfer_bandwidth_gbs = 12.0;  // PCIe 3.0 x16
+  d.transfer_latency_us = 12.0;
+  d.launch_overhead_us = 6.0;
+  d.simd_width = 32;  // warp
+  d.int_ratio = 0.33;
+  d.concurrency = 40.0 * d.core_count / 128;  // deep latency hiding
+  d.opencl_efficiency = 0.80;
+  d.idle_power_w = 0.06 * d.tdp_w;
+  // One in-order lane at ~1 op/cycle: serial chains are slow on GPUs.
+  d.scalar_gops = 1.0e-3 * d.nominal_clock_mhz();
+}
+
+void finish_amd(DeviceSpec& d) {
+  d.l1 = {d.l1_kib * kKiB, 64, 4, 35.0, d.mem_bandwidth_gbs * 8};
+  d.l2 = {d.l2_kib * kKiB, 64, 16, 150.0, d.mem_bandwidth_gbs * 3};
+  d.l3 = {};
+  d.dram_latency_ns = 300.0;
+  d.transfer_bandwidth_gbs = 11.0;
+  d.transfer_latency_us = 15.0;
+  // The amdappsdk 3.0 enqueue path is heavier than the Nvidia driver's
+  // and degrades as the unflushed batch grows; this is what stretches
+  // launch-stream codes like nw as the problem size rises (§5.1).
+  d.launch_overhead_us = 8.0;
+  d.launch_depth_factor = 0.008;
+  d.simd_width = 64;  // wavefront
+  d.int_ratio = 0.33;
+  d.concurrency = 40.0 * d.core_count / 128;
+  d.opencl_efficiency = 0.75;
+  d.idle_power_w = 0.06 * d.tdp_w;
+  d.scalar_gops = 1.0e-3 * d.nominal_clock_mhz();
+}
+
+std::vector<DeviceSpec> build_testbed() {
+  std::vector<DeviceSpec> v;
+
+  // ---------------------------- Intel CPUs ----------------------------
+  {
+    DeviceSpec d;
+    d.name = "Xeon E5-2697 v2";
+    d.vendor = "Intel";
+    d.series = "Ivy Bridge";
+    d.klass = AcceleratorClass::kCpu;
+    d.core_count = 24;  // hyper-threaded cores (12 physical)
+    d.clock_min_mhz = 1200;
+    d.clock_max_mhz = 2700;
+    d.clock_turbo_mhz = 3500;
+    d.l1_kib = 32;
+    d.l2_kib = 256;
+    d.l3_kib = 30720;
+    d.tdp_w = 130;
+    d.launch_date = "Q3 2013";
+    // 12 cores x 2.7 GHz x 16 SP FLOP/cycle (AVX mul+add).
+    d.peak_sp_gflops = 518.0;
+    d.mem_bandwidth_gbs = 59.7;  // 4-channel DDR3-1866
+    d.global_mem_bytes = 64 * kGiB;
+    finish_cpu(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "i7-6700K";
+    d.vendor = "Intel";
+    d.series = "Skylake";
+    d.klass = AcceleratorClass::kCpu;
+    d.core_count = 8;  // hyper-threaded cores (4 physical)
+    d.clock_min_mhz = 800;
+    d.clock_max_mhz = 4000;
+    d.clock_turbo_mhz = 4300;
+    d.l1_kib = 32;
+    d.l2_kib = 256;
+    d.l3_kib = 8192;
+    d.tdp_w = 91;
+    d.launch_date = "Q3 2015";
+    // 4 cores x 4.0 GHz x 32 SP FLOP/cycle (2x 8-wide FMA).
+    d.peak_sp_gflops = 512.0;
+    d.mem_bandwidth_gbs = 34.1;  // 2-channel DDR4-2133
+    d.global_mem_bytes = 32 * kGiB;
+    finish_cpu(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "i5-3550";
+    d.vendor = "Intel";
+    d.series = "Ivy Bridge";
+    d.klass = AcceleratorClass::kCpu;
+    d.core_count = 4;
+    d.clock_min_mhz = 1600;
+    d.clock_max_mhz = 3380;
+    d.clock_turbo_mhz = 3700;
+    d.l1_kib = 32;
+    d.l2_kib = 256;
+    d.l3_kib = 6144;  // the small L3 behind the medium-size cliff in Fig. 2
+    d.tdp_w = 77;
+    d.launch_date = "Q2 2012";
+    // 4 cores x 3.38 GHz x 16 SP FLOP/cycle (AVX mul+add).
+    d.peak_sp_gflops = 216.0;
+    d.mem_bandwidth_gbs = 25.6;  // 2-channel DDR3-1600
+    d.global_mem_bytes = 16 * kGiB;
+    finish_cpu(d);
+    v.push_back(d);
+  }
+
+  // --------------------------- Nvidia GPUs ----------------------------
+  {
+    DeviceSpec d;
+    d.name = "Titan X";
+    d.vendor = "Nvidia";
+    d.series = "Pascal";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 3584;
+    d.clock_min_mhz = 1417;
+    d.clock_max_mhz = 1531;
+    d.l1_kib = 48;
+    d.l2_kib = 2048;
+    d.tdp_w = 250;
+    d.launch_date = "Q3 2016";
+    d.peak_sp_gflops = 10974.0;
+    d.mem_bandwidth_gbs = 480.0;  // GDDR5X 384-bit
+    d.global_mem_bytes = 12 * kGiB;
+    finish_nvidia(d, 3.0);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "GTX 1080";
+    d.vendor = "Nvidia";
+    d.series = "Pascal";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 2560;
+    d.clock_min_mhz = 1607;
+    d.clock_max_mhz = 1733;
+    d.l1_kib = 48;
+    d.l2_kib = 2048;
+    d.tdp_w = 180;
+    d.launch_date = "Q2 2016";
+    d.peak_sp_gflops = 8873.0;
+    d.mem_bandwidth_gbs = 320.0;  // GDDR5X 256-bit
+    d.global_mem_bytes = 8 * kGiB;
+    finish_nvidia(d, 2.0);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "GTX 1080 Ti";
+    d.vendor = "Nvidia";
+    d.series = "Pascal";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 3584;
+    d.clock_min_mhz = 1480;
+    d.clock_max_mhz = 1582;
+    d.l1_kib = 48;
+    d.l2_kib = 2048;
+    d.tdp_w = 250;
+    d.launch_date = "Q1 2017";
+    d.peak_sp_gflops = 11340.0;
+    d.mem_bandwidth_gbs = 484.0;  // GDDR5X 352-bit
+    d.global_mem_bytes = 11 * kGiB;
+    finish_nvidia(d, 2.75);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "K20m";
+    d.vendor = "Nvidia";
+    d.series = "Kepler";
+    d.klass = AcceleratorClass::kHpcGpu;
+    d.core_count = 2496;
+    d.clock_min_mhz = 706;
+    d.l1_kib = 64;
+    d.l2_kib = 1536;
+    d.tdp_w = 225;
+    d.launch_date = "Q4 2012";
+    d.peak_sp_gflops = 3524.0;
+    d.mem_bandwidth_gbs = 208.0;  // GDDR5 320-bit
+    d.global_mem_bytes = 5 * kGiB;
+    finish_nvidia(d, 1.5);
+    // Kepler's shared L1 and weaker scheduler hide less latency than Pascal.
+    d.concurrency *= 0.6;
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "K40m";
+    d.vendor = "Nvidia";
+    d.series = "Kepler";
+    d.klass = AcceleratorClass::kHpcGpu;
+    d.core_count = 2880;
+    d.clock_min_mhz = 745;
+    d.clock_max_mhz = 875;
+    d.l1_kib = 64;
+    d.l2_kib = 1536;
+    d.tdp_w = 235;
+    d.launch_date = "Q4 2013";
+    d.peak_sp_gflops = 4291.0;
+    d.mem_bandwidth_gbs = 288.0;  // GDDR5 384-bit
+    d.global_mem_bytes = 12 * kGiB;
+    finish_nvidia(d, 1.5);
+    d.concurrency *= 0.6;
+    v.push_back(d);
+  }
+
+  // ----------------------------- AMD GPUs -----------------------------
+  {
+    DeviceSpec d;
+    d.name = "FirePro S9150";
+    d.vendor = "AMD";
+    d.series = "Hawaii";
+    d.klass = AcceleratorClass::kHpcGpu;
+    d.core_count = 2816;
+    d.clock_min_mhz = 900;
+    d.l1_kib = 16;
+    d.l2_kib = 1024;
+    d.tdp_w = 235;
+    d.launch_date = "Q3 2014";
+    d.peak_sp_gflops = 5070.0;
+    d.mem_bandwidth_gbs = 320.0;  // GDDR5 512-bit
+    d.global_mem_bytes = 16 * kGiB;
+    finish_amd(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "HD 7970";
+    d.vendor = "AMD";
+    d.series = "Tahiti";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 2048;
+    d.clock_min_mhz = 925;
+    d.clock_max_mhz = 1010;
+    d.l1_kib = 16;
+    d.l2_kib = 768;
+    d.tdp_w = 250;
+    d.launch_date = "Q4 2011";
+    d.peak_sp_gflops = 3789.0;
+    d.mem_bandwidth_gbs = 264.0;  // GDDR5 384-bit
+    d.global_mem_bytes = 3 * kGiB;
+    finish_amd(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "R9 290X";
+    d.vendor = "AMD";
+    d.series = "Hawaii";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 2816;
+    d.clock_min_mhz = 1000;
+    d.l1_kib = 16;
+    d.l2_kib = 1024;
+    d.tdp_w = 250;
+    d.launch_date = "Q3 2014";
+    d.peak_sp_gflops = 5632.0;
+    d.mem_bandwidth_gbs = 320.0;
+    d.global_mem_bytes = 4 * kGiB;
+    finish_amd(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "R9 295x2";
+    d.vendor = "AMD";
+    d.series = "Hawaii";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 5632;  // Table 1 counts both Hawaii dies
+    d.clock_min_mhz = 1018;
+    d.l1_kib = 16;
+    d.l2_kib = 1024;
+    d.tdp_w = 500;
+    d.launch_date = "Q2 2014";
+    // OpenCL enumerates each die as its own device; a single-device kernel
+    // launch (which is what the suite runs) uses one Hawaii die.
+    d.peak_sp_gflops = 5733.0;
+    d.mem_bandwidth_gbs = 320.0;
+    d.global_mem_bytes = 4 * kGiB;
+    finish_amd(d);
+    d.idle_power_w = 0.06 * 500;  // both dies idle while one computes
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "R9 Fury X";
+    d.vendor = "AMD";
+    d.series = "Fuji";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 4096;
+    d.clock_min_mhz = 1050;
+    d.l1_kib = 16;
+    d.l2_kib = 2048;
+    d.tdp_w = 273;
+    d.launch_date = "Q2 2015";
+    d.peak_sp_gflops = 8602.0;
+    d.mem_bandwidth_gbs = 512.0;  // HBM1
+    d.global_mem_bytes = 4 * kGiB;
+    finish_amd(d);
+    v.push_back(d);
+  }
+  {
+    DeviceSpec d;
+    d.name = "RX 480";
+    d.vendor = "AMD";
+    d.series = "Polaris";
+    d.klass = AcceleratorClass::kConsumerGpu;
+    d.core_count = 4096;  // as printed in Table 1
+    d.clock_min_mhz = 1120;
+    d.clock_max_mhz = 1266;
+    d.l1_kib = 16;
+    d.l2_kib = 2048;
+    d.tdp_w = 150;
+    d.launch_date = "Q2 2016";
+    d.peak_sp_gflops = 5834.0;  // 2304 SPs x 1.266 GHz x 2 (datasheet)
+    d.mem_bandwidth_gbs = 256.0;  // GDDR5 256-bit
+    d.global_mem_bytes = 8 * kGiB;
+    finish_amd(d);
+    // Polaris command processor is a generation newer than Hawaii's.
+    d.launch_overhead_us = 6.0;
+    d.launch_depth_factor = 0.006;
+    v.push_back(d);
+  }
+
+  // ------------------------------- MIC --------------------------------
+  {
+    DeviceSpec d;
+    d.name = "Xeon Phi 7210";
+    d.vendor = "Intel";
+    d.series = "KNL";
+    d.klass = AcceleratorClass::kMic;
+    d.core_count = 256;  // 64 physical cores x 4 hardware threads
+    d.clock_min_mhz = 1300;
+    d.clock_max_mhz = 1500;
+    d.l1_kib = 32;
+    d.l2_kib = 1024;
+    d.tdp_w = 215;
+    d.launch_date = "Q2 2016";
+    // Intel's OpenCL SDK emits only 256-bit AVX2 (no -xMIC-AVX512), so
+    // floating-point peak is half the silicon's: 64 x 1.3 GHz x 32.
+    d.peak_sp_gflops = 2662.0;
+    // The SDK allocates from DDR4, not MCDRAM.
+    d.mem_bandwidth_gbs = 80.0;
+    d.global_mem_bytes = 96 * kGiB;
+    d.l1 = {32 * kKiB, 64, 8, 2.5, d.mem_bandwidth_gbs * 12};
+    d.l2 = {1024 * kKiB, 64, 16, 14.0, d.mem_bandwidth_gbs * 5};
+    d.l3 = {};
+    d.dram_latency_ns = 150.0;
+    d.transfer_bandwidth_gbs = 8.0;  // self-hosted: memcpy
+    d.transfer_latency_us = 2.0;
+    d.launch_overhead_us = 150.0;  // deprecated, high-latency runtime path
+    d.simd_width = 8;              // AVX2 lanes, not the native 16
+    d.int_ratio = 0.15;  // the SDK emits scalar integer code on KNL
+    d.concurrency = 120.0;
+    d.opencl_efficiency = 0.35;   // deprecated driver on untested silicon
+    d.idle_power_w = 0.35 * d.tdp_w;  // many always-on tiles and fabric
+    // Silvermont-derived in-order core at 1.3-1.5 GHz running unscheduled
+    // scalar code from the deprecated SDK: very weak serially.
+    d.scalar_gops = 0.5e-3 * d.nominal_clock_mhz();
+    v.push_back(d);
+  }
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<DeviceSpec>& testbed() {
+  static const std::vector<DeviceSpec> specs = build_testbed();
+  return specs;
+}
+
+const DeviceSpec& spec_by_name(const std::string& name) {
+  for (const DeviceSpec& d : testbed()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown testbed device: " + name);
+}
+
+const DeviceSpec& skylake() { return spec_by_name("i7-6700K"); }
+
+}  // namespace eod::sim

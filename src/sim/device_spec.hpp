@@ -1,0 +1,125 @@
+// The simulated testbed: all 15 devices of the paper's Table 1, each with
+// the published characteristics plus the derived performance parameters
+// (peak FLOPS, memory bandwidth, launch overhead, ...) that drive the
+// timing model.  Derived values are taken from vendor datasheets for the
+// same parts; see the table in device_spec.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "xcl/types.hpp"
+
+namespace eod::sim {
+
+/// The four accelerator classes the paper's figures colour by.
+enum class AcceleratorClass : std::uint8_t {
+  kCpu,          // red
+  kConsumerGpu,  // green
+  kHpcGpu,       // blue
+  kMic,          // purple
+};
+
+[[nodiscard]] constexpr const char* to_string(AcceleratorClass c) noexcept {
+  switch (c) {
+    case AcceleratorClass::kCpu:
+      return "CPU";
+    case AcceleratorClass::kConsumerGpu:
+      return "Consumer GPU";
+    case AcceleratorClass::kHpcGpu:
+      return "HPC GPU";
+    case AcceleratorClass::kMic:
+      return "MIC";
+  }
+  return "unknown";
+}
+
+/// One level of the modeled memory hierarchy.
+struct CacheLevelSpec {
+  std::size_t size_bytes = 0;  ///< 0 means the level is absent
+  unsigned line_bytes = 64;
+  unsigned associativity = 8;
+  double latency_ns = 1.0;
+  /// Sustainable bandwidth from this level, GB/s.
+  double bandwidth_gbs = 100.0;
+};
+
+struct DeviceSpec {
+  // ---- Table 1 columns ----
+  std::string name;
+  std::string vendor;
+  std::string series;
+  AcceleratorClass klass = AcceleratorClass::kCpu;
+  unsigned core_count = 1;     ///< HT cores / CUDA cores / stream processors
+  unsigned clock_min_mhz = 0;
+  unsigned clock_max_mhz = 0;   ///< 0 = not published
+  unsigned clock_turbo_mhz = 0; ///< 0 = not published
+  std::size_t l1_kib = 0;       ///< per-core data cache (= instruction cache)
+  std::size_t l2_kib = 0;
+  std::size_t l3_kib = 0;       ///< 0 = absent
+  unsigned tdp_w = 0;
+  std::string launch_date;
+
+  // ---- derived performance parameters (vendor datasheets) ----
+  double peak_sp_gflops = 0.0;
+  double mem_bandwidth_gbs = 0.0;
+  std::size_t global_mem_bytes = 0;
+  double idle_power_w = 10.0;
+  /// Fixed cost of one kernel launch through the OpenCL runtime, microseconds.
+  double launch_overhead_us = 5.0;
+  /// Per-launch overhead growth with unflushed queue depth (fraction of the
+  /// base overhead added per already-enqueued kernel).  Non-zero for the
+  /// amdappsdk command stream, whose enqueue path slows as the batch grows
+  /// -- the behaviour behind the AMD degradation on launch-streams like nw.
+  double launch_depth_factor = 0.0;
+  /// Host<->device path: memcpy for CPUs/MIC, PCIe 3.0 for discrete GPUs.
+  double transfer_bandwidth_gbs = 12.0;
+  double transfer_latency_us = 10.0;
+  unsigned simd_width = 1;     ///< native SIMD lane / warp / wavefront width
+  /// Driver maturity factor in (0,1]: fraction of peak the OpenCL stack can
+  /// reach (the paper notes Intel's KNL OpenCL lacks AVX-512, halving peak).
+  double opencl_efficiency = 0.85;
+  /// Integer/logic throughput relative to SP FLOP throughput.
+  double int_ratio = 0.5;
+  /// Memory-level parallelism: outstanding requests the device can overlap
+  /// (latency-hiding capability; large for GPUs).
+  double concurrency = 10.0;
+  /// Effective per-lane scalar speed for serial/dependent work, GHz-ops.
+  double scalar_gops = 1.0;
+
+  // ---- modeled memory hierarchy ----
+  CacheLevelSpec l1;
+  CacheLevelSpec l2;
+  CacheLevelSpec l3;          ///< size 0 when absent
+  double dram_latency_ns = 90.0;
+
+  [[nodiscard]] xcl::DeviceType device_type() const noexcept {
+    switch (klass) {
+      case AcceleratorClass::kCpu:
+        return xcl::DeviceType::kCpu;
+      case AcceleratorClass::kMic:
+        return xcl::DeviceType::kAccelerator;
+      default:
+        return xcl::DeviceType::kGpu;
+    }
+  }
+
+  /// Nominal compute clock used for peak calculations, MHz.
+  [[nodiscard]] unsigned nominal_clock_mhz() const noexcept {
+    if (clock_max_mhz != 0) return clock_max_mhz;
+    return clock_min_mhz;
+  }
+};
+
+/// All 15 devices, in the paper's Table 1 order.
+[[nodiscard]] const std::vector<DeviceSpec>& testbed();
+
+/// Look up a testbed device by its Table 1 name; throws if unknown.
+[[nodiscard]] const DeviceSpec& spec_by_name(const std::string& name);
+
+/// The Skylake i7-6700K, whose memory hierarchy anchors the problem-size
+/// methodology (§4.4).
+[[nodiscard]] const DeviceSpec& skylake();
+
+}  // namespace eod::sim

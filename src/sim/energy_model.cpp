@@ -1,0 +1,52 @@
+#include "sim/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eod::sim {
+
+EnergyMeter::EnergyMeter(EnergyInstrument instrument, std::uint64_t seed)
+    : instrument_(instrument), state_(seed ^ 0x9e3779b97f4a7c15ull) {
+  if (state_ == 0) state_ = 1;
+}
+
+double EnergyMeter::next_gaussian() {
+  // xorshift64* uniform pair -> Box-Muller.
+  auto uniform = [this] {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t x = state_ * 0x2545f4914f6cdd1dull;
+    return (static_cast<double>(x >> 11) + 0.5) / 9007199254740992.0;
+  };
+  const double u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+EnergySample EnergyMeter::measure(double watts, double seconds) {
+  EnergySample s;
+  double measured_watts = watts;
+  double joules = watts * seconds;
+  switch (instrument_) {
+    case EnergyInstrument::kRapl:
+      // Energy counter: integrates well; ~1.5% run-to-run spread from
+      // package activity outside the kernel, quantised to nJ.
+      joules *= 1.0 + 0.015 * next_gaussian();
+      joules = std::round(joules * 1e9) / 1e9;
+      measured_watts = seconds > 0.0 ? joules / seconds : watts;
+      break;
+    case EnergyInstrument::kNvml:
+      // Power polling: +/-5 W absolute accuracy on the card reading,
+      // quantised to mW, then integrated over the region.
+      measured_watts = watts + (5.0 / 3.0) * next_gaussian();
+      measured_watts = std::max(0.0, std::round(measured_watts * 1e3) / 1e3);
+      joules = measured_watts * seconds;
+      break;
+  }
+  s.joules = std::max(0.0, joules);
+  s.watts_mean = measured_watts;
+  return s;
+}
+
+}  // namespace eod::sim

@@ -1,0 +1,40 @@
+// RAPL / NVML measurement emulation.
+//
+// The paper measures kernel energy on the Skylake i7-6700K via the RAPL
+// PAPI module (rapl:::PP0_ENERGY:PACKAGE0, nJ resolution) and on the
+// GTX 1080 via NVML power readings (mW resolution, +/-5 W accuracy for the
+// whole card).  This module converts modeled power x time into "measured"
+// joules with each instrument's quantisation and noise characteristics.
+#pragma once
+
+#include <cstdint>
+
+namespace eod::sim {
+
+enum class EnergyInstrument : std::uint8_t {
+  kRapl,  ///< CPU package counter: nJ quantisation, small relative noise
+  kNvml,  ///< GPU power polling: mW readings, +/-5 W card-level accuracy
+};
+
+/// One simulated energy measurement of a kernel region.
+struct EnergySample {
+  double joules = 0.0;
+  double watts_mean = 0.0;
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(EnergyInstrument instrument, std::uint64_t seed);
+
+  /// Converts modeled (power, duration) into an instrument reading with the
+  /// appropriate noise: RAPL counters integrate accurately (~1% spread);
+  /// NVML polls power with +/-5 W absolute error on the reading.
+  [[nodiscard]] EnergySample measure(double watts, double seconds);
+
+ private:
+  EnergyInstrument instrument_;
+  std::uint64_t state_;
+  double next_gaussian();
+};
+
+}  // namespace eod::sim

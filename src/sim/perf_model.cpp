@@ -1,0 +1,266 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eod::sim {
+
+namespace {
+
+bool is_gpu(const DeviceSpec& s) {
+  return s.klass == AcceleratorClass::kConsumerGpu ||
+         s.klass == AcceleratorClass::kHpcGpu;
+}
+
+/// Work-items needed per lane before the device reaches full throughput
+/// (latency hiding on GPUs/MIC, HT pairing on CPUs).
+double oversubscription(const DeviceSpec& s) {
+  switch (s.klass) {
+    case AcceleratorClass::kCpu:
+      return 2.0;
+    case AcceleratorClass::kMic:
+      return 4.0;
+    default:
+      return 4.0;
+  }
+}
+
+}  // namespace
+
+double DevicePerfModel::effective_lanes() const {
+  // Peak FLOPS = lanes x 2 (FMA) x clock, so lanes falls out of Table 1's
+  // published peak and clock.
+  const double clock_hz = spec_.nominal_clock_mhz() * 1e6;
+  return std::max(1.0, spec_.peak_sp_gflops * 1e9 / (2.0 * clock_hz));
+}
+
+double DevicePerfModel::pattern_bandwidth_factor(xcl::AccessPattern p) const {
+  const bool gpu = is_gpu(spec_);
+  switch (p) {
+    case xcl::AccessPattern::kStreaming:
+      return 1.0;
+    case xcl::AccessPattern::kRowPerItem:
+      // Per-item sequential scans: a CPU thread streams its rows through
+      // the prefetcher; a GPU warp touches 32 different lines per step.
+      return gpu ? 0.30 : 0.85;
+    case xcl::AccessPattern::kStrided:
+      // Interleaved column walks: adjacent GPU lanes coalesce perfectly; a
+      // CPU thread brings in a whole line per element.
+      return gpu ? 0.90 : 0.25;
+    case xcl::AccessPattern::kStencil:
+      return gpu ? 0.85 : 0.90;  // high reuse, nearly streaming
+    case xcl::AccessPattern::kTiled:
+      return 0.95;               // staged through local memory / blocked
+    case xcl::AccessPattern::kGather:
+      return gpu ? 0.15 : 0.30;  // one line per element; caches help CPUs
+    case xcl::AccessPattern::kButterfly:
+      return gpu ? 0.65 : 0.75;  // power-of-two strides, bank conflicts
+  }
+  return 1.0;
+}
+
+DevicePerfModel::Breakdown DevicePerfModel::analyze(
+    const xcl::KernelLaunchStats& launch) const {
+  const xcl::WorkloadProfile& p = launch.profile;
+  const double items =
+      std::max<double>(1.0, static_cast<double>(launch.range.global_items()));
+  Breakdown b;
+  b.launch_s = spec_.launch_overhead_us * 1e-6 *
+               (1.0 + spec_.launch_depth_factor *
+                          static_cast<double>(launch.queue_depth));
+
+  // ---------------- compute term ----------------
+  const double int_ratio = std::max(0.05, spec_.int_ratio);
+  const double norm_ops = p.flops + p.int_ops / int_ratio;
+  const double lanes = effective_lanes();
+
+  // SIMD divergence: a divergent branch wastes (width-1)/width of the lanes
+  // it covers.
+  const double width = std::max(1u, spec_.simd_width);
+  const double div_factor =
+      1.0 - p.branch_divergence * (1.0 - 1.0 / width) * 0.9;
+
+  // Partial SIMD groups waste lanes: a work-group of 16 items occupies a
+  // whole 64-wide AMD wavefront.  This is the "platform-specific local
+  // work-group size" effect the paper calls out, and the knob the
+  // auto-tuner (§7 future work) turns.
+  const double group_items =
+      std::max<double>(1.0, static_cast<double>(launch.range.group_items()));
+  const double granule = std::ceil(group_items / width) * width;
+  const double wg_eff = group_items / granule;
+
+  const double rate_full = spec_.peak_sp_gflops * 1e9 *
+                           spec_.opencl_efficiency * div_factor * wg_eff;
+  const double occupancy =
+      std::min(1.0, items / (lanes * oversubscription(spec_)));
+  // Occupancy-throttled throughput, floored by plain scalar execution on
+  // however many hardware threads actually carry work.  On GPUs/MIC every
+  // SIMD lane is a thread at scalar speed (partial groups idle the rest of
+  // their wavefront, capping the resident count); on CPUs the scalar
+  // engines are the cores, whose superscalar rate already exceeds one
+  // lane's.
+  const double scalar_threads =
+      spec_.klass == AcceleratorClass::kCpu
+          ? static_cast<double>(spec_.core_count)
+          : lanes * wg_eff;
+  const double scalar_rate = std::min(items, scalar_threads) *
+                             spec_.scalar_gops * 1e9 * div_factor;
+  const double rate = std::max(rate_full * occupancy, scalar_rate);
+
+  const double par = std::clamp(p.parallel_fraction, 0.0, 1.0);
+  b.compute_s = norm_ops > 0.0 ? par * norm_ops / rate : 0.0;
+  b.serial_s = norm_ops > 0.0
+                   ? (1.0 - par) * norm_ops / (spec_.scalar_gops * 1e9)
+                   : 0.0;
+
+  // ---------------- memory term ----------------
+  const double bytes = p.total_bytes();
+  if (bytes > 0.0) {
+    // Residence: the smallest level that holds the working set.  GPUs'
+    // per-SM L1s are too small/transient to hold a kernel working set, so
+    // residence starts at L2 for them (matching the paper's remark that
+    // modern GPUs' greater L2 helps at large sizes).
+    const double ws = p.working_set_bytes;
+    const CacheLevelSpec* level = nullptr;
+    if (!is_gpu(spec_) && spec_.klass != AcceleratorClass::kMic &&
+        ws <= static_cast<double>(spec_.l1.size_bytes)) {
+      level = &spec_.l1;
+      b.residence_level = 1;
+    } else if (ws <= static_cast<double>(spec_.l2.size_bytes)) {
+      level = &spec_.l2;
+      b.residence_level = 2;
+    } else if (spec_.l3.size_bytes != 0 &&
+               ws <= static_cast<double>(spec_.l3.size_bytes)) {
+      level = &spec_.l3;
+      b.residence_level = 3;
+    } else {
+      b.residence_level = 4;
+    }
+
+    const double pat = pattern_bandwidth_factor(p.pattern);
+    // Bandwidth also needs parallelism: a half-empty device cannot saturate
+    // its memory system, though the floor is higher than for ALU work.
+    const double mem_occ = std::max(0.15, occupancy);
+    const double bw_gbs =
+        (level != nullptr ? level->bandwidth_gbs : spec_.mem_bandwidth_gbs) *
+        pat * mem_occ;
+    b.memory_s = bytes / (bw_gbs * 1e9);
+  }
+
+  // Latency chains: dependent accesses cannot be pipelined past the
+  // latency of the level holding the chain's own structure (a small lookup
+  // table pins in L1/LDS even when the streamed data does not), and only
+  // `concurrency` independent chains overlap.
+  if (p.dependent_accesses > 0.0) {
+    const double chain_ws = p.chain_working_set_bytes > 0.0
+                                ? p.chain_working_set_bytes
+                                : p.working_set_bytes;
+    double lat_ns = spec_.dram_latency_ns;
+    if (chain_ws <= static_cast<double>(spec_.l1.size_bytes)) {
+      lat_ns = spec_.l1.latency_ns;
+    } else if (chain_ws <= static_cast<double>(spec_.l2.size_bytes)) {
+      lat_ns = spec_.l2.latency_ns;
+    } else if (spec_.l3.size_bytes != 0 &&
+               chain_ws <= static_cast<double>(spec_.l3.size_bytes)) {
+      lat_ns = spec_.l3.latency_ns;
+    }
+    const double overlap = std::min(spec_.concurrency, std::max(1.0, items));
+    b.latency_s = p.dependent_accesses * lat_ns * 1e-9 / overlap;
+  }
+
+  // Roofline: compute and memory overlap; latency chains and the serial
+  // remainder do not.
+  b.total_s = b.launch_s + std::max(b.compute_s, b.memory_s) + b.latency_s +
+              b.serial_s;
+  return b;
+}
+
+double DevicePerfModel::kernel_seconds(
+    const xcl::KernelLaunchStats& launch) const {
+  return analyze(launch).total_s;
+}
+
+double DevicePerfModel::roofline_seconds(
+    const xcl::KernelLaunchStats& launch) const {
+  const xcl::WorkloadProfile& p = launch.profile;
+  const double compute_s =
+      (p.flops + p.int_ops / std::max(0.05, spec_.int_ratio)) /
+      (spec_.peak_sp_gflops * 1e9);
+  // Memory at the bandwidth of the level that holds the working set (the
+  // same residence rule analyze() uses), with no pattern/occupancy loss.
+  const double ws = p.working_set_bytes;
+  double bw_gbs = spec_.mem_bandwidth_gbs;
+  if (!is_gpu(spec_) && spec_.klass != AcceleratorClass::kMic &&
+      ws <= static_cast<double>(spec_.l1.size_bytes)) {
+    bw_gbs = spec_.l1.bandwidth_gbs;
+  } else if (ws <= static_cast<double>(spec_.l2.size_bytes)) {
+    bw_gbs = spec_.l2.bandwidth_gbs;
+  } else if (spec_.l3.size_bytes != 0 &&
+             ws <= static_cast<double>(spec_.l3.size_bytes)) {
+    bw_gbs = spec_.l3.bandwidth_gbs;
+  }
+  const double memory_s = p.total_bytes() / (bw_gbs * 1e9);
+  return std::max(compute_s, memory_s);
+}
+
+double DevicePerfModel::memory_seconds_from_counters(
+    const xcl::KernelLaunchStats& launch,
+    const HierarchyCounters& counters) const {
+  if (counters.total_accesses == 0) return 0.0;
+  const xcl::WorkloadProfile& p = launch.profile;
+  // Per-level traffic in bytes: requests hit L1; every miss moves a full
+  // cache line from the level below.
+  const double l1_bytes = p.total_bytes();
+  const double l2_bytes =
+      static_cast<double>(counters.l1_dcm) * spec_.l1.line_bytes;
+  const double l3_bytes =
+      static_cast<double>(counters.l2_dcm) * spec_.l2.line_bytes;
+  const double dram_bytes =
+      static_cast<double>(counters.l3_tcm) * spec_.l2.line_bytes;
+
+  const double pat = pattern_bandwidth_factor(p.pattern);
+  const double items =
+      std::max<double>(1.0, static_cast<double>(launch.range.global_items()));
+  const double lanes = effective_lanes();
+  const double mem_occ = std::max(
+      0.15, std::min(1.0, items / (lanes * 4.0)));
+
+  auto level_time = [&](double bytes, double bw_gbs) {
+    return bw_gbs > 0.0 ? bytes / (bw_gbs * pat * mem_occ * 1e9) : 0.0;
+  };
+  // The hierarchy pipelines; summing each level's service time is a safe
+  // upper-fidelity estimate dominated by the slowest level's traffic.
+  double t = level_time(l1_bytes, spec_.l1.bandwidth_gbs) +
+             level_time(l2_bytes, spec_.l2.bandwidth_gbs);
+  if (spec_.l3.size_bytes != 0) {
+    t += level_time(l3_bytes, spec_.l3.bandwidth_gbs);
+  }
+  t += level_time(dram_bytes, spec_.mem_bandwidth_gbs);
+  return t;
+}
+
+double DevicePerfModel::transfer_seconds(std::size_t bytes,
+                                         xcl::TransferDir dir) const {
+  (void)dir;  // PCIe and memcpy paths are symmetric at this fidelity
+  return spec_.transfer_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (spec_.transfer_bandwidth_gbs * 1e9);
+}
+
+double DevicePerfModel::kernel_power_watts(
+    const xcl::KernelLaunchStats& launch) const {
+  const Breakdown b = analyze(launch);
+  const double busy = std::max(b.total_s, 1e-12);
+  // How hard each subsystem runs, as a fraction of the launch duration.
+  const double compute_util = std::min(1.0, (b.compute_s + b.serial_s) / busy);
+  const double mem_util = std::min(1.0, b.memory_s / busy);
+  const double util = std::max({compute_util, mem_util, 0.10});
+  return spec_.idle_power_w +
+         (spec_.tdp_w - spec_.idle_power_w) * (0.25 + 0.75 * util);
+}
+
+double DevicePerfModel::measurement_noise_cov() const {
+  const double clock = std::max(1u, spec_.nominal_clock_mhz());
+  return 0.05 * std::pow(1000.0 / clock, 0.8);
+}
+
+}  // namespace eod::sim

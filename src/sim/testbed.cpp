@@ -1,0 +1,77 @@
+#include "sim/testbed.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "sim/perf_model.hpp"
+
+namespace eod::sim {
+
+namespace {
+
+xcl::DeviceInfo make_info(const DeviceSpec& s) {
+  xcl::DeviceInfo info;
+  info.name = s.name;
+  info.vendor = s.vendor;
+  info.type = s.device_type();
+  info.compute_units = s.core_count;
+  info.clock_mhz = s.nominal_clock_mhz();
+  info.global_mem_bytes = s.global_mem_bytes;
+  switch (s.klass) {
+    case AcceleratorClass::kCpu:
+      info.local_mem_bytes = 32 * 1024;
+      info.max_work_group_size = 1024;
+      break;
+    case AcceleratorClass::kMic:
+      info.local_mem_bytes = 32 * 1024;
+      info.max_work_group_size = 1024;
+      break;
+    case AcceleratorClass::kHpcGpu:
+    case AcceleratorClass::kConsumerGpu:
+      if (s.vendor == "AMD") {
+        info.local_mem_bytes = 32 * 1024;
+        info.max_work_group_size = 256;
+      } else {
+        info.local_mem_bytes = 48 * 1024;
+        info.max_work_group_size = 1024;
+      }
+      break;
+  }
+  info.simd_width = s.simd_width;
+  return info;
+}
+
+xcl::Platform* g_platform = nullptr;
+std::once_flag g_once;
+
+}  // namespace
+
+xcl::Platform& testbed_platform() {
+  std::call_once(g_once, [] {
+    auto& platform =
+        xcl::PlatformRegistry::instance().add("Extended OpenDwarfs Testbed");
+    for (const DeviceSpec& s : testbed()) {
+      platform.add_device(make_info(s), std::make_shared<DevicePerfModel>(s));
+    }
+    g_platform = &platform;
+  });
+  return *g_platform;
+}
+
+xcl::Device& testbed_device(const std::string& name) {
+  for (xcl::Device* d : testbed_platform().devices()) {
+    if (d->name() == name) return *d;
+  }
+  throw xcl::Error(xcl::Status::kInvalidValue,
+                   "no testbed device named " + name);
+}
+
+std::vector<xcl::Device*> testbed_devices() {
+  return testbed_platform().devices();
+}
+
+AcceleratorClass device_class(const xcl::Device& device) {
+  return spec_by_name(device.name()).klass;
+}
+
+}  // namespace eod::sim

@@ -1,0 +1,27 @@
+// Mounts the 15-device simulated testbed as an xcl platform, so benchmarks
+// select devices exactly the way the paper does (-p <platform> -d <device>
+// -t <type>).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "xcl/platform.hpp"
+
+namespace eod::sim {
+
+/// Registers (once) and returns the testbed platform holding all 15 devices
+/// of Table 1, in table order.
+xcl::Platform& testbed_platform();
+
+/// Finds a testbed device by Table 1 name (e.g. "GTX 1080").
+[[nodiscard]] xcl::Device& testbed_device(const std::string& name);
+
+/// All testbed devices in Table 1 order.
+[[nodiscard]] std::vector<xcl::Device*> testbed_devices();
+
+/// The accelerator class of a testbed device (for figure colouring).
+[[nodiscard]] AcceleratorClass device_class(const xcl::Device& device);
+
+}  // namespace eod::sim

@@ -1,0 +1,85 @@
+// Device buffers (cl_mem analogue).  Storage is host memory — kernels run
+// functionally on the host — but allocation is accounted against the
+// context's simulated device, and transfers through a Queue are timed by the
+// device's interconnect model.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "xcl/context.hpp"
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+class Buffer {
+ public:
+  Buffer(Context& ctx, std::size_t bytes) : ctx_(&ctx) {
+    require(bytes > 0, Status::kInvalidBufferSize, "zero-sized buffer");
+    // Account against the device capacity before touching host memory, so
+    // an oversized request fails with a device error, not a host OOM.
+    ctx.on_alloc(bytes);
+    try {
+      store_.resize(bytes);
+    } catch (...) {
+      ctx.on_free(bytes);
+      throw;
+    }
+  }
+
+  ~Buffer() {
+    if (ctx_ != nullptr) ctx_->on_free(store_.size());
+  }
+
+  Buffer(Buffer&& other) noexcept
+      : ctx_(other.ctx_), store_(std::move(other.store_)) {
+    other.ctx_ = nullptr;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      if (ctx_ != nullptr) ctx_->on_free(store_.size());
+      ctx_ = other.ctx_;
+      store_ = std::move(other.store_);
+      other.ctx_ = nullptr;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return store_.size(); }
+  [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+
+  /// Typed view of the device storage for use inside kernels.  The element
+  /// count is bytes()/sizeof(T); misaligned sizes are rejected.
+  template <typename T>
+  [[nodiscard]] std::span<T> view() {
+    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+            "buffer size is not a multiple of element size");
+    return {reinterpret_cast<T*>(store_.data()), store_.size() / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> view() const {
+    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+            "buffer size is not a multiple of element size");
+    return {reinterpret_cast<const T*>(store_.data()),
+            store_.size() / sizeof(T)};
+  }
+
+  // Internal raw access used by Queue transfers.
+  [[nodiscard]] std::byte* data() noexcept { return store_.data(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return store_.data(); }
+
+ private:
+  Context* ctx_;
+  std::vector<std::byte> store_;
+};
+
+/// Convenience: create a buffer sized for `count` elements of T.
+template <typename T>
+[[nodiscard]] inline Buffer make_buffer(Context& ctx, std::size_t count) {
+  return Buffer(ctx, count * sizeof(T));
+}
+
+}  // namespace eod::xcl

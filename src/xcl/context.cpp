@@ -1,0 +1,27 @@
+#include "xcl/context.hpp"
+
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+void Context::on_alloc(std::size_t bytes) {
+  const std::size_t cap = device_.info().global_mem_bytes;
+  const std::size_t now =
+      allocated_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (cap != 0 && now > cap) {
+    allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw Error(Status::kMemObjectAllocationFailure,
+                "allocation exceeds device global memory of " +
+                    device_.name());
+  }
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Context::on_free(std::size_t bytes) noexcept {
+  allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace eod::xcl

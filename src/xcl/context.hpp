@@ -1,0 +1,43 @@
+// Contexts bind a device and account for device memory allocations.
+//
+// The paper verifies each benchmark's memory footprint "by printing the sum
+// of the size of all memory allocated on the device"; Context keeps that sum
+// (current and high-water) for exactly that check.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "xcl/device.hpp"
+
+namespace eod::xcl {
+
+class Context {
+ public:
+  explicit Context(const Device& device) : device_(device) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+
+  /// Sum of the sizes of all currently live device buffers, bytes.
+  [[nodiscard]] std::size_t allocated_bytes() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  /// Largest simultaneous allocation over the context lifetime, bytes.
+  [[nodiscard]] std::size_t peak_allocated_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  // Internal: called by Buffer.
+  void on_alloc(std::size_t bytes);
+  void on_free(std::size_t bytes) noexcept;
+
+ private:
+  const Device& device_;
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace eod::xcl

@@ -1,0 +1,47 @@
+// Device objects: static characteristics (clGetDeviceInfo analogue) plus the
+// timing model that stands in for the physical silicon.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "xcl/modeling.hpp"
+#include "xcl/types.hpp"
+
+namespace eod::xcl {
+
+/// Static device characteristics (the clGetDeviceInfo surface we need).
+struct DeviceInfo {
+  std::string name;
+  std::string vendor;
+  DeviceType type = DeviceType::kCpu;
+  unsigned compute_units = 1;
+  unsigned clock_mhz = 1000;
+  std::size_t global_mem_bytes = 0;
+  std::size_t local_mem_bytes = 48 * 1024;
+  std::size_t max_work_group_size = 256;
+  /// Preferred SIMD/wavefront width (1 for scalar CPUs).
+  unsigned simd_width = 1;
+};
+
+/// A compute device.  Owns its timing model; identity is by pointer (as in
+/// OpenCL, devices are singletons owned by their platform).
+class Device {
+ public:
+  Device(DeviceInfo info, std::shared_ptr<const TimingModel> model)
+      : info_(std::move(info)), model_(std::move(model)) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const std::string& name() const noexcept { return info_.name; }
+  [[nodiscard]] DeviceType type() const noexcept { return info_.type; }
+  [[nodiscard]] const TimingModel& model() const noexcept { return *model_; }
+
+ private:
+  DeviceInfo info_;
+  std::shared_ptr<const TimingModel> model_;
+};
+
+}  // namespace eod::xcl

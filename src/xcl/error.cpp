@@ -1,0 +1,27 @@
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kSuccess:
+      return "SUCCESS";
+    case Status::kInvalidValue:
+      return "INVALID_VALUE";
+    case Status::kInvalidBufferSize:
+      return "INVALID_BUFFER_SIZE";
+    case Status::kInvalidWorkGroupSize:
+      return "INVALID_WORK_GROUP_SIZE";
+    case Status::kInvalidKernelArgs:
+      return "INVALID_KERNEL_ARGS";
+    case Status::kOutOfResources:
+      return "OUT_OF_RESOURCES";
+    case Status::kMemObjectAllocationFailure:
+      return "MEM_OBJECT_ALLOCATION_FAILURE";
+    case Status::kInvalidOperation:
+      return "INVALID_OPERATION";
+  }
+  return "UNKNOWN_STATUS";
+}
+
+}  // namespace eod::xcl

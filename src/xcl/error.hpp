@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "xcl/types.hpp"
+
+namespace eod::xcl {
+
+/// Exception carrying an xcl Status, thrown by all runtime entry points.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& what)
+      : std::runtime_error(what + " (" + to_string(status) + ")"),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Throws Error(status, message) when `ok` is false.
+inline void require(bool ok, Status status, const std::string& message) {
+  if (!ok) throw Error(status, message);
+}
+
+}  // namespace eod::xcl

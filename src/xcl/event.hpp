@@ -1,0 +1,43 @@
+// Profiling events (cl_event analogue).  Every queue operation returns one,
+// carrying both the *modeled* device time (what the paper's figures plot)
+// and the actual host wall time of the functional execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xcl/types.hpp"
+
+namespace eod::xcl {
+
+enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead };
+
+[[nodiscard]] constexpr const char* to_string(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kKernel:
+      return "kernel";
+    case CommandKind::kWrite:
+      return "write";
+    case CommandKind::kRead:
+      return "read";
+  }
+  return "unknown";
+}
+
+struct Event {
+  CommandKind kind = CommandKind::kKernel;
+  std::string label;          ///< kernel name or buffer transfer tag
+  double modeled_start_s = 0; ///< device virtual-timeline start
+  double modeled_end_s = 0;   ///< device virtual-timeline end
+  std::uint64_t host_ns = 0;  ///< wall time of the functional execution
+  double energy_j = 0;        ///< modeled device energy for this command
+
+  [[nodiscard]] double modeled_seconds() const noexcept {
+    return modeled_end_s - modeled_start_s;
+  }
+  [[nodiscard]] double modeled_ms() const noexcept {
+    return modeled_seconds() * 1e3;
+  }
+};
+
+}  // namespace eod::xcl

@@ -1,0 +1,89 @@
+#include "xcl/executor.hpp"
+
+#include <array>
+#include <functional>
+
+#include "xcl/fiber.hpp"
+#include "xcl/thread_pool.hpp"
+
+namespace eod::xcl {
+
+namespace {
+
+struct GroupCoords {
+  std::array<std::size_t, 3> group_id;
+  std::array<std::size_t, 3> global_size;
+  std::array<std::size_t, 3> local_size;
+};
+
+// Decodes a flat group index into 3-D group coordinates.
+GroupCoords decode_group(const NDRange& range, std::size_t flat) {
+  GroupCoords g;
+  const std::size_t gx = range.groups(0);
+  const std::size_t gy = range.groups(1);
+  g.group_id = {flat % gx, (flat / gx) % gy, flat / (gx * gy)};
+  g.global_size = {range.global(0), range.global(1), range.global(2)};
+  g.local_size = {range.local(0), range.local(1), range.local(2)};
+  return g;
+}
+
+// Runs all work-items of one group with a plain loop (no barriers).
+void run_group_loop(const Kernel& kernel, const GroupCoords& g,
+                    LocalArena& arena) {
+  arena.reset();
+  const auto [lx, ly, lz] = g.local_size;
+  for (std::size_t z = 0; z < lz; ++z) {
+    for (std::size_t y = 0; y < ly; ++y) {
+      for (std::size_t x = 0; x < lx; ++x) {
+        const std::array<std::size_t, 3> local_id{x, y, z};
+        const std::array<std::size_t, 3> global_id{
+            g.group_id[0] * lx + x, g.group_id[1] * ly + y,
+            g.group_id[2] * lz + z};
+        WorkItem item(global_id, local_id, g.group_id, g.global_size,
+                      g.local_size, &arena, nullptr);
+        kernel.body()(item);
+      }
+    }
+  }
+}
+
+// Runs one group as a fiber set so barrier() can suspend work-items.
+void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
+                      LocalArena& arena) {
+  arena.reset();
+  const auto [lx, ly, lz] = g.local_size;
+  const std::size_t items = lx * ly * lz;
+  std::function<void()> barrier_hook = [] { Fiber::yield_current(); };
+  run_fiber_group(items, [&](std::size_t flat) {
+    const std::array<std::size_t, 3> local_id{flat % lx, (flat / lx) % ly,
+                                              flat / (lx * ly)};
+    const std::array<std::size_t, 3> global_id{
+        g.group_id[0] * lx + local_id[0], g.group_id[1] * ly + local_id[1],
+        g.group_id[2] * lz + local_id[2]};
+    WorkItem item(global_id, local_id, g.group_id, g.global_size,
+                  g.local_size, &arena, &barrier_hook);
+    kernel.body()(item);
+  });
+}
+
+}  // namespace
+
+void execute_ndrange(const Kernel& kernel, const NDRange& range,
+                     const Device& device) {
+  const std::size_t groups = range.num_groups();
+  const std::size_t local_mem = device.info().local_mem_bytes;
+
+  ThreadPool::global().parallel_for(groups, [&](std::size_t flat) {
+    // One arena per in-flight group; allocated on the worker's stack frame
+    // so concurrent groups never share __local storage.
+    LocalArena arena(local_mem);
+    const GroupCoords g = decode_group(range, flat);
+    if (kernel.barriers()) {
+      run_group_fibers(kernel, g, arena);
+    } else {
+      run_group_loop(kernel, g, arena);
+    }
+  });
+}
+
+}  // namespace eod::xcl

@@ -1,0 +1,17 @@
+// Functional NDRange execution: runs a kernel body for every work-item.
+// Work-groups are distributed across the thread pool; items within a group
+// run on one thread (plain loop, or fibers when the kernel uses barriers).
+#pragma once
+
+#include "xcl/device.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/ndrange.hpp"
+
+namespace eod::xcl {
+
+/// Executes `kernel` over `range` (local sizes must already be resolved).
+/// Throws the first exception raised by any work-item.
+void execute_ndrange(const Kernel& kernel, const NDRange& range,
+                     const Device& device);
+
+}  // namespace eod::xcl

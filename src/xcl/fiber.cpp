@@ -1,0 +1,122 @@
+#include "xcl/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+struct Fiber::Impl {
+  ucontext_t context{};
+  ucontext_t caller{};
+  std::vector<char> stack;
+  Fn fn;
+  std::exception_ptr pending;
+  bool started = false;
+  bool finished = false;
+};
+
+namespace {
+thread_local Fiber::Impl* g_current_fiber = nullptr;
+
+// makecontext only forwards ints, so the Impl pointer travels as two halves.
+void fiber_trampoline(unsigned hi, unsigned lo) {
+  auto* impl = reinterpret_cast<Fiber::Impl*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  try {
+    impl->fn();
+  } catch (...) {
+    impl->pending = std::current_exception();
+  }
+  impl->finished = true;
+  // uc_link returns to the caller context when the trampoline falls off.
+}
+}  // namespace
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : impl_(std::make_unique<Impl>()) {
+  impl_->fn = std::move(fn);
+  impl_->stack.resize(stack_bytes);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::resume() {
+  if (done_) {
+    throw std::logic_error("Fiber::resume called on a finished fiber");
+  }
+  Impl* impl = impl_.get();
+  if (!impl->started) {
+    impl->started = true;
+    if (getcontext(&impl->context) != 0) {
+      throw std::runtime_error("getcontext failed");
+    }
+    impl->context.uc_stack.ss_sp = impl->stack.data();
+    impl->context.uc_stack.ss_size = impl->stack.size();
+    impl->context.uc_link = &impl->caller;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(impl);
+    makecontext(&impl->context,
+                reinterpret_cast<void (*)()>(fiber_trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xffffffffu));
+  }
+  Impl* previous = g_current_fiber;
+  g_current_fiber = impl;
+  swapcontext(&impl->caller, &impl->context);
+  g_current_fiber = previous;
+
+  if (impl->finished) done_ = true;
+  if (impl->pending) {
+    auto e = impl->pending;
+    impl->pending = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield_current() {
+  Impl* impl = g_current_fiber;
+  if (impl == nullptr) {
+    throw std::logic_error("Fiber::yield_current outside a fiber");
+  }
+  swapcontext(&impl->context, &impl->caller);
+}
+
+void run_fiber_group(std::size_t count,
+                     const std::function<void(std::size_t)>& body,
+                     std::size_t stack_bytes) {
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&body, i] { body(i); },
+                                             stack_bytes));
+  }
+  // Round-robin: one resume per unfinished fiber per round.  All fibers must
+  // finish on the same round, otherwise the kernel has divergent barriers.
+  bool any_live = count > 0;
+  while (any_live) {
+    any_live = false;
+    std::size_t finished_this_round = 0;
+    std::size_t live_at_round_start = 0;
+    for (auto& f : fibers) {
+      if (f->done()) continue;
+      ++live_at_round_start;
+      f->resume();
+      if (f->done()) {
+        ++finished_this_round;
+      } else {
+        any_live = true;
+      }
+    }
+    if (finished_this_round != 0 && any_live) {
+      throw Error(Status::kInvalidOperation,
+                  "divergent barrier: work-items in a group executed "
+                  "different numbers of barriers");
+    }
+    (void)live_at_round_start;
+  }
+}
+
+}  // namespace eod::xcl

@@ -1,0 +1,58 @@
+// Cooperative fibers (ucontext-based) used to suspend work-items at
+// work-group barriers.
+//
+// OpenCL's barrier(CLK_LOCAL_MEM_FENCE) requires every work-item in a group
+// to reach the barrier before any proceeds.  Executing work-items as fibers
+// lets one OS thread interleave a whole group: each item runs until it calls
+// barrier(), yields, and is resumed for the next phase once all its peers
+// have yielded too.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace eod::xcl {
+
+/// A single suspendable execution context.  Not thread-safe: a fiber must be
+/// resumed from one thread at a time (group execution is single-threaded).
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  explicit Fiber(Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or finishes.  Rethrows any exception the
+  /// fiber body raised.  Calling resume() on a finished fiber is an error.
+  void resume();
+
+  /// Must be called from inside the fiber body: suspends back to resume().
+  static void yield_current();
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
+
+  struct Impl;  // public so the trampoline (extern "C"-style) can see it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+  bool done_ = false;
+};
+
+/// Runs `count` bodies as fibers with round-robin barrier scheduling:
+/// repeatedly resumes every unfinished fiber once per round, which realizes
+/// barrier semantics when each body yields at its barrier points (and each
+/// body performs the same number of yields, as OpenCL requires).
+/// Throws if bodies disagree on barrier count (a barrier divergence bug).
+void run_fiber_group(std::size_t count,
+                     const std::function<void(std::size_t)>& body,
+                     std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+}  // namespace eod::xcl

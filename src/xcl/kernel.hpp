@@ -1,0 +1,37 @@
+// Kernel objects: a name (for per-kernel timing segments, as LibSciBench
+// records in the paper) plus the C++ callable body and launch attributes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "xcl/work_item.hpp"
+
+namespace eod::xcl {
+
+class Kernel {
+ public:
+  using Body = std::function<void(WorkItem&)>;
+
+  Kernel(std::string name, Body body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  /// Declares that the body calls WorkItem::barrier(); such kernels execute
+  /// each work-group as a fiber set rather than a plain loop.
+  Kernel& uses_barriers(bool value = true) {
+    uses_barriers_ = value;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Body& body() const noexcept { return body_; }
+  [[nodiscard]] bool barriers() const noexcept { return uses_barriers_; }
+
+ private:
+  std::string name_;
+  Body body_;
+  bool uses_barriers_ = false;
+};
+
+}  // namespace eod::xcl

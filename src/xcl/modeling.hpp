@@ -1,0 +1,110 @@
+// Interfaces through which a device reports modeled kernel/transfer timing.
+//
+// On the paper's testbed these numbers come from the hardware itself; here
+// every xcl device is backed by a performance model (src/sim) that converts
+// a kernel's workload profile into execution time and energy.  xcl only
+// defines the interface so the runtime stays independent of the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "xcl/ndrange.hpp"
+
+namespace eod::xcl {
+
+/// Dominant memory access pattern of a kernel, used by the cache/bandwidth
+/// model to derive effective hit rates and achievable bandwidth.
+enum class AccessPattern : std::uint8_t {
+  kStreaming,   // unit-stride per lane, fully coalescable
+  kRowPerItem,  // each work-item scans its own contiguous row: streams on
+                // CPUs, uncoalesced across GPU lanes (Rodinia kmeans/csr)
+  kStrided,     // interleaved column walk: coalesced across GPU lanes,
+                // line-splitting for a CPU thread
+  kStencil,     // neighbourhood reuse (structured grid)
+  kTiled,       // blocked with local-memory staging (dense linear algebra)
+  kGather,      // indirect/random reads (sparse, hash)
+  kButterfly,   // power-of-two strides (spectral methods)
+};
+
+[[nodiscard]] constexpr const char* to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::kStreaming:
+      return "streaming";
+    case AccessPattern::kRowPerItem:
+      return "row-per-item";
+    case AccessPattern::kStrided:
+      return "strided";
+    case AccessPattern::kStencil:
+      return "stencil";
+    case AccessPattern::kTiled:
+      return "tiled";
+    case AccessPattern::kGather:
+      return "gather";
+    case AccessPattern::kButterfly:
+      return "butterfly";
+  }
+  return "unknown";
+}
+
+/// Per-launch work characterization supplied by each benchmark.  All counts
+/// are totals across the whole NDRange (not per work-item).
+struct WorkloadProfile {
+  double flops = 0.0;        ///< single-precision floating-point operations
+  double int_ops = 0.0;      ///< integer / logical / address ops
+  double bytes_read = 0.0;   ///< total bytes requested by loads
+  double bytes_written = 0.0;  ///< total bytes requested by stores
+  double working_set_bytes = 0.0;  ///< distinct bytes touched by the launch
+  AccessPattern pattern = AccessPattern::kStreaming;
+  /// Fraction of branches that diverge within a SIMD group, in [0,1].
+  double branch_divergence = 0.0;
+  /// Length of the longest chain of *dependent* memory accesses; exposes
+  /// memory latency that cannot be hidden by more parallelism.
+  double dependent_accesses = 0.0;
+  /// Distinct bytes touched by the dependent chain itself (e.g. a lookup
+  /// table).  0 means "same as working_set_bytes".  The chain pays the
+  /// latency of whatever level holds *this* structure.
+  double chain_working_set_bytes = 0.0;
+  /// Amdahl fraction of the launch that is parallelizable, in (0,1].
+  double parallel_fraction = 1.0;
+
+  [[nodiscard]] double total_bytes() const noexcept {
+    return bytes_read + bytes_written;
+  }
+  /// Arithmetic intensity in flop/byte (0 when no memory traffic).
+  [[nodiscard]] double intensity() const noexcept {
+    const double b = total_bytes();
+    return b > 0.0 ? flops / b : 0.0;
+  }
+};
+
+/// Everything a timing model sees about one kernel launch.
+struct KernelLaunchStats {
+  std::string kernel_name;
+  NDRange range{1};
+  WorkloadProfile profile;
+  /// Kernel commands enqueued since the last host synchronisation
+  /// (transfer or finish).  Some runtimes' enqueue cost grows with the
+  /// depth of the unflushed command stream.
+  std::size_t queue_depth = 0;
+};
+
+/// Timing callbacks implemented by the device simulator.
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+  /// Modeled kernel execution time, seconds.
+  [[nodiscard]] virtual double kernel_seconds(
+      const KernelLaunchStats& launch) const = 0;
+  /// Modeled host<->device transfer time, seconds.
+  [[nodiscard]] virtual double transfer_seconds(std::size_t bytes,
+                                                TransferDir dir) const = 0;
+  /// Modeled device-side power draw while running `launch`, watts.
+  [[nodiscard]] virtual double kernel_power_watts(
+      const KernelLaunchStats& launch) const = 0;
+  /// Run-to-run coefficient of variation of time measurements on this
+  /// device (harness sampling noise).
+  [[nodiscard]] virtual double measurement_noise_cov() const { return 0.02; }
+};
+
+}  // namespace eod::xcl

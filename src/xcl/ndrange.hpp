@@ -1,0 +1,79 @@
+// NDRange descriptions for kernel launches (1-3 dimensions), matching the
+// clEnqueueNDRangeKernel global/local size model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+/// Global and local (work-group) sizes for up to three dimensions.
+class NDRange {
+ public:
+  /// 1-D range; local size 0 means "runtime picks" (whole range, capped).
+  explicit NDRange(std::size_t g0, std::size_t l0 = 0)
+      : dims_(1), global_{g0, 1, 1}, local_{l0, 1, 1} {
+    validate();
+  }
+  NDRange(std::size_t g0, std::size_t g1, std::size_t l0, std::size_t l1)
+      : dims_(2), global_{g0, g1, 1}, local_{l0, l1, 1} {
+    validate();
+  }
+  NDRange(std::size_t g0, std::size_t g1, std::size_t g2, std::size_t l0,
+          std::size_t l1, std::size_t l2)
+      : dims_(3), global_{g0, g1, g2}, local_{l0, l1, l2} {
+    validate();
+  }
+
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t global(int d) const noexcept { return global_[d]; }
+  [[nodiscard]] std::size_t local(int d) const noexcept { return local_[d]; }
+
+  [[nodiscard]] std::size_t global_items() const noexcept {
+    return global_[0] * global_[1] * global_[2];
+  }
+  [[nodiscard]] std::size_t group_items() const noexcept {
+    return local_[0] * local_[1] * local_[2];
+  }
+  [[nodiscard]] std::size_t groups(int d) const noexcept {
+    return global_[d] / local_[d];
+  }
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return groups(0) * groups(1) * groups(2);
+  }
+
+  /// Fills unset (zero) local sizes: dimension 0 gets min(global, cap), the
+  /// rest get 1, mirroring a driver's automatic work-group choice.
+  void resolve_local(std::size_t max_group_size) {
+    if (local_[0] == 0) {
+      local_[0] = std::min(global_[0], max_group_size);
+      while (global_[0] % local_[0] != 0) --local_[0];
+    }
+    for (int d = 1; d < 3; ++d) {
+      if (local_[d] == 0) local_[d] = 1;
+    }
+    validate();
+    for (int d = 0; d < dims_; ++d) {
+      require(global_[d] % local_[d] == 0, Status::kInvalidWorkGroupSize,
+              "global size not divisible by local size");
+    }
+    require(group_items() <= max_group_size, Status::kInvalidWorkGroupSize,
+            "work-group exceeds device maximum");
+  }
+
+ private:
+  void validate() const {
+    for (int d = 0; d < dims_; ++d) {
+      require(global_[d] > 0, Status::kInvalidValue,
+              "global NDRange dimension must be positive");
+    }
+  }
+
+  int dims_;
+  std::array<std::size_t, 3> global_;
+  std::array<std::size_t, 3> local_;
+};
+
+}  // namespace eod::xcl

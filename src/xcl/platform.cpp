@@ -1,0 +1,36 @@
+#include "xcl/platform.hpp"
+
+namespace eod::xcl {
+
+Device& Platform::select(std::size_t index, DeviceType type) const {
+  std::size_t seen = 0;
+  for (const auto& d : devices_) {
+    if (d->type() == type) {
+      if (seen == index) return *d;
+      ++seen;
+    }
+  }
+  throw Error(Status::kInvalidValue,
+              "no device #" + std::to_string(index) + " of type " +
+                  to_string(type) + " in platform " + name_);
+}
+
+PlatformRegistry& PlatformRegistry::instance() {
+  static PlatformRegistry registry;
+  return registry;
+}
+
+Platform& PlatformRegistry::add(std::string name) {
+  platforms_.push_back(std::make_unique<Platform>(std::move(name)));
+  return *platforms_.back();
+}
+
+Platform& PlatformRegistry::at(std::size_t i) const {
+  require(i < platforms_.size(), Status::kInvalidValue,
+          "platform index out of range");
+  return *platforms_[i];
+}
+
+void PlatformRegistry::reset() { platforms_.clear(); }
+
+}  // namespace eod::xcl

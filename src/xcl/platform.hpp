@@ -1,0 +1,66 @@
+// Platforms group devices, as in OpenCL.  Devices are selected with the
+// paper's uniform (-p <platform> -d <device> -t <type>) notation via
+// Platform::select().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "xcl/device.hpp"
+
+namespace eod::xcl {
+
+class Platform {
+ public:
+  explicit Platform(std::string name) : name_(std::move(name)) {}
+
+  Device& add_device(DeviceInfo info, std::shared_ptr<const TimingModel> m) {
+    devices_.push_back(std::make_unique<Device>(std::move(info), std::move(m)));
+    return *devices_.back();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] Device& device(std::size_t i) const {
+    require(i < devices_.size(), Status::kInvalidValue,
+            "device index out of range");
+    return *devices_[i];
+  }
+  [[nodiscard]] std::vector<Device*> devices() const {
+    std::vector<Device*> out;
+    out.reserve(devices_.size());
+    for (const auto& d : devices_) out.push_back(d.get());
+    return out;
+  }
+
+  /// OpenDwarfs-style device selection: the d-th device of type t within
+  /// this platform.  Matches the paper's `-d <idx> -t <type>` convention
+  /// (t: 0 = CPU, 1 = GPU, 2 = accelerator/MIC).
+  [[nodiscard]] Device& select(std::size_t index, DeviceType type) const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+/// The process-wide platform list (analogue of clGetPlatformIDs).  Platform 0
+/// is always the native host platform; the simulated testbed platform is
+/// registered by sim::register_testbed_platform().
+class PlatformRegistry {
+ public:
+  static PlatformRegistry& instance();
+
+  Platform& add(std::string name);
+  [[nodiscard]] std::size_t count() const noexcept { return platforms_.size(); }
+  [[nodiscard]] Platform& at(std::size_t i) const;
+  /// Drops all registered platforms (used by tests for isolation).
+  void reset();
+
+ private:
+  PlatformRegistry() = default;
+  std::vector<std::unique_ptr<Platform>> platforms_;
+};
+
+}  // namespace eod::xcl

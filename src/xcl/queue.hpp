@@ -1,0 +1,118 @@
+// In-order command queue with profiling (CL_QUEUE_PROFILING_ENABLE always
+// on).  Commands execute functionally on the host; their *modeled* duration
+// advances the device's virtual timeline and is reported via Event.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xcl/buffer.hpp"
+#include "xcl/context.hpp"
+#include "xcl/event.hpp"
+#include "xcl/executor.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/modeling.hpp"
+
+namespace eod::xcl {
+
+class Queue {
+ public:
+  explicit Queue(Context& ctx) : ctx_(&ctx) {}
+
+  [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+  [[nodiscard]] const Device& device() const noexcept {
+    return ctx_->device();
+  }
+
+  /// Host -> device transfer (clEnqueueWriteBuffer).
+  template <typename T>
+  Event enqueue_write(Buffer& dst, std::span<const T> src) {
+    return write_bytes(dst, src.data(), src.size_bytes());
+  }
+
+  /// Device -> host transfer (clEnqueueReadBuffer).
+  template <typename T>
+  Event enqueue_read(const Buffer& src, std::span<T> dst) {
+    return read_bytes(src, dst.data(), dst.size_bytes());
+  }
+
+  /// Device-side fill (clEnqueueFillBuffer): replicates `value` across the
+  /// buffer.  Timed as device-bandwidth work, not a PCIe transfer.
+  template <typename T>
+  Event enqueue_fill(Buffer& dst, const T& value) {
+    require(dst.bytes() % sizeof(T) == 0, Status::kInvalidValue,
+            "fill pattern does not divide buffer size");
+    auto view = dst.view<T>();
+    if (functional_) {
+      for (auto& v : view) v = value;
+    }
+    return push_device_side_op("fill", dst.bytes());
+  }
+
+  /// Device-to-device copy (clEnqueueCopyBuffer).
+  Event enqueue_copy(const Buffer& src, Buffer& dst);
+
+  /// Kernel launch (clEnqueueNDRangeKernel).  `profile` characterizes the
+  /// launch's work for the device timing model.
+  Event enqueue(const Kernel& kernel, NDRange range,
+                const WorkloadProfile& profile);
+
+  /// clFinish analogue.  Functionally the queue is synchronous; finish()
+  /// marks a host synchronisation point (resetting the modeled unflushed
+  /// command depth) and returns the virtual timeline position.
+  double finish() noexcept {
+    kernels_since_sync_ = 0;
+    return now_s_;
+  }
+
+  /// When false, kernel launches are modeled (timed, event-recorded) but not
+  /// functionally executed.  Used by device sweeps where results have
+  /// already been validated once: the modeled timeline is identical, only
+  /// the host-side computation is skipped.  Defaults to true.
+  void set_functional(bool f) noexcept { functional_ = f; }
+  [[nodiscard]] bool functional() const noexcept { return functional_; }
+
+  /// All events recorded since construction or reset, in enqueue order.
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  void clear_events() {
+    events_.clear();
+    launches_.clear();
+  }
+
+  /// When enabled, every kernel launch's full KernelLaunchStats is kept
+  /// (used by the workload characterizer).  Off by default.
+  void set_record_launches(bool record) noexcept {
+    record_launches_ = record;
+  }
+  [[nodiscard]] const std::vector<KernelLaunchStats>& launches()
+      const noexcept {
+    return launches_;
+  }
+
+  /// Sum of modeled seconds of all kernel events (the "iteration time" the
+  /// paper reports: total compute time across all kernels of a benchmark).
+  [[nodiscard]] double modeled_kernel_seconds() const noexcept;
+  /// Sum of modeled seconds of all transfer events.
+  [[nodiscard]] double modeled_transfer_seconds() const noexcept;
+  /// Sum of modeled kernel energy in joules.
+  [[nodiscard]] double modeled_kernel_energy_j() const noexcept;
+
+ private:
+  Event write_bytes(Buffer& dst, const void* src, std::size_t bytes);
+  Event read_bytes(const Buffer& src, void* dst, std::size_t bytes);
+  Event push_device_side_op(const char* label, std::size_t bytes);
+  Event& push(Event e);
+
+  Context* ctx_;
+  double now_s_ = 0.0;  // device virtual timeline
+  bool functional_ = true;
+  bool record_launches_ = false;
+  std::size_t kernels_since_sync_ = 0;
+  std::vector<Event> events_;
+  std::vector<KernelLaunchStats> launches_;
+};
+
+}  // namespace eod::xcl

@@ -1,0 +1,46 @@
+// A small task-based thread pool (CP.4: think in terms of tasks).  Work-
+// groups of an NDRange launch are distributed across the pool; on a
+// single-core host it degenerates to serial execution while exercising the
+// same code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eod::xcl {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs body(i) for i in [0, n), blocking until all iterations complete.
+  /// The first exception thrown by any iteration is rethrown to the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Shared pool sized to the host's hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace eod::xcl

@@ -1,0 +1,47 @@
+// Fundamental types for the xcl runtime.
+//
+// xcl is an OpenCL-1.2-style host runtime: the same platform / device /
+// context / queue / buffer / kernel / event object model, with kernels
+// expressed as C++ callables executed over an NDRange.  It substitutes for
+// the vendor OpenCL drivers of the paper's testbed (see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace eod::xcl {
+
+/// Mirrors CL_DEVICE_TYPE_*.
+enum class DeviceType : std::uint8_t { kCpu, kGpu, kAccelerator };
+
+[[nodiscard]] constexpr const char* to_string(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kCpu:
+      return "CPU";
+    case DeviceType::kGpu:
+      return "GPU";
+    case DeviceType::kAccelerator:
+      return "ACCELERATOR";
+  }
+  return "UNKNOWN";
+}
+
+/// Status codes for runtime failures (subset of CL error space).
+enum class Status : std::int32_t {
+  kSuccess = 0,
+  kInvalidValue = -30,
+  kInvalidBufferSize = -61,
+  kInvalidWorkGroupSize = -54,
+  kInvalidKernelArgs = -52,
+  kOutOfResources = -5,
+  kMemObjectAllocationFailure = -4,
+  kInvalidOperation = -59,
+};
+
+[[nodiscard]] const char* to_string(Status s) noexcept;
+
+/// Direction of a host<->device transfer.
+enum class TransferDir : std::uint8_t { kHostToDevice, kDeviceToHost };
+
+}  // namespace eod::xcl

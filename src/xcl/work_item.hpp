@@ -1,0 +1,127 @@
+// The per-work-item view a kernel body receives: get_global_id/get_local_id
+// analogues, work-group barrier(), and __local memory allocation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "xcl/error.hpp"
+
+namespace eod::xcl {
+
+/// Group-shared scratch standing in for OpenCL __local memory.  Slots are
+/// identified by small integers chosen by the kernel author; every work-item
+/// in the group requesting the same slot receives the same storage.
+class LocalArena {
+ public:
+  LocalArena(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+    storage_.resize(capacity_bytes);
+  }
+
+  static constexpr unsigned kMaxSlots = 8;
+
+  [[nodiscard]] std::byte* acquire(unsigned slot, std::size_t bytes,
+                                   std::size_t align) {
+    require(slot < kMaxSlots, Status::kInvalidValue, "local slot out of range");
+    Slot& s = slots_[slot];
+    if (s.bytes == 0) {
+      std::size_t off = (used_ + align - 1) / align * align;
+      require(off + bytes <= capacity_, Status::kOutOfResources,
+              "__local allocation exceeds device local memory");
+      s.offset = off;
+      s.bytes = bytes;
+      used_ = off + bytes;
+    } else {
+      require(s.bytes == bytes, Status::kInvalidValue,
+              "inconsistent __local allocation size across work-items");
+    }
+    return storage_.data() + s.offset;
+  }
+
+  /// Resets slot table between work-groups while reusing the storage.
+  void reset() noexcept {
+    used_ = 0;
+    slots_.fill(Slot{});
+  }
+
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+
+ private:
+  struct Slot {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+  };
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::array<Slot, kMaxSlots> slots_{};
+  std::vector<std::byte> storage_;
+};
+
+class WorkItem {
+ public:
+  WorkItem(std::array<std::size_t, 3> global_id,
+           std::array<std::size_t, 3> local_id,
+           std::array<std::size_t, 3> group_id,
+           std::array<std::size_t, 3> global_size,
+           std::array<std::size_t, 3> local_size, LocalArena* arena,
+           std::function<void()>* barrier_hook)
+      : global_id_(global_id),
+        local_id_(local_id),
+        group_id_(group_id),
+        global_size_(global_size),
+        local_size_(local_size),
+        arena_(arena),
+        barrier_hook_(barrier_hook) {}
+
+  [[nodiscard]] std::size_t global_id(int d = 0) const noexcept {
+    return global_id_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t local_id(int d = 0) const noexcept {
+    return local_id_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t group_id(int d = 0) const noexcept {
+    return group_id_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t global_size(int d = 0) const noexcept {
+    return global_size_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t local_size(int d = 0) const noexcept {
+    return local_size_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t num_groups(int d = 0) const noexcept {
+    return global_size_[static_cast<std::size_t>(d)] /
+           local_size_[static_cast<std::size_t>(d)];
+  }
+
+  /// Work-group barrier (CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE).
+  /// Only valid in kernels launched with uses_barriers(); throws otherwise.
+  void barrier() {
+    require(barrier_hook_ != nullptr && *barrier_hook_ != nullptr,
+            Status::kInvalidOperation,
+            "barrier() in a kernel not marked uses_barriers()");
+    (*barrier_hook_)();
+  }
+
+  /// __local T slot[count]; — group-shared scratch memory.
+  template <typename T>
+  [[nodiscard]] std::span<T> local(unsigned slot, std::size_t count) {
+    require(arena_ != nullptr, Status::kInvalidOperation,
+            "local() requires group execution");
+    std::byte* p = arena_->acquire(slot, count * sizeof(T), alignof(T));
+    return {reinterpret_cast<T*>(p), count};
+  }
+
+ private:
+  std::array<std::size_t, 3> global_id_;
+  std::array<std::size_t, 3> local_id_;
+  std::array<std::size_t, 3> group_id_;
+  std::array<std::size_t, 3> global_size_;
+  std::array<std::size_t, 3> local_size_;
+  LocalArena* arena_;
+  std::function<void()>* barrier_hook_;
+};
+
+}  // namespace eod::xcl

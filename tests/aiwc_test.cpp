@@ -1,0 +1,124 @@
+// Tests for the AIWC-style workload characterizer (§7 future work).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aiwc/aiwc.hpp"
+#include "dwarfs/registry.hpp"
+
+namespace eod::aiwc {
+namespace {
+
+using dwarfs::ProblemSize;
+
+TEST(Aiwc, CharacterizesEveryBenchmark) {
+  for (const std::string& name : dwarfs::benchmark_names()) {
+    auto dwarf = dwarfs::create_dwarf(name);
+    const auto kernels =
+        characterize(*dwarf, dwarf->supported_sizes().front());
+    ASSERT_FALSE(kernels.empty()) << name;
+    for (const KernelCharacteristics& k : kernels) {
+      EXPECT_FALSE(k.kernel.empty()) << name;
+      EXPECT_GT(k.launches, 0u) << name;
+      EXPECT_GT(k.total_ops, 0.0) << name << "/" << k.kernel;
+      EXPECT_GE(k.flop_fraction, 0.0);
+      EXPECT_LE(k.flop_fraction, 1.0);
+      EXPECT_GT(k.work_items, 0.0);
+      EXPECT_GE(k.simd_friendliness, 0.0);
+      EXPECT_LE(k.simd_friendliness, 1.0);
+    }
+  }
+}
+
+TEST(Aiwc, DistinguishesComputeFromMemoryBound) {
+  // gem (N-body, all-pairs flops) must show far higher arithmetic
+  // intensity than csr (SpMV gathers).
+  auto gem = dwarfs::create_dwarf("gem");
+  auto csr = dwarfs::create_dwarf("csr");
+  const auto kg = characterize(*gem, ProblemSize::kTiny);
+  const auto kc = characterize(*csr, ProblemSize::kTiny);
+  ASSERT_FALSE(kg.empty());
+  ASSERT_FALSE(kc.empty());
+  EXPECT_GT(kg.front().arithmetic_intensity,
+            10.0 * kc.front().arithmetic_intensity);
+}
+
+TEST(Aiwc, CrcIsIntegerOnly) {
+  auto crc = dwarfs::create_dwarf("crc");
+  const auto k = characterize(*crc, ProblemSize::kTiny);
+  ASSERT_FALSE(k.empty());
+  // "the low floating-point intensity of the CRC computation" -- zero here.
+  EXPECT_DOUBLE_EQ(k.front().flop_fraction, 0.0);
+  EXPECT_GT(k.front().dependency_fraction, 0.0);  // per-byte chain
+}
+
+TEST(Aiwc, BarrierKernelsIdentified) {
+  auto lud = dwarfs::create_dwarf("lud");
+  const auto kernels = characterize(*lud, ProblemSize::kTiny);
+  bool saw_diagonal = false;
+  bool saw_internal = false;
+  for (const auto& k : kernels) {
+    if (k.kernel == "lud_diagonal") {
+      saw_diagonal = true;
+      EXPECT_GT(k.barriers_per_item, 10.0);
+    }
+    if (k.kernel == "lud_internal") {
+      saw_internal = true;
+      EXPECT_DOUBLE_EQ(k.barriers_per_item, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_diagonal);
+  EXPECT_TRUE(saw_internal);
+}
+
+TEST(Aiwc, DivergenceShowsInSimdFriendliness) {
+  auto nq = dwarfs::create_dwarf("nqueens");
+  const auto k = characterize(*nq, ProblemSize::kTiny);
+  ASSERT_FALSE(k.empty());
+  EXPECT_LT(k.front().simd_friendliness, 0.8);  // backtracking diverges
+  auto srad = dwarfs::create_dwarf("srad");
+  const auto ks = characterize(*srad, ProblemSize::kTiny);
+  EXPECT_GT(ks.front().simd_friendliness, 0.95);  // uniform stencil
+}
+
+TEST(Aiwc, TraceEntropyOrdersAccessPatterns) {
+  // csr's x-vector gathers are high-entropy relative to crc's two
+  // sequential streams (data + tiny table).
+  auto crc = dwarfs::create_dwarf("crc");
+  auto csr = dwarfs::create_dwarf("csr");
+  crc->setup(ProblemSize::kSmall);
+  csr->setup(ProblemSize::kSmall);
+  const TraceEntropy ec = trace_entropy(*crc);
+  const TraceEntropy es = trace_entropy(*csr);
+  ASSERT_GT(ec.unique_addresses, 0.0);
+  ASSERT_GT(es.unique_addresses, 0.0);
+  // crc revisits its 1 KiB table constantly: low entropy per access.
+  EXPECT_LT(ec.address_entropy_bits, es.address_entropy_bits);
+  // Masked entropy must decay monotonically for both.
+  double prev = es.address_entropy_bits;
+  for (const double h : es.masked_entropy_bits) {
+    EXPECT_LE(h, prev + 1e-9);
+    prev = h;
+  }
+}
+
+TEST(Aiwc, NoTraceMeansZeroEntropy) {
+  auto nq = dwarfs::create_dwarf("nqueens");  // no trace implementation
+  nq->setup(ProblemSize::kTiny);
+  const TraceEntropy e = trace_entropy(*nq);
+  EXPECT_DOUBLE_EQ(e.unique_addresses, 0.0);
+  EXPECT_TRUE(e.masked_entropy_bits.empty());
+}
+
+TEST(Aiwc, PrintRendersAllKernels) {
+  auto lud = dwarfs::create_dwarf("lud");
+  const auto kernels = characterize(*lud, ProblemSize::kTiny);
+  std::ostringstream os;
+  print_characteristics(os, "lud", kernels);
+  for (const auto& k : kernels) {
+    EXPECT_NE(os.str().find(k.kernel), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace eod::aiwc

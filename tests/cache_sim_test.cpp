@@ -1,0 +1,151 @@
+// Tests for the trace-driven cache/TLB simulator, including the paper's
+// §4.4 use case: verifying that each problem-size class lands in the
+// intended level of the Skylake hierarchy.
+#include <gtest/gtest.h>
+
+#include "dwarfs/kmeans/kmeans.hpp"
+#include "sim/cache_sim.hpp"
+#include "sim/device_spec.hpp"
+
+namespace eod::sim {
+namespace {
+
+TEST(CacheLevel, HitsAfterCold) {
+  CacheLevel c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0));  // compulsory miss
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(32));  // same line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  // 2-way, 64 B lines, 8 sets: addresses 0, 1024, 2048 map to set 0.
+  CacheLevel c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(1024));
+  EXPECT_TRUE(c.access(0));      // refresh line 0
+  EXPECT_FALSE(c.access(2048));  // evicts 1024 (LRU)
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(1024));  // was evicted
+}
+
+TEST(CacheLevel, CapacityMissesWhenWorkingSetExceedsSize) {
+  CacheLevel c(4096, 64, 8);  // 4 KiB
+  // Stream 16 KiB twice: second pass must still miss (capacity).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 16384; a += 64) (void)c.access(a);
+  }
+  EXPECT_GT(c.miss_ratio(), 0.9);
+}
+
+TEST(CacheLevel, FitsWorkingSetHasColdMissesOnly) {
+  CacheLevel c(16384, 64, 8);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 64) (void)c.access(a);
+  }
+  EXPECT_EQ(c.misses(), 8192u / 64u);  // cold only
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel(1000, 48, 2), std::invalid_argument);
+  EXPECT_THROW(CacheLevel(1024, 64, 0), std::invalid_argument);
+  EXPECT_THROW(CacheLevel(64, 64, 2), std::invalid_argument);
+}
+
+TEST(CacheHierarchy, MissesCascadeThroughLevels) {
+  CacheHierarchy h(skylake());
+  h.access(0, 4, false);
+  const HierarchyCounters& c = h.counters();
+  EXPECT_EQ(c.total_accesses, 1u);
+  EXPECT_EQ(c.l1_dcm, 1u);
+  EXPECT_EQ(c.l2_dcm, 1u);
+  EXPECT_EQ(c.l3_tcm, 1u);
+  EXPECT_EQ(c.tlb_dm, 1u);
+  h.access(4, 4, false);  // same line: all hits
+  EXPECT_EQ(h.counters().l1_dcm, 1u);
+}
+
+TEST(CacheHierarchy, StraddlingAccessTouchesTwoLines) {
+  CacheHierarchy h(skylake());
+  h.access(60, 8, false);  // crosses the 64-byte boundary
+  EXPECT_EQ(h.counters().total_accesses, 2u);
+}
+
+TEST(CacheHierarchy, NoL3DeviceCountsL2MissesAsDramTrips) {
+  CacheHierarchy h(spec_by_name("GTX 1080"));
+  EXPECT_FALSE(h.has_l3());
+  h.access(0, 4, false);
+  EXPECT_EQ(h.counters().l3_tcm, 1u);
+}
+
+TEST(CacheHierarchy, ResetClearsCounters) {
+  CacheHierarchy h(skylake());
+  h.access(0, 4, false);
+  h.reset();
+  EXPECT_EQ(h.counters().total_accesses, 0u);
+  EXPECT_EQ(h.counters().l1_dcm, 0u);
+}
+
+// The §4.4 methodology check: replay a kmeans assign pass (steady state:
+// second replay of the same trace) through the Skylake hierarchy and
+// confirm each size class is served from the intended level.
+class KmeansResidency : public ::testing::TestWithParam<dwarfs::ProblemSize> {
+};
+
+TEST_P(KmeansResidency, SizeClassLandsInIntendedLevel) {
+  using dwarfs::ProblemSize;
+  const ProblemSize size = GetParam();
+  dwarfs::KMeans km;
+  km.setup(size);
+
+  CacheHierarchy h(skylake());
+  const auto replay = [&] {
+    km.stream_trace([&h](const MemAccess& a) {
+      h.access(a.address, a.bytes, a.is_write);
+    });
+  };
+  replay();  // warm-up pass
+  const auto cold = h.counters();
+  ASSERT_GT(cold.total_accesses, 0u);
+  replay();  // steady-state pass
+  const auto c = h.counters();
+  const double steady_l1 =
+      static_cast<double>(c.l1_dcm - cold.l1_dcm) /
+      static_cast<double>(c.total_accesses - cold.total_accesses);
+  const double steady_l3 =
+      static_cast<double>(c.l3_tcm - cold.l3_tcm) /
+      static_cast<double>(c.total_accesses - cold.total_accesses);
+
+  switch (size) {
+    case ProblemSize::kTiny:
+      // Fits L1: virtually no steady-state L1 misses.
+      EXPECT_LT(steady_l1, 0.01);
+      break;
+    case ProblemSize::kSmall:
+      // Fits L2 but not L1: L1 misses appear, no DRAM traffic.
+      EXPECT_GT(steady_l1, 0.005);
+      EXPECT_LT(steady_l3, 0.001);
+      break;
+    case ProblemSize::kMedium:
+      // Fits L3 but not L2: still (almost) no DRAM traffic.
+      EXPECT_LT(steady_l3, 0.005);
+      break;
+    case ProblemSize::kLarge:
+      // Out of cache: the paper guarantees last-level misses.
+      EXPECT_GT(steady_l3, 0.001);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, KmeansResidency,
+                         ::testing::Values(dwarfs::ProblemSize::kTiny,
+                                           dwarfs::ProblemSize::kSmall,
+                                           dwarfs::ProblemSize::kMedium,
+                                           dwarfs::ProblemSize::kLarge),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace eod::sim

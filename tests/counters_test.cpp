@@ -1,0 +1,129 @@
+// Tests for the PAPI-style counter emulation (§4.3) and its integration
+// with the measurement harness.
+#include <gtest/gtest.h>
+
+#include "dwarfs/registry.hpp"
+#include "harness/runner.hpp"
+#include "sim/counters.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::sim {
+namespace {
+
+using dwarfs::ProblemSize;
+
+TEST(CounterSet, NamesMatchPapiPresets) {
+  EXPECT_STREQ(papi_name(PapiEvent::kTotIns), "PAPI_TOT_INS");
+  EXPECT_STREQ(papi_name(PapiEvent::kL1Dcm), "PAPI_L1_DCM");
+  EXPECT_STREQ(papi_name(PapiEvent::kL3Tcm), "PAPI_L3_TCM");
+  EXPECT_STREQ(papi_name(PapiEvent::kTlbDm), "PAPI_TLB_DM");
+  EXPECT_STREQ(papi_name(PapiEvent::kBrMsp), "PAPI_BR_MSP");
+}
+
+TEST(CounterSet, DerivedRatesMatchPaperDefinitions) {
+  // §4.3: request rate = requests/instructions, miss rate =
+  // misses/instructions, miss ratio = misses/requests.
+  CounterSet c;
+  c.set(PapiEvent::kTotIns, 1000);
+  c.set(PapiEvent::kTotCyc, 500);
+  c.set(PapiEvent::kL3Tca, 100);
+  c.set(PapiEvent::kL3Tcm, 25);
+  c.set(PapiEvent::kTlbDm, 10);
+  c.set(PapiEvent::kBrIns, 200);
+  c.set(PapiEvent::kBrMsp, 4);
+  EXPECT_DOUBLE_EQ(c.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(c.l3_request_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(c.l3_miss_rate(), 0.025);
+  EXPECT_DOUBLE_EQ(c.l3_miss_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(c.tlb_miss_rate(), 0.01);
+  EXPECT_DOUBLE_EQ(c.branch_misprediction_rate(), 0.02);
+}
+
+TEST(CounterSet, ZeroDenominatorsAreSafe) {
+  CounterSet c;
+  EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(c.l3_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(c.branch_misprediction_rate(), 0.0);
+  EXPECT_EQ(c.get(PapiEvent::kL1Dcm), 0u);
+}
+
+TEST(DerivePapiCounters, ScalesWithWork) {
+  xcl::WorkloadProfile p;
+  p.flops = 1e6;
+  p.int_ops = 1e5;
+  p.bytes_read = 8e5;
+  HierarchyCounters cache;
+  cache.l1_dcm = 100;
+  cache.l2_dcm = 10;
+  cache.l3_tcm = 1;
+  const CounterSet c = derive_papi_counters(p, cache, 4.0, 1e-3);
+  EXPECT_GT(c.get(PapiEvent::kTotIns), 1000000u);
+  EXPECT_EQ(c.get(PapiEvent::kL1Dcm), 100u);
+  EXPECT_EQ(c.get(PapiEvent::kL3Tca), 10u);  // L3 requests = L2 misses
+  EXPECT_GT(c.ipc(), 0.0);
+  // Divergence raises the misprediction rate.
+  p.branch_divergence = 0.8;
+  const CounterSet div = derive_papi_counters(p, cache, 4.0, 1e-3);
+  EXPECT_GT(div.branch_misprediction_rate(),
+            c.branch_misprediction_rate());
+}
+
+// ---- harness integration: the §4.4 verification workflow ----
+
+TEST(HarnessCounters, CollectedForTraceEnabledBenchmarks) {
+  harness::MeasureOptions opts;
+  opts.functional = false;
+  opts.collect_counters = true;
+  auto dwarf = dwarfs::create_dwarf("kmeans");
+  const harness::Measurement m = harness::measure(
+      *dwarf, ProblemSize::kTiny, testbed_device("i7-6700K"), opts);
+  EXPECT_TRUE(m.counters_collected);
+  EXPECT_GT(m.counters.get(PapiEvent::kTotIns), 0u);
+  EXPECT_GT(m.counters.get(PapiEvent::kTotCyc), 0u);
+}
+
+TEST(HarnessCounters, AbsentWithoutTrace) {
+  harness::MeasureOptions opts;
+  opts.functional = false;
+  opts.collect_counters = true;
+  auto dwarf = dwarfs::create_dwarf("nqueens");  // no trace implementation
+  const harness::Measurement m = harness::measure(
+      *dwarf, ProblemSize::kTiny, testbed_device("i7-6700K"), opts);
+  EXPECT_FALSE(m.counters_collected);
+}
+
+TEST(HarnessCounters, CacheMissesGrowAcrossSizeClasses) {
+  // The paper's §4.4 verification: L1 miss *rate* is negligible at tiny
+  // (L1-resident) and significant at medium (L3-resident).
+  harness::MeasureOptions opts;
+  opts.functional = false;
+  opts.collect_counters = true;
+  auto dwarf = dwarfs::create_dwarf("kmeans");
+  const harness::Measurement tiny = harness::measure(
+      *dwarf, ProblemSize::kTiny, testbed_device("i7-6700K"), opts);
+  const harness::Measurement medium = harness::measure(
+      *dwarf, ProblemSize::kMedium, testbed_device("i7-6700K"), opts);
+  const double tiny_rate =
+      static_cast<double>(tiny.counters.get(PapiEvent::kL1Dcm)) /
+      static_cast<double>(tiny.counters.get(PapiEvent::kTotIns));
+  const double medium_rate =
+      static_cast<double>(medium.counters.get(PapiEvent::kL1Dcm)) /
+      static_cast<double>(medium.counters.get(PapiEvent::kTotIns));
+  EXPECT_GT(medium_rate, 5.0 * tiny_rate);
+}
+
+TEST(HarnessCounters, StencilTrafficLandsInCaches) {
+  // srad small fits L2 on the Skylake: after warm-up there must be almost
+  // no L3 misses relative to accesses.
+  harness::MeasureOptions opts;
+  opts.functional = false;
+  opts.collect_counters = true;
+  auto dwarf = dwarfs::create_dwarf("srad");
+  const harness::Measurement m = harness::measure(
+      *dwarf, ProblemSize::kSmall, testbed_device("i7-6700K"), opts);
+  ASSERT_TRUE(m.counters_collected);
+  EXPECT_LT(m.counters.l3_miss_rate(), 1e-3);
+}
+
+}  // namespace
+}  // namespace eod::sim

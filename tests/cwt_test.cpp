@@ -1,0 +1,122 @@
+// Tests for the continuous wavelet transform extension benchmark (§2:
+// "we plan to add a continuous wavelet transform code").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dwarfs/cwt/cwt.hpp"
+#include "dwarfs/registry.hpp"
+#include "harness/problem_size.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/queue.hpp"
+
+namespace eod::dwarfs {
+namespace {
+
+void run_functional(Cwt& cwt) {
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  cwt.bind(ctx, q);
+  cwt.run();
+  cwt.finish();
+  cwt.unbind();
+}
+
+TEST(Cwt, RegisteredAsExtension) {
+  EXPECT_EQ(extension_names().size(), 1u);
+  EXPECT_EQ(extension_names()[0], "cwt");
+  // Not in the paper's Table 2 roster...
+  for (const auto& n : benchmark_names()) EXPECT_NE(n, "cwt");
+  // ...but constructible through the factory.
+  EXPECT_EQ(create_dwarf("cwt")->berkeley_dwarf(), "Spectral Methods");
+}
+
+TEST(Cwt, ValidatesAgainstSerialReference) {
+  Cwt cwt;
+  cwt.setup(ProblemSize::kTiny);
+  run_functional(cwt);
+  const Validation v = cwt.validate();
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
+TEST(Cwt, FootprintsFollowTheSizeMethodology) {
+  const harness::SizeClassBounds bounds =
+      harness::SizeClassBounds::from_device(sim::skylake());
+  Cwt cwt;
+  EXPECT_LE(cwt.footprint_bytes(ProblemSize::kTiny), bounds.l1_bytes);
+  EXPECT_LE(cwt.footprint_bytes(ProblemSize::kSmall), bounds.l2_bytes);
+  EXPECT_LE(cwt.footprint_bytes(ProblemSize::kMedium), bounds.l3_bytes);
+  EXPECT_GT(cwt.footprint_bytes(ProblemSize::kLarge), bounds.l3_bytes);
+}
+
+TEST(Cwt, FootprintMatchesAllocator) {
+  Cwt cwt;
+  cwt.setup(ProblemSize::kTiny);
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  cwt.bind(ctx, q);
+  EXPECT_EQ(ctx.allocated_bytes(),
+            cwt.footprint_bytes(ProblemSize::kTiny));
+  cwt.unbind();
+}
+
+TEST(Cwt, SinusoidEnergyLocalisesAtMatchingScale) {
+  // A pure tone of period T concentrates |W| at the scale where the
+  // Morlet centre frequency matches: s* ~= omega0 * T / (2 pi).
+  constexpr std::size_t kN = 512;
+  constexpr double kPeriod = 32.0;
+  Cwt cwt;
+  cwt.configure(kN, 24);
+  // Inject a clean sinusoid through the custom-input path: rebuild the
+  // magnitudes from a configured instance whose generated signal we
+  // overwrite via validate-by-construction -- here we just rely on the
+  // generated two-tone signal's stronger 16-sample component.
+  run_functional(cwt);
+  // Row energy per scale; the strongest row must be near s* for T = 16:
+  // s* = 5 * 16 / (2 pi) ~= 12.7 -> j* = 4 log2(12.7) ~= 14.7.
+  const auto& mags = cwt.magnitudes();
+  double best_energy = -1.0;
+  unsigned best_j = 0;
+  for (unsigned j = 0; j < 24; ++j) {
+    double e = 0.0;
+    for (std::size_t b = 0; b < kN; ++b) {
+      e += static_cast<double>(mags[std::size_t{j} * kN + b]) *
+           mags[std::size_t{j} * kN + b];
+    }
+    if (e > best_energy) {
+      best_energy = e;
+      best_j = j;
+    }
+  }
+  const double expected_j = 4.0 * std::log2(5.0 * 16.0 / (2.0 * M_PI));
+  EXPECT_NEAR(static_cast<double>(best_j), expected_j, 2.5);
+  (void)kPeriod;
+}
+
+TEST(Cwt, ConfigureRejectsDegenerateInput) {
+  Cwt cwt;
+  EXPECT_THROW(cwt.configure(8), xcl::Error);
+  EXPECT_THROW(cwt.configure(256, 0), xcl::Error);
+}
+
+TEST(Cwt, ComputeBoundOnGpus) {
+  // The all-pairs-style convolution is flop-heavy: GPUs must win by a
+  // wide margin at medium size under the device model.
+  auto cwt = create_dwarf("cwt");
+  cwt->setup(ProblemSize::kMedium);
+  auto modeled = [&](const char* device) {
+    xcl::Context ctx(sim::testbed_device(device));
+    xcl::Queue q(ctx);
+    q.set_functional(false);
+    cwt->bind(ctx, q);
+    q.clear_events();
+    cwt->run();
+    const double t = q.modeled_kernel_seconds();
+    cwt->unbind();
+    return t;
+  };
+  EXPECT_GT(modeled("i7-6700K"), 5.0 * modeled("Titan X"));
+}
+
+}  // namespace
+}  // namespace eod::dwarfs

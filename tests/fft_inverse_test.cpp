@@ -1,0 +1,74 @@
+// On-device inverse FFT and roundtrip properties.
+#include <gtest/gtest.h>
+
+#include "dwarfs/fft/fft.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/queue.hpp"
+
+namespace eod::dwarfs {
+namespace {
+
+void run_on_device(Fft& fft, const char* device) {
+  xcl::Context ctx(sim::testbed_device(device));
+  xcl::Queue q(ctx);
+  fft.bind(ctx, q);
+  fft.run();
+  fft.finish();
+  fft.unbind();
+}
+
+TEST(FftInverse, ValidatesAgainstSerialReference) {
+  Fft fft;
+  fft.configure(1024, FftDirection::kInverse);
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  fft.bind(ctx, q);
+  fft.run();
+  fft.finish();
+  const Validation v = fft.validate();
+  EXPECT_TRUE(v.ok) << v.detail;
+  fft.unbind();
+}
+
+TEST(FftInverse, RoundTripAgainstGeneratedInput) {
+  constexpr std::size_t kN = 4096;
+  Fft forward;
+  forward.configure(kN, FftDirection::kForward);
+  run_on_device(forward, "i7-6700K");
+
+  Fft inverse;
+  inverse.configure(kN, FftDirection::kInverse);
+  inverse.set_input(forward.output());
+  run_on_device(inverse, "GTX 1080");
+
+  // Regenerate the deterministic input the forward transform consumed.
+  SplitMix64 rng(0x666674ull);
+  std::vector<float> original(2 * kN);
+  for (float& v : original) v = rng.uniform(-1.0f, 1.0f);
+
+  const Validation v =
+      validate_norm(inverse.output(), original, 1e-4, "ifft(fft(x)) vs x");
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
+TEST(FftInverse, SerialReferencesInvertEachOther) {
+  std::vector<std::complex<double>> x(256);
+  SplitMix64 rng(21);
+  for (auto& v : x) v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+  std::vector<std::complex<double>> y = x;
+  Fft::reference_fft(y);
+  Fft::reference_ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftInverse, SetInputRejectsWrongSize) {
+  Fft fft;
+  fft.configure(64);
+  std::vector<float> wrong(100, 0.0f);
+  EXPECT_THROW(fft.set_input(wrong), xcl::Error);
+}
+
+}  // namespace
+}  // namespace eod::dwarfs

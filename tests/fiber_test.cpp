@@ -1,0 +1,104 @@
+// Tests for the fiber scheduler that realises work-group barriers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xcl/error.hpp"
+#include "xcl/fiber.hpp"
+
+namespace eod::xcl {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  int ran = 0;
+  Fiber f([&] { ran = 1; });
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield_current();
+    order.push_back(3);
+  });
+  f.resume();
+  order.push_back(2);
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, ExceptionInsideBodyRethrownAtResume) {
+  Fiber f([] { throw std::runtime_error("inside fiber"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.done());
+}
+
+TEST(Fiber, ResumeAfterDoneIsLogicError) {
+  Fiber f([] {});
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, YieldOutsideFiberIsLogicError) {
+  EXPECT_THROW(Fiber::yield_current(), std::logic_error);
+}
+
+TEST(FiberGroup, BarrierSemanticsAcrossRounds) {
+  // Classic barrier test: phase 1 writes, phase 2 reads a peer's value.
+  constexpr std::size_t kN = 16;
+  std::vector<int> stage(kN, -1);
+  std::vector<int> seen(kN, -1);
+  run_fiber_group(kN, [&](std::size_t i) {
+    stage[i] = static_cast<int>(i);
+    Fiber::yield_current();  // barrier
+    seen[i] = stage[(i + 1) % kN];
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>((i + 1) % kN));
+  }
+}
+
+TEST(FiberGroup, ManyBarrierRounds) {
+  constexpr std::size_t kN = 8;
+  constexpr int kRounds = 50;
+  std::vector<long> acc(kN, 0);
+  run_fiber_group(kN, [&](std::size_t i) {
+    for (int r = 0; r < kRounds; ++r) {
+      acc[i] += r;
+      Fiber::yield_current();
+    }
+  });
+  for (const long v : acc) EXPECT_EQ(v, kRounds * (kRounds - 1) / 2);
+}
+
+TEST(FiberGroup, DivergentBarrierDetected) {
+  // Item 0 performs one fewer barrier than its peers: a kernel bug that
+  // deadlocks real OpenCL; here it must be diagnosed.
+  EXPECT_THROW(run_fiber_group(4,
+                               [&](std::size_t i) {
+                                 if (i != 0) Fiber::yield_current();
+                               }),
+               Error);
+}
+
+TEST(FiberGroup, EmptyGroupIsNoop) {
+  run_fiber_group(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(FiberGroup, SingleItemGroup) {
+  int runs = 0;
+  run_fiber_group(1, [&](std::size_t) {
+    ++runs;
+    Fiber::yield_current();
+    ++runs;
+  });
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace
+}  // namespace eod::xcl

@@ -1,0 +1,289 @@
+// Integration tests: the qualitative claims of the paper's evaluation
+// section (§5, Figures 1-5), asserted against the simulated testbed.
+// These are the reproduction's contract -- see DESIGN.md §4 and
+// EXPERIMENTS.md for the full index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dwarfs/registry.hpp"
+#include "harness/runner.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+namespace {
+
+using dwarfs::ProblemSize;
+using sim::AcceleratorClass;
+
+MeasureOptions model_only() {
+  MeasureOptions o;
+  o.samples = 10;
+  o.functional = false;
+  o.validate = false;
+  return o;
+}
+
+/// Median modeled time (ms) per device name for one benchmark/size.
+std::map<std::string, double> medians(const std::string& benchmark,
+                                      ProblemSize size) {
+  std::map<std::string, double> out;
+  for (const Measurement& m :
+       measure_all_devices(benchmark, size, model_only())) {
+    out[m.device] = m.time_summary().median;
+  }
+  return out;
+}
+
+double best_of_class(const std::map<std::string, double>& times,
+                     AcceleratorClass klass) {
+  double best = HUGE_VAL;
+  for (const auto& [name, t] : times) {
+    if (sim::spec_by_name(name).klass == klass) best = std::min(best, t);
+  }
+  return best;
+}
+
+double worst_of_class(const std::map<std::string, double>& times,
+                      AcceleratorClass klass) {
+  double worst = 0.0;
+  for (const auto& [name, t] : times) {
+    if (sim::spec_by_name(name).klass == klass) worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+double best_gpu(const std::map<std::string, double>& times) {
+  return std::min(best_of_class(times, AcceleratorClass::kConsumerGpu),
+                  best_of_class(times, AcceleratorClass::kHpcGpu));
+}
+
+// ---- Figure 1: crc ----
+
+TEST(Fig1Crc, CpusFastestAtEverySize) {
+  // "Execution times for crc are lowest on CPU-type architectures."
+  for (const ProblemSize s :
+       {ProblemSize::kTiny, ProblemSize::kSmall, ProblemSize::kMedium,
+        ProblemSize::kLarge}) {
+    const auto t = medians("crc", s);
+    const double worst_cpu = worst_of_class(t, AcceleratorClass::kCpu);
+    EXPECT_LT(worst_cpu, best_gpu(t))
+        << "crc " << to_string(s) << ": a GPU beat a CPU";
+  }
+}
+
+TEST(Fig1Crc, KnlIsPoor) {
+  // "the performance on the KNL is poor due to the lack of support for
+  // wide vector registers in Intel's OpenCL SDK."
+  const auto t = medians("crc", ProblemSize::kLarge);
+  const double knl = t.at("Xeon Phi 7210");
+  EXPECT_GT(knl, 3.0 * worst_of_class(t, AcceleratorClass::kCpu));
+  // KNL lands in the worst tier overall: slower than every NVIDIA part.
+  for (const char* dev : {"Titan X", "GTX 1080", "GTX 1080 Ti", "K20m",
+                          "K40m"}) {
+    EXPECT_GT(knl, t.at(dev)) << dev;
+  }
+}
+
+// ---- §5.1 headline: every non-crc benchmark is fastest on a GPU ----
+
+class GpuWins : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GpuWins, BestDeviceIsAGpuAtLargestSize) {
+  auto dwarf = dwarfs::create_dwarf(GetParam());
+  const ProblemSize size = dwarf->supported_sizes().back();
+  const auto t = medians(GetParam(), size);
+  EXPECT_LT(best_gpu(t), best_of_class(t, AcceleratorClass::kCpu))
+      << GetParam() << " at " << to_string(size);
+}
+
+// hmm is excluded: its tiny instance is launch-overhead-bound, where the
+// modeled CPU runtime wins (documented deviation, see EXPERIMENTS.md).
+INSTANTIATE_TEST_SUITE_P(NonCrcBenchmarks, GpuWins,
+                         ::testing::Values("kmeans", "lud", "csr", "fft",
+                                           "dwt", "srad", "nw", "gem",
+                                           "nqueens"),
+                         [](const auto& info) { return info.param; });
+
+// ---- Figure 2a: kmeans ----
+
+TEST(Fig2Kmeans, CpuComparableToGpu) {
+  // "A notable exception is k-means for which CPU execution times were
+  // comparable to GPU, which reflects the relatively low ratio of
+  // floating-point to memory operations."
+  const auto t = medians("kmeans", ProblemSize::kLarge);
+  const double cpu = best_of_class(t, AcceleratorClass::kCpu);
+  const double gpu = best_gpu(t);
+  EXPECT_LT(cpu, 4.0 * gpu);  // same order of magnitude
+  // ... unlike srad at the same size, where the gap is much wider.
+  const auto ts = medians("srad", ProblemSize::kLarge);
+  EXPECT_GT(best_of_class(ts, AcceleratorClass::kCpu), 6.0 * best_gpu(ts));
+}
+
+// ---- Figure 2b/2d/2e: the i5-3550's small L3 ----
+
+class I5Cliff : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(I5Cliff, I5DegradesFromSmallToMedium) {
+  // "the older i5-3550 CPU has a smaller L3 cache and exhibits worse
+  // performance when moving from small to medium problem sizes" (shown for
+  // lud, dwt, fft, srad) -- medium working sets fit the 8 MiB L3 of the
+  // i7-6700K but spill the i5's 6 MiB.
+  const auto small = medians(GetParam(), ProblemSize::kSmall);
+  const auto medium = medians(GetParam(), ProblemSize::kMedium);
+  const double i5_growth = medium.at("i5-3550") / small.at("i5-3550");
+  const double i7_growth = medium.at("i7-6700K") / small.at("i7-6700K");
+  EXPECT_GT(i5_growth, 2.0 * i7_growth) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SpectralAndDense, I5Cliff,
+                         ::testing::Values("lud", "dwt", "fft", "srad"),
+                         [](const auto& info) { return info.param; });
+
+// ---- Figure 3a: srad gap widens ----
+
+TEST(Fig3Srad, CpuGpuGapWidensWithProblemSize) {
+  // "Examining the transition from tiny to large problem sizes ... shows
+  // the performance gap between CPU and GPU architectures widening for
+  // srad."
+  double prev_ratio = 0.0;
+  for (const ProblemSize s :
+       {ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge}) {
+    const auto t = medians("srad", s);
+    const double ratio =
+        best_of_class(t, AcceleratorClass::kCpu) / best_gpu(t);
+    EXPECT_GT(ratio, prev_ratio) << to_string(s);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 5.0);  // decisively GPU territory at large
+}
+
+// ---- Figure 3b: nw ----
+
+TEST(Fig3Nw, AmdGpusDegradeWithSize) {
+  // "all AMD GPUs exhibit worse performance as size increases" and "a
+  // widening performance gap over each increase in problem size between
+  // AMD GPUs and the other devices."
+  double prev_gap = 0.0;
+  for (const ProblemSize s :
+       {ProblemSize::kSmall, ProblemSize::kMedium, ProblemSize::kLarge}) {
+    const auto t = medians("nw", s);
+    double best_amd = HUGE_VAL;
+    double best_nvidia = HUGE_VAL;
+    for (const auto& [name, time] : t) {
+      const auto& spec = sim::spec_by_name(name);
+      if (spec.vendor == "AMD") best_amd = std::min(best_amd, time);
+      if (spec.vendor == "Nvidia") best_nvidia = std::min(best_nvidia, time);
+    }
+    const double gap = best_amd / best_nvidia;
+    EXPECT_GT(gap, prev_gap) << to_string(s);
+    prev_gap = gap;
+  }
+  EXPECT_GT(prev_gap, 1.8);
+}
+
+TEST(Fig3Nw, IntelCpusComparableToNvidiaGpus) {
+  // "the Intel CPUs and NVIDIA GPUs perform comparably over all problem
+  // sizes" -- dynamic programming performance is tied to runtime support,
+  // not accelerator class.
+  for (const ProblemSize s : {ProblemSize::kSmall, ProblemSize::kLarge}) {
+    const auto t = medians("nw", s);
+    double best_nvidia = HUGE_VAL;
+    for (const auto& [name, time] : t) {
+      if (sim::spec_by_name(name).vendor == "Nvidia") {
+        best_nvidia = std::min(best_nvidia, time);
+      }
+    }
+    const double best_cpu = best_of_class(t, AcceleratorClass::kCpu);
+    EXPECT_LT(best_cpu / best_nvidia, 3.0) << to_string(s);
+    EXPECT_GT(best_cpu / best_nvidia, 1.0 / 3.0) << to_string(s);
+  }
+}
+
+// ---- HPC vs consumer GPU generations ----
+
+TEST(GpuGenerations, HpcGpusBeatSameGenerationConsumersButLoseToModern) {
+  // "While the HPC GPUs outperformed consumer GPUs of the same generation
+  // for most benchmarks and problem sizes, they were always beaten by more
+  // modern GPUs."
+  int hpc_beats_same_gen = 0;
+  int modern_beats_hpc = 0;
+  int cases = 0;
+  for (const char* bench : {"lud", "srad", "fft", "csr"}) {
+    const auto t = medians(bench, ProblemSize::kLarge);
+    // FirePro S9150 (HPC Hawaii) vs HD 7970 (consumer Tahiti, older gen).
+    if (t.at("FirePro S9150") < t.at("HD 7970")) ++hpc_beats_same_gen;
+    // Modern consumer (Titan X) vs the HPC parts.
+    if (t.at("Titan X") < t.at("K20m") &&
+        t.at("Titan X") < t.at("FirePro S9150")) {
+      ++modern_beats_hpc;
+    }
+    ++cases;
+  }
+  EXPECT_GE(hpc_beats_same_gen, cases - 1);  // "for most benchmarks"
+  EXPECT_EQ(modern_beats_hpc, cases);        // "always beaten"
+}
+
+// ---- CoV vs clock (§5.1) ----
+
+TEST(Variance, LowerClockedDevicesShowHigherCov) {
+  // "the coefficient of variation in execution times is much greater for
+  // devices with a lower clock frequency, regardless of accelerator type."
+  MeasureOptions o = model_only();
+  o.samples = 50;
+  const auto all = measure_all_devices("srad", ProblemSize::kMedium, o);
+  double k20_cov = 0.0;
+  double i7_cov = 0.0;
+  double titan_cov = 0.0;
+  for (const auto& m : all) {
+    if (m.device == "K20m") k20_cov = m.time_summary().cov();
+    if (m.device == "i7-6700K") i7_cov = m.time_summary().cov();
+    if (m.device == "Titan X") titan_cov = m.time_summary().cov();
+  }
+  EXPECT_GT(k20_cov, i7_cov);     // 706 MHz vs 4.3 GHz
+  EXPECT_GT(k20_cov, titan_cov);  // 706 MHz vs 1.5 GHz, same class
+}
+
+// ---- Figure 5: energy ----
+
+TEST(Fig5Energy, CpuUsesMoreEnergyExceptCrc) {
+  // "All the benchmarks use more energy on the CPU, with the exception of
+  // crc."
+  MeasureOptions o = model_only();
+  for (const char* bench :
+       {"kmeans", "lud", "csr", "fft", "dwt", "gem", "srad", "crc"}) {
+    auto dwarf = dwarfs::create_dwarf(bench);
+    MeasureOptions per = o;
+    const Measurement cpu = measure(*dwarf, ProblemSize::kLarge,
+                                    sim::testbed_device("i7-6700K"), per);
+    per.reuse_setup = true;
+    const Measurement gpu = measure(*dwarf, ProblemSize::kLarge,
+                                    sim::testbed_device("GTX 1080"), per);
+    const double ratio =
+        cpu.energy_summary().median / gpu.energy_summary().median;
+    if (std::string(bench) == "crc") {
+      EXPECT_LT(ratio, 1.0) << bench;
+    } else {
+      EXPECT_GT(ratio, 1.0) << bench;
+    }
+  }
+}
+
+TEST(Fig5Energy, EnergyVarianceLargerOnCpu) {
+  // "Variance with respect to energy usage is larger on the CPU, which is
+  // consistent with the execution time results."  (RAPL integrates
+  // accurately, so the spread follows the time spread; we check times.)
+  MeasureOptions o = model_only();
+  o.samples = 50;
+  auto dwarf = dwarfs::create_dwarf("fft");
+  const Measurement cpu = measure(*dwarf, ProblemSize::kLarge,
+                                  sim::testbed_device("i5-3550"), o);
+  o.reuse_setup = true;
+  const Measurement gpu = measure(*dwarf, ProblemSize::kLarge,
+                                  sim::testbed_device("Titan X"), o);
+  EXPECT_GT(cpu.time_summary().cov() * 3.0, gpu.time_summary().cov());
+}
+
+}  // namespace
+}  // namespace eod::harness

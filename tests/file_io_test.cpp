@@ -1,0 +1,140 @@
+// Tests for the dataset file formats: the createcsr matrix file (Table 3's
+// Psi) and the PQR molecule format gem consumes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dwarfs/csr/csr_io.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/queue.hpp"
+#include "dwarfs/gem/gem.hpp"
+
+namespace eod::dwarfs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsrIo, RoundTripsExactly) {
+  const CsrMatrix m = create_csr(500, 0.01, 7);
+  const std::string path = temp_path("roundtrip.csr");
+  save_csr(m, path);
+  const CsrMatrix back = load_csr(path);
+  EXPECT_EQ(back.n, m.n);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.vals, m.vals);
+  std::remove(path.c_str());
+}
+
+TEST(CsrIo, LoadedMatrixValidatesThroughTheBenchmark) {
+  const std::string path = temp_path("bench.csr");
+  save_csr(create_csr(300, 0.02, 9), path);
+  Csr csr;
+  csr.configure_with_matrix(load_csr(path));
+  xcl::Context ctx(sim::testbed_device("i7-6700K"));
+  xcl::Queue q(ctx);
+  csr.bind(ctx, q);
+  csr.run();
+  csr.finish();
+  EXPECT_TRUE(csr.validate().ok);
+  csr.unbind();
+  std::remove(path.c_str());
+}
+
+TEST(CsrIo, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW((void)load_csr("/nonexistent/x.csr"), std::runtime_error);
+
+  // Wrong magic.
+  const std::string bad_magic = temp_path("bad_magic.csr");
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTACSRFILE";
+  }
+  EXPECT_THROW((void)load_csr(bad_magic), std::runtime_error);
+  std::remove(bad_magic.c_str());
+
+  // Truncated body.
+  const CsrMatrix m = create_csr(100, 0.05, 3);
+  const std::string full = temp_path("full.csr");
+  save_csr(m, full);
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string truncated = temp_path("trunc.csr");
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW((void)load_csr(truncated), std::runtime_error);
+
+  // Corrupt a column index beyond n: structural validation must catch it.
+  const std::string corrupt = temp_path("corrupt.csr");
+  {
+    std::string mutated = bytes;
+    // cols live after magic(8) + n(8) + rowptr hdr(8) + rowptr data +
+    // cols hdr(8); flip the first column's bytes to a huge value.
+    const std::size_t cols_off =
+        8 + 8 + 8 + (m.n + 1) * sizeof(std::uint32_t) + 8;
+    mutated[cols_off] = '\xFF';
+    mutated[cols_off + 1] = '\xFF';
+    mutated[cols_off + 2] = '\xFF';
+    mutated[cols_off + 3] = '\x7F';
+    std::ofstream out(corrupt, std::ios::binary);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+  }
+  EXPECT_THROW((void)load_csr(corrupt), std::runtime_error);
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+  std::remove(corrupt.c_str());
+}
+
+TEST(PqrIo, RoundTripsWithinFormatPrecision) {
+  const Molecule m = generate_molecule(256, 5);
+  const std::string path = temp_path("mol.pqr");
+  save_pqr(m, path);
+  const Molecule back = load_pqr(path);
+  ASSERT_EQ(back.atoms(), m.atoms());
+  for (std::size_t i = 0; i < m.atoms(); ++i) {
+    EXPECT_NEAR(back.x[i], m.x[i], 1e-3);  // %8.3f coordinates
+    EXPECT_NEAR(back.y[i], m.y[i], 1e-3);
+    EXPECT_NEAR(back.z[i], m.z[i], 1e-3);
+    EXPECT_NEAR(back.q[i], m.q[i], 1e-4);  // %7.4f charge
+    EXPECT_NEAR(back.r[i], m.r[i], 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PqrIo, SkipsNonAtomRecordsAndRejectsGarbage) {
+  const std::string path = temp_path("mixed.pqr");
+  {
+    std::ofstream out(path);
+    out << "REMARK test molecule\n"
+        << "ATOM      1  C   MOL A   1       1.000   2.000   3.000 "
+           "0.5000 1.5000\n"
+        << "TER\n"
+        << "HETATM    2  O   HOH A   2      -1.000  -2.000  -3.000 "
+           "-0.5000 1.2000\n"
+        << "END\n";
+  }
+  const Molecule m = load_pqr(path);
+  ASSERT_EQ(m.atoms(), 2u);
+  EXPECT_FLOAT_EQ(m.x[0], 1.0f);
+  EXPECT_FLOAT_EQ(m.q[1], -0.5f);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)load_pqr("/nonexistent/mol.pqr"), std::runtime_error);
+  const std::string empty = temp_path("empty.pqr");
+  {
+    std::ofstream out(empty);
+    out << "REMARK nothing here\n";
+  }
+  EXPECT_THROW((void)load_pqr(empty), std::runtime_error);
+  std::remove(empty.c_str());
+}
+
+}  // namespace
+}  // namespace eod::dwarfs

@@ -1,0 +1,104 @@
+// Regression bands for the calibrated device models.  The figure-shape
+// tests assert orderings; these pin the absolute modeled magnitudes into
+// loose bands so an accidental re-tune of one knob (bandwidths, overheads,
+// pattern factors) that silently shifts everything is caught.
+//
+// Bands are intentionally wide (2-4x) -- they are tripwires, not golden
+// values.  If a deliberate recalibration moves a number, update the band
+// and EXPERIMENTS.md together.
+#include <gtest/gtest.h>
+
+#include "dwarfs/registry.hpp"
+#include "harness/runner.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+namespace {
+
+using dwarfs::ProblemSize;
+
+double modeled_ms(const char* bench, ProblemSize size, const char* device) {
+  MeasureOptions o;
+  o.samples = 1;
+  o.functional = false;
+  auto dwarf = dwarfs::create_dwarf(bench);
+  return measure(*dwarf, size, sim::testbed_device(device), o)
+             .kernel_seconds *
+         1e3;
+}
+
+struct Band {
+  const char* bench;
+  ProblemSize size;
+  const char* device;
+  double lo_ms;
+  double hi_ms;
+};
+
+class RegressionBands : public ::testing::TestWithParam<Band> {};
+
+TEST_P(RegressionBands, ModeledTimeWithinBand) {
+  const Band& b = GetParam();
+  const double t = modeled_ms(b.bench, b.size, b.device);
+  EXPECT_GE(t, b.lo_ms) << b.bench << " on " << b.device;
+  EXPECT_LE(t, b.hi_ms) << b.bench << " on " << b.device;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CalibratedPoints, RegressionBands,
+    ::testing::Values(
+        // Figure 1 anchors.
+        Band{"crc", ProblemSize::kLarge, "i7-6700K", 0.08, 0.8},
+        Band{"crc", ProblemSize::kLarge, "GTX 1080", 0.3, 2.5},
+        Band{"crc", ProblemSize::kLarge, "Xeon Phi 7210", 0.8, 8.0},
+        Band{"crc", ProblemSize::kTiny, "i7-6700K", 0.002, 0.03},
+        // Figure 2 anchors.
+        Band{"kmeans", ProblemSize::kLarge, "i7-6700K", 1.5, 15.0},
+        Band{"kmeans", ProblemSize::kLarge, "Titan X", 0.8, 8.0},
+        Band{"lud", ProblemSize::kLarge, "Titan X", 20.0, 200.0},
+        Band{"fft", ProblemSize::kLarge, "i7-6700K", 10.0, 100.0},
+        Band{"fft", ProblemSize::kLarge, "GTX 1080", 1.0, 12.0},
+        // Figure 3 anchors.
+        Band{"srad", ProblemSize::kLarge, "i7-6700K", 1.5, 15.0},
+        Band{"srad", ProblemSize::kLarge, "Titan X", 0.1, 1.5},
+        Band{"nw", ProblemSize::kLarge, "R9 290X", 8.0, 40.0},
+        Band{"nw", ProblemSize::kLarge, "GTX 1080", 3.0, 20.0},
+        // Figure 4 anchors.
+        Band{"gem", ProblemSize::kTiny, "GTX 1080", 0.003, 0.08},
+        Band{"hmm", ProblemSize::kTiny, "i7-6700K", 0.1, 1.5}),
+    [](const auto& info) {
+      return std::string(info.param.bench) + "_" +
+             to_string(info.param.size) + "_" +
+             [d = std::string(info.param.device)]() mutable {
+               for (auto& c : d) {
+                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+               }
+               return d;
+             }();
+    });
+
+TEST(RegressionBands, EnergyAnchors) {
+  MeasureOptions o;
+  o.functional = false;
+  auto fft = dwarfs::create_dwarf("fft");
+  const Measurement cpu = measure(*fft, ProblemSize::kLarge,
+                                  sim::testbed_device("i7-6700K"), o);
+  // ~70 W x ~28 ms: tens of millijoules to a few joules.
+  const double j = cpu.energy_summary().median;
+  EXPECT_GT(j, 0.2);
+  EXPECT_LT(j, 20.0);
+}
+
+TEST(RegressionBands, TransferAnchors) {
+  // fft large moves 2 x 16 MiB each way on a PCIe device.
+  MeasureOptions o;
+  o.functional = false;
+  auto fft = dwarfs::create_dwarf("fft");
+  const Measurement m = measure(*fft, ProblemSize::kLarge,
+                                sim::testbed_device("GTX 1080"), o);
+  EXPECT_GT(m.transfer_seconds * 1e3, 1.0);
+  EXPECT_LT(m.transfer_seconds * 1e3, 20.0);
+}
+
+}  // namespace
+}  // namespace eod::harness

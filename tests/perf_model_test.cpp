@@ -1,0 +1,229 @@
+// Tests for the device registry (Table 1) and the analytic timing model's
+// qualitative properties.
+#include <gtest/gtest.h>
+
+#include "sim/device_spec.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::sim {
+namespace {
+
+xcl::KernelLaunchStats compute_bound_launch(double flops = 1e9,
+                                            std::size_t items = 1 << 20) {
+  xcl::WorkloadProfile p;
+  p.flops = flops;
+  p.bytes_read = flops / 100.0;  // high arithmetic intensity
+  p.working_set_bytes = p.bytes_read;
+  return {"compute", xcl::NDRange(items, 64), p};
+}
+
+xcl::KernelLaunchStats bandwidth_bound_launch(double bytes = 1e9,
+                                              std::size_t items = 1 << 20) {
+  xcl::WorkloadProfile p;
+  p.flops = bytes / 100.0;
+  p.bytes_read = bytes;
+  p.working_set_bytes = bytes;
+  return {"stream", xcl::NDRange(items, 64), p};
+}
+
+TEST(DeviceSpec, Table1RosterComplete) {
+  const auto& tb = testbed();
+  ASSERT_EQ(tb.size(), 15u);
+  int cpus = 0, nvidia = 0, amd = 0, mic = 0;
+  for (const DeviceSpec& d : tb) {
+    if (d.klass == AcceleratorClass::kCpu) ++cpus;
+    if (d.klass == AcceleratorClass::kMic) ++mic;
+    if (d.vendor == "Nvidia") ++nvidia;
+    if (d.vendor == "AMD") ++amd;
+  }
+  // "three Intel CPUs, five Nvidia GPUs, six AMD GPUs and a Xeon Phi."
+  EXPECT_EQ(cpus, 3);
+  EXPECT_EQ(nvidia, 5);
+  EXPECT_EQ(amd, 6);
+  EXPECT_EQ(mic, 1);
+}
+
+TEST(DeviceSpec, Table1ValuesSpotCheck) {
+  const DeviceSpec& sky = skylake();
+  EXPECT_EQ(sky.core_count, 8u);  // hyper-threaded cores
+  EXPECT_EQ(sky.l1_kib, 32u);
+  EXPECT_EQ(sky.l2_kib, 256u);
+  EXPECT_EQ(sky.l3_kib, 8192u);
+  EXPECT_EQ(sky.tdp_w, 91u);
+  EXPECT_EQ(sky.clock_turbo_mhz, 4300u);
+
+  const DeviceSpec& knl = spec_by_name("Xeon Phi 7210");
+  EXPECT_EQ(knl.core_count, 256u);
+  EXPECT_EQ(knl.tdp_w, 215u);
+  // The paper: KNL floating-point peak is halved by the AVX2-only SDK.
+  EXPECT_LT(knl.peak_sp_gflops, 5400.0);
+
+  EXPECT_THROW(spec_by_name("GTX 9090"), std::invalid_argument);
+}
+
+TEST(DeviceSpec, EveryDeviceHasDerivedParameters) {
+  for (const DeviceSpec& d : testbed()) {
+    EXPECT_GT(d.peak_sp_gflops, 0.0) << d.name;
+    EXPECT_GT(d.mem_bandwidth_gbs, 0.0) << d.name;
+    EXPECT_GT(d.global_mem_bytes, 0u) << d.name;
+    EXPECT_GT(d.launch_overhead_us, 0.0) << d.name;
+    EXPECT_GT(d.scalar_gops, 0.0) << d.name;
+    EXPECT_GT(d.l1.size_bytes, 0u) << d.name;
+    EXPECT_GT(d.l2.size_bytes, 0u) << d.name;
+    EXPECT_LT(d.idle_power_w, d.tdp_w) << d.name;
+  }
+}
+
+TEST(PerfModel, MoreWorkTakesLonger) {
+  const DevicePerfModel m(skylake());
+  EXPECT_LT(m.kernel_seconds(compute_bound_launch(1e8)),
+            m.kernel_seconds(compute_bound_launch(1e10)));
+  EXPECT_LT(m.kernel_seconds(bandwidth_bound_launch(1e7)),
+            m.kernel_seconds(bandwidth_bound_launch(1e9)));
+}
+
+TEST(PerfModel, LaunchOverheadIsTheFloor) {
+  const DevicePerfModel m(spec_by_name("GTX 1080"));
+  xcl::WorkloadProfile empty;
+  const double t = m.kernel_seconds({"noop", xcl::NDRange(1), empty});
+  EXPECT_NEAR(t, m.spec().launch_overhead_us * 1e-6, 1e-9);
+}
+
+TEST(PerfModel, GpuBeatsCpuOnComputeBoundWork) {
+  const DevicePerfModel cpu(skylake());
+  const DevicePerfModel gpu(spec_by_name("GTX 1080"));
+  const auto launch = compute_bound_launch(1e10);
+  EXPECT_LT(gpu.kernel_seconds(launch), cpu.kernel_seconds(launch));
+}
+
+TEST(PerfModel, CacheResidencySpeedsUpSmallWorkingSets) {
+  const DevicePerfModel m(skylake());
+  auto launch = bandwidth_bound_launch(1e8);
+  launch.profile.working_set_bytes = 16 * 1024;         // L1-resident
+  const double t_l1 = m.kernel_seconds(launch);
+  launch.profile.working_set_bytes = 4 * 1024 * 1024;   // L3-resident
+  const double t_l3 = m.kernel_seconds(launch);
+  launch.profile.working_set_bytes = 256.0 * 1024 * 1024;  // DRAM
+  const double t_dram = m.kernel_seconds(launch);
+  EXPECT_LT(t_l1, t_l3);
+  EXPECT_LT(t_l3, t_dram);
+}
+
+TEST(PerfModel, BreakdownComponentsSumConsistently) {
+  const DevicePerfModel m(skylake());
+  const auto launch = bandwidth_bound_launch(1e8);
+  const auto b = m.analyze(launch);
+  EXPECT_NEAR(b.total_s,
+              b.launch_s + std::max(b.compute_s, b.memory_s) + b.latency_s +
+                  b.serial_s,
+              1e-12);
+  EXPECT_EQ(b.residence_level, 4);  // 1 GB working set: DRAM
+}
+
+TEST(PerfModel, DivergencePenalisesWideSimdMore) {
+  const DevicePerfModel amd(spec_by_name("R9 290X"));   // wavefront 64
+  const DevicePerfModel cpu(skylake());                 // AVX 8
+  auto launch = compute_bound_launch(1e10);
+  const double amd_clean = amd.kernel_seconds(launch);
+  const double cpu_clean = cpu.kernel_seconds(launch);
+  launch.profile.branch_divergence = 0.8;
+  const double amd_div = amd.kernel_seconds(launch) / amd_clean;
+  const double cpu_div = cpu.kernel_seconds(launch) / cpu_clean;
+  EXPECT_GT(amd_div, cpu_div);  // relative slowdown worse on wide SIMD
+}
+
+TEST(PerfModel, PartialWavefrontWastesAmdLanes) {
+  // The Rodinia-style block size of 16 under-fills a 64-wide wavefront:
+  // the "platform-specific local work-group size" effect.
+  const DevicePerfModel amd(spec_by_name("R9 290X"));
+  xcl::WorkloadProfile p = compute_bound_launch(1e9).profile;
+  const double t16 =
+      amd.kernel_seconds({"k", xcl::NDRange(1 << 20, 16), p});
+  const double t64 =
+      amd.kernel_seconds({"k", xcl::NDRange(1 << 20, 64), p});
+  EXPECT_GT(t16, 2.0 * t64);
+}
+
+TEST(PerfModel, UnderOccupiedDeviceRunsSlower) {
+  const DevicePerfModel gpu(spec_by_name("Titan X"));
+  // Same total work, few items: cannot fill 3584 lanes.
+  const double t_few =
+      gpu.kernel_seconds(compute_bound_launch(1e9, 128));
+  const double t_many =
+      gpu.kernel_seconds(compute_bound_launch(1e9, 1 << 20));
+  EXPECT_GT(t_few, 4.0 * t_many);
+}
+
+TEST(PerfModel, AmdahlSerialFractionDominates) {
+  const DevicePerfModel gpu(spec_by_name("GTX 1080"));
+  auto launch = compute_bound_launch(1e9);
+  const double t_par = gpu.kernel_seconds(launch);
+  launch.profile.parallel_fraction = 0.5;
+  const double t_half = gpu.kernel_seconds(launch);
+  EXPECT_GT(t_half, 10.0 * t_par);  // half the work at scalar speed
+}
+
+TEST(PerfModel, TransfersIncludeLatencyAndBandwidth) {
+  const DevicePerfModel gpu(spec_by_name("GTX 1080"));
+  const double t0 = gpu.transfer_seconds(0, xcl::TransferDir::kHostToDevice);
+  const double t1g =
+      gpu.transfer_seconds(1 << 30, xcl::TransferDir::kDeviceToHost);
+  EXPECT_NEAR(t0, gpu.spec().transfer_latency_us * 1e-6, 1e-12);
+  // ~12 GB/s PCIe: a GiB takes the better part of 100 ms.
+  EXPECT_GT(t1g, 0.05);
+  EXPECT_LT(t1g, 0.2);
+}
+
+TEST(PerfModel, PowerBoundedByIdleAndTdp) {
+  for (const DeviceSpec& d : testbed()) {
+    const DevicePerfModel m(d);
+    const double w = m.kernel_power_watts(bandwidth_bound_launch(1e9));
+    EXPECT_GE(w, d.idle_power_w) << d.name;
+    EXPECT_LE(w, d.tdp_w + 1e-9) << d.name;
+  }
+}
+
+TEST(PerfModel, NoiseCovLargerForLowerClocks) {
+  // The paper: CoV is much greater for devices with a lower clock
+  // frequency, regardless of accelerator type.
+  const DevicePerfModel k20(spec_by_name("K20m"));     // 706 MHz
+  const DevicePerfModel sky(skylake());                // 4000 MHz
+  EXPECT_GT(k20.measurement_noise_cov(), sky.measurement_noise_cov());
+}
+
+TEST(PerfModel, PatternFactorsOrdered) {
+  const DevicePerfModel gpu(spec_by_name("GTX 1080"));
+  using xcl::AccessPattern;
+  EXPECT_GT(gpu.pattern_bandwidth_factor(AccessPattern::kStreaming),
+            gpu.pattern_bandwidth_factor(AccessPattern::kStrided));
+  EXPECT_GT(gpu.pattern_bandwidth_factor(AccessPattern::kStrided),
+            gpu.pattern_bandwidth_factor(AccessPattern::kGather));
+}
+
+TEST(EnergyMeter, RaplIsAccurateNvmlIsNoisy) {
+  EnergyMeter rapl(EnergyInstrument::kRapl, 7);
+  EnergyMeter nvml(EnergyInstrument::kNvml, 7);
+  double rapl_spread = 0.0;
+  double nvml_spread = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    rapl_spread += std::abs(rapl.measure(50.0, 2.0).joules - 100.0);
+    nvml_spread += std::abs(nvml.measure(50.0, 2.0).joules - 100.0);
+  }
+  EXPECT_LT(rapl_spread / 200.0, 3.0);   // ~1.5% of 100 J
+  EXPECT_GT(nvml_spread / 200.0, 1.0);   // +/-5 W over 2 s
+  EXPECT_GE(nvml.measure(0.5, 1.0).joules, 0.0);  // never negative
+}
+
+TEST(EnergyMeter, Deterministic) {
+  EnergyMeter a(EnergyInstrument::kNvml, 99);
+  EnergyMeter b(EnergyInstrument::kNvml, 99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.measure(80.0, 1.0).joules,
+                     b.measure(80.0, 1.0).joules);
+  }
+}
+
+}  // namespace
+}  // namespace eod::sim

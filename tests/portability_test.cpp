@@ -1,0 +1,85 @@
+// Tests for the performance-portability analysis (§7 "ideal performance").
+#include <gtest/gtest.h>
+
+#include "dwarfs/registry.hpp"
+#include "harness/portability.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+namespace {
+
+using dwarfs::ProblemSize;
+
+TEST(Pennycook, HarmonicMeanProperties) {
+  EXPECT_DOUBLE_EQ(pennycook_pp({}), 0.0);
+  EXPECT_DOUBLE_EQ(pennycook_pp({0.5}), 0.5);
+  EXPECT_NEAR(pennycook_pp({0.5, 0.5}), 0.5, 1e-12);
+  // Harmonic mean <= arithmetic mean, dominated by the worst device.
+  EXPECT_NEAR(pennycook_pp({1.0, 0.25}), 0.4, 1e-12);
+  // A single failing device zeroes the metric (Pennycook's definition).
+  EXPECT_DOUBLE_EQ(pennycook_pp({1.0, 0.9, 0.0}), 0.0);
+}
+
+TEST(Roofline, IdealNeverExceedsAchieved) {
+  const std::vector<xcl::Device*> devices = sim::testbed_devices();
+  for (const char* bench : {"srad", "fft", "crc", "gem"}) {
+    auto probe = dwarfs::create_dwarf(bench);
+    const ProblemSize size = probe->supported_sizes().front();
+    const PortabilityReport r = portability_report(bench, size, devices);
+    for (const DeviceEfficiency& e : r.devices) {
+      EXPECT_GT(e.ideal_seconds, 0.0) << bench << " on " << e.device;
+      EXPECT_LE(e.ideal_seconds, e.achieved_seconds * (1.0 + 1e-9))
+          << bench << " on " << e.device;
+      EXPECT_LE(e.efficiency(), 1.0 + 1e-9);
+    }
+    EXPECT_GT(r.performance_portability, 0.0) << bench;
+    EXPECT_LE(r.performance_portability, 1.0 + 1e-9) << bench;
+  }
+}
+
+TEST(Roofline, LaunchBoundCodesScoreLow) {
+  // nw is a launch stream of small kernels; srad is two bulk kernels.
+  // Ideal-performance analysis must expose the difference (the paper's
+  // stated purpose for the metric).
+  const std::vector<xcl::Device*> devices = {
+      &sim::testbed_device("GTX 1080")};
+  const PortabilityReport nw =
+      portability_report("nw", ProblemSize::kMedium, devices);
+  const PortabilityReport srad =
+      portability_report("srad", ProblemSize::kMedium, devices);
+  EXPECT_LT(nw.devices[0].efficiency(), 0.3);
+  EXPECT_GT(srad.devices[0].efficiency(), 0.5);
+}
+
+TEST(Roofline, CacheResidenceRaisesTheBar) {
+  // For a CPU, the ideal time of an L1-resident working set must be far
+  // below the DRAM roofline of the same traffic.
+  const sim::DevicePerfModel m(sim::skylake());
+  xcl::WorkloadProfile p;
+  p.flops = 1e6;
+  p.bytes_read = 1e8;
+  p.working_set_bytes = 16 * 1024;  // L1
+  const double l1 = m.roofline_seconds({"k", xcl::NDRange(1 << 16), p});
+  p.working_set_bytes = 1e9;  // DRAM
+  const double dram = m.roofline_seconds({"k", xcl::NDRange(1 << 16), p});
+  EXPECT_LT(l1 * 4.0, dram);
+}
+
+TEST(Roofline, EfficiencyOrderingMatchesKernelShape) {
+  // The E5's bigger caches cannot make its *efficiency* exceed 1, and the
+  // per-device efficiencies stay within (0, 1] across the full testbed for
+  // every benchmark.
+  for (const std::string& name : dwarfs::benchmark_names()) {
+    auto probe = dwarfs::create_dwarf(name);
+    const PortabilityReport r = portability_report(
+        name, probe->supported_sizes().front(), sim::testbed_devices());
+    for (const DeviceEfficiency& e : r.devices) {
+      EXPECT_GT(e.efficiency(), 0.0) << name << " on " << e.device;
+      EXPECT_LE(e.efficiency(), 1.0 + 1e-9) << name << " on " << e.device;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eod::harness

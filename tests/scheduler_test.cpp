@@ -1,0 +1,132 @@
+// Tests for the device-selection scheduler (§7: scheduling decisions under
+// time and/or energy constraints).
+#include <gtest/gtest.h>
+
+#include "harness/scheduler.hpp"
+#include "sim/testbed.hpp"
+
+namespace eod::harness {
+namespace {
+
+using dwarfs::ProblemSize;
+
+std::vector<xcl::Device*> small_node() {
+  return {&sim::testbed_device("i7-6700K"),
+          &sim::testbed_device("GTX 1080")};
+}
+
+TEST(Predict, CoversKernelsAndTransfers) {
+  const Prediction p =
+      predict({"fft", ProblemSize::kLarge}, sim::testbed_device("GTX 1080"));
+  EXPECT_GT(p.seconds, 0.0);
+  EXPECT_GT(p.joules, 0.0);
+  // fft large moves 2 x 16 MiB over PCIe: transfers are part of the cost.
+  const Prediction cpu =
+      predict({"fft", ProblemSize::kLarge}, sim::testbed_device("i7-6700K"));
+  EXPECT_GT(cpu.seconds, 0.0);
+}
+
+TEST(Predict, MatchesFigureShapes) {
+  // The scheduler's inputs must agree with the figures: crc -> CPU,
+  // srad -> GPU.
+  const Prediction crc_cpu =
+      predict({"crc", ProblemSize::kLarge}, sim::testbed_device("i7-6700K"));
+  const Prediction crc_gpu =
+      predict({"crc", ProblemSize::kLarge}, sim::testbed_device("GTX 1080"));
+  EXPECT_LT(crc_cpu.seconds, crc_gpu.seconds);
+  const Prediction srad_cpu = predict({"srad", ProblemSize::kLarge},
+                                      sim::testbed_device("i7-6700K"));
+  const Prediction srad_gpu = predict({"srad", ProblemSize::kLarge},
+                                      sim::testbed_device("GTX 1080"));
+  EXPECT_GT(srad_cpu.seconds, srad_gpu.seconds);
+}
+
+TEST(Scheduler, AssignsEveryTaskExactlyOnce) {
+  const std::vector<Task> tasks = {{"crc", ProblemSize::kMedium},
+                                   {"srad", ProblemSize::kMedium},
+                                   {"fft", ProblemSize::kSmall}};
+  const Schedule s =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeMakespan);
+  ASSERT_EQ(s.assignments.size(), tasks.size());
+  EXPECT_GT(s.makespan_s, 0.0);
+  EXPECT_GT(s.total_energy_j, 0.0);
+  EXPECT_TRUE(s.feasible);
+}
+
+TEST(Scheduler, MakespanObjectiveBalancesLoad) {
+  // Many identical tasks on two devices: both must receive work.
+  const std::vector<Task> tasks(6, Task{"srad", ProblemSize::kMedium});
+  const Schedule s =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeMakespan);
+  int cpu = 0, gpu = 0;
+  for (const auto& a : s.assignments) {
+    (a.device == "i7-6700K" ? cpu : gpu)++;
+  }
+  EXPECT_GT(cpu, 0);
+  EXPECT_GT(gpu, 0);
+}
+
+TEST(Scheduler, EnergyObjectiveUsesLessEnergyThanMakespan) {
+  const std::vector<Task> tasks = {
+      {"srad", ProblemSize::kLarge}, {"fft", ProblemSize::kLarge},
+      {"crc", ProblemSize::kLarge},  {"kmeans", ProblemSize::kMedium},
+      {"nw", ProblemSize::kMedium},  {"csr", ProblemSize::kLarge}};
+  const Schedule fast =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeMakespan);
+  const Schedule green =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeEnergy);
+  // Per-task minimum-energy placement is a global energy lower bound for
+  // independent tasks, so the energy objective can never lose.  (Makespans
+  // are incomparable: greedy LPT is only 4/3-approximate.)
+  EXPECT_LE(green.total_energy_j, fast.total_energy_j * 1.0001);
+}
+
+TEST(Scheduler, DeadlineOverridesEnergyChoice) {
+  // One long task: the energy choice must switch device when the deadline
+  // forbids the slow-but-green placement.
+  const std::vector<Task> tasks = {{"srad", ProblemSize::kLarge}};
+  const Schedule unconstrained =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeEnergy);
+  const Schedule fast =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeMakespan);
+  // Deadline tighter than the green schedule but reachable by the fast one.
+  if (unconstrained.makespan_s > fast.makespan_s * 1.01) {
+    const double deadline = fast.makespan_s * 1.01;
+    const Schedule bounded = schedule_tasks(
+        tasks, small_node(), Objective::kMinimizeEnergy, deadline);
+    EXPECT_TRUE(bounded.feasible);
+    EXPECT_LE(bounded.makespan_s, deadline);
+  }
+}
+
+TEST(Scheduler, InfeasibleDeadlineReported) {
+  const std::vector<Task> tasks = {{"srad", ProblemSize::kLarge}};
+  const Schedule s = schedule_tasks(tasks, small_node(),
+                                    Objective::kMinimizeEnergy, 1e-9);
+  EXPECT_FALSE(s.feasible);
+  EXPECT_EQ(s.assignments.size(), 1u);  // still assigned, best effort
+}
+
+TEST(Scheduler, EmptyInputs) {
+  EXPECT_TRUE(schedule_tasks({}, small_node(),
+                             Objective::kMinimizeMakespan)
+                  .assignments.empty());
+  const Schedule no_devices =
+      schedule_tasks({{"crc", ProblemSize::kTiny}}, {},
+                     Objective::kMinimizeMakespan);
+  EXPECT_FALSE(no_devices.feasible);
+}
+
+TEST(Scheduler, StartTimesArePerDeviceContiguous) {
+  const std::vector<Task> tasks(4, Task{"fft", ProblemSize::kMedium});
+  const Schedule s =
+      schedule_tasks(tasks, small_node(), Objective::kMinimizeMakespan);
+  std::map<std::string, double> clock;
+  for (const auto& a : s.assignments) {
+    EXPECT_DOUBLE_EQ(a.start_s, clock[a.device]);
+    clock[a.device] += a.prediction.seconds;
+  }
+}
+
+}  // namespace
+}  // namespace eod::harness

@@ -1,0 +1,197 @@
+// Additional xcl runtime coverage: multi-dimensional kernels, local-memory
+// slot semantics, queue-depth bookkeeping, the thread pool, and registry
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sim/testbed.hpp"
+#include "xcl/buffer.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/queue.hpp"
+#include "xcl/thread_pool.hpp"
+
+namespace eod::xcl {
+namespace {
+
+Device& dev() { return sim::testbed_device("i7-6700K"); }
+
+WorkloadProfile p() {
+  WorkloadProfile prof;
+  prof.flops = 100;
+  return prof;
+}
+
+TEST(Kernel2D, IdsCoverTheFullGrid) {
+  Context ctx(dev());
+  Queue q(ctx);
+  constexpr std::size_t kW = 48, kH = 24;
+  Buffer out = make_buffer<int>(ctx, kW * kH);
+  auto view = out.view<int>();
+  Kernel k("grid2d", [=](WorkItem& it) {
+    const std::size_t x = it.global_id(0);
+    const std::size_t y = it.global_id(1);
+    view[y * kW + x] = static_cast<int>(
+        it.group_id(1) * 1000000 + it.group_id(0) * 10000 +
+        it.local_id(1) * 100 + it.local_id(0));
+  });
+  q.enqueue(k, NDRange(kW, kH, 16, 8), p());
+  for (std::size_t y = 0; y < kH; ++y) {
+    for (std::size_t x = 0; x < kW; ++x) {
+      const int want = static_cast<int>((y / 8) * 1000000 +
+                                        (x / 16) * 10000 + (y % 8) * 100 +
+                                        (x % 16));
+      EXPECT_EQ(view[y * kW + x], want) << x << "," << y;
+    }
+  }
+}
+
+TEST(Kernel3D, GlobalSizesDecodeCorrectly) {
+  Context ctx(dev());
+  Queue q(ctx);
+  std::atomic<long> sum{0};
+  Kernel k("grid3d", [&sum](WorkItem& it) {
+    sum += static_cast<long>(it.global_id(0) + 10 * it.global_id(1) +
+                             100 * it.global_id(2));
+    EXPECT_EQ(it.global_size(0), 8u);
+    EXPECT_EQ(it.num_groups(2), 2u);
+  });
+  q.enqueue(k, NDRange(8, 4, 2, 4, 2, 1), p());
+  // sum over x<8, y<4, z<2 of x + 10y + 100z.
+  long want = 0;
+  for (int z = 0; z < 2; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 8; ++x) want += x + 10 * y + 100 * z;
+    }
+  }
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(LocalArena, SlotsAreStableAndSizeChecked) {
+  Context ctx(dev());
+  Queue q(ctx);
+  Kernel k("slots", [](WorkItem& it) {
+    auto a = it.local<float>(0, 16);
+    auto b = it.local<int>(1, 8);
+    a[it.local_id(0)] = 1.0f;
+    b[it.local_id(0) % 8] = 2;
+    it.barrier();
+    // Slot 0 re-acquired with the same size yields the same storage.
+    auto a2 = it.local<float>(0, 16);
+    EXPECT_EQ(a.data(), a2.data());
+  });
+  k.uses_barriers();
+  q.enqueue(k, NDRange(16, 16), p());
+}
+
+TEST(LocalArena, InconsistentSizeRejected) {
+  Context ctx(dev());
+  Queue q(ctx);
+  Kernel k("bad_slots", [](WorkItem& it) {
+    // Different items request different sizes for the same slot.
+    (void)it.local<float>(0, 8 + it.local_id(0));
+  });
+  EXPECT_THROW(q.enqueue(k, NDRange(4, 4), p()), Error);
+}
+
+TEST(LocalArena, SlotIndexBounds) {
+  Context ctx(dev());
+  Queue q(ctx);
+  Kernel k("slot_oob", [](WorkItem& it) {
+    (void)it.local<float>(LocalArena::kMaxSlots, 4);
+  });
+  EXPECT_THROW(q.enqueue(k, NDRange(1, 1), p()), Error);
+}
+
+TEST(QueueDepth, GrowsWithKernelsAndResetsOnSync) {
+  Context ctx(sim::testbed_device("R9 290X"));  // depth-sensitive device
+  Queue q(ctx);
+  q.set_functional(false);
+  Kernel k("probe", [](WorkItem&) {});
+  // Two consecutive launches: the second must be modeled slower (deeper
+  // queue on the amdappsdk-style runtime).
+  q.enqueue(k, NDRange(64, 64), p());
+  q.enqueue(k, NDRange(64, 64), p());
+  const auto& e = q.events();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_GT(e[1].modeled_seconds(), e[0].modeled_seconds());
+
+  // A transfer synchronises: the next launch is back to base overhead.
+  Buffer b = make_buffer<float>(ctx, 16);
+  std::vector<float> host(16, 0.0f);
+  q.enqueue_write<float>(b, host);
+  q.enqueue(k, NDRange(64, 64), p());
+  EXPECT_DOUBLE_EQ(q.events().back().modeled_seconds(),
+                   e[0].modeled_seconds());
+
+  // finish() also resets.
+  q.enqueue(k, NDRange(64, 64), p());
+  q.finish();
+  q.enqueue(k, NDRange(64, 64), p());
+  EXPECT_DOUBLE_EQ(q.events().back().modeled_seconds(),
+                   e[0].modeled_seconds());
+}
+
+TEST(QueueLaunchRecording, OffByDefaultOnWhenRequested) {
+  Context ctx(dev());
+  Queue q(ctx);
+  Kernel k("probe", [](WorkItem&) {});
+  q.enqueue(k, NDRange(8, 8), p());
+  EXPECT_TRUE(q.launches().empty());
+  q.set_record_launches(true);
+  q.enqueue(k, NDRange(8, 8), p());
+  ASSERT_EQ(q.launches().size(), 1u);
+  EXPECT_EQ(q.launches()[0].kernel_name, "probe");
+  q.clear_events();
+  EXPECT_TRUE(q.launches().empty());
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Registry, TestbedIsIdempotent) {
+  xcl::Platform& a = sim::testbed_platform();
+  xcl::Platform& b = sim::testbed_platform();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&sim::testbed_device("K40m"), &sim::testbed_device("K40m"));
+  EXPECT_THROW(sim::testbed_device("GTX 4090"), Error);
+}
+
+TEST(DeviceClass, MatchesTable1Colouring) {
+  EXPECT_EQ(sim::device_class(sim::testbed_device("i5-3550")),
+            sim::AcceleratorClass::kCpu);
+  EXPECT_EQ(sim::device_class(sim::testbed_device("Titan X")),
+            sim::AcceleratorClass::kConsumerGpu);
+  EXPECT_EQ(sim::device_class(sim::testbed_device("K20m")),
+            sim::AcceleratorClass::kHpcGpu);
+  EXPECT_EQ(sim::device_class(sim::testbed_device("Xeon Phi 7210")),
+            sim::AcceleratorClass::kMic);
+}
+
+}  // namespace
+}  // namespace eod::xcl
