@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc_app.dir/crc_app.cpp.o"
+  "CMakeFiles/crc_app.dir/crc_app.cpp.o.d"
+  "crc_app"
+  "crc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

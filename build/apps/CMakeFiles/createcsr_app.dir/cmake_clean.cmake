@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/createcsr_app.dir/createcsr_app.cpp.o"
+  "CMakeFiles/createcsr_app.dir/createcsr_app.cpp.o.d"
+  "createcsr_app"
+  "createcsr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/createcsr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

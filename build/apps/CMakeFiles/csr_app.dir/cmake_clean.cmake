@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_app.dir/csr_app.cpp.o"
+  "CMakeFiles/csr_app.dir/csr_app.cpp.o.d"
+  "csr_app"
+  "csr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwt_app.dir/cwt_app.cpp.o"
+  "CMakeFiles/cwt_app.dir/cwt_app.cpp.o.d"
+  "cwt_app"
+  "cwt_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwt_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_app.dir/dwt_app.cpp.o"
+  "CMakeFiles/dwt_app.dir/dwt_app.cpp.o.d"
+  "dwt_app"
+  "dwt_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

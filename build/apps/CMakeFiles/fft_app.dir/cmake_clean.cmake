@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_app.dir/fft_app.cpp.o"
+  "CMakeFiles/fft_app.dir/fft_app.cpp.o.d"
+  "fft_app"
+  "fft_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

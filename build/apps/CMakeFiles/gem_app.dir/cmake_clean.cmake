@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_app.dir/gem_app.cpp.o"
+  "CMakeFiles/gem_app.dir/gem_app.cpp.o.d"
+  "gem_app"
+  "gem_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_app.dir/hmm_app.cpp.o"
+  "CMakeFiles/hmm_app.dir/hmm_app.cpp.o.d"
+  "hmm_app"
+  "hmm_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_app.dir/kmeans_app.cpp.o"
+  "CMakeFiles/kmeans_app.dir/kmeans_app.cpp.o.d"
+  "kmeans_app"
+  "kmeans_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

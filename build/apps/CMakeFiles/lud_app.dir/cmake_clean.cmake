@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_app.dir/lud_app.cpp.o"
+  "CMakeFiles/lud_app.dir/lud_app.cpp.o.d"
+  "lud_app"
+  "lud_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_app.dir/nqueens_app.cpp.o"
+  "CMakeFiles/nqueens_app.dir/nqueens_app.cpp.o.d"
+  "nqueens_app"
+  "nqueens_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_app.dir/nw_app.cpp.o"
+  "CMakeFiles/nw_app.dir/nw_app.cpp.o.d"
+  "nw_app"
+  "nw_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

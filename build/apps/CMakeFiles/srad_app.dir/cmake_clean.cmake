@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srad_app.dir/srad_app.cpp.o"
+  "CMakeFiles/srad_app.dir/srad_app.cpp.o.d"
+  "srad_app"
+  "srad_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srad_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

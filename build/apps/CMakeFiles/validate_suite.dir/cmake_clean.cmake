@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_suite.dir/validate_suite.cpp.o"
+  "CMakeFiles/validate_suite.dir/validate_suite.cpp.o.d"
+  "validate_suite"
+  "validate_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

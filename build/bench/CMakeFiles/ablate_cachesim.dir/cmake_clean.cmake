@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cachesim.dir/ablate_cachesim.cpp.o"
+  "CMakeFiles/ablate_cachesim.dir/ablate_cachesim.cpp.o.d"
+  "ablate_cachesim"
+  "ablate_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

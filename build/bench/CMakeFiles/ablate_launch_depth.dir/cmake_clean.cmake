@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_launch_depth.dir/ablate_launch_depth.cpp.o"
+  "CMakeFiles/ablate_launch_depth.dir/ablate_launch_depth.cpp.o.d"
+  "ablate_launch_depth"
+  "ablate_launch_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_launch_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_loopfloor.dir/ablate_loopfloor.cpp.o"
+  "CMakeFiles/ablate_loopfloor.dir/ablate_loopfloor.cpp.o.d"
+  "ablate_loopfloor"
+  "ablate_loopfloor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_loopfloor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_report.dir/counters_report.cpp.o"
+  "CMakeFiles/counters_report.dir/counters_report.cpp.o.d"
+  "counters_report"
+  "counters_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cwt.dir/ext_cwt.cpp.o"
+  "CMakeFiles/ext_cwt.dir/ext_cwt.cpp.o.d"
+  "ext_cwt"
+  "ext_cwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

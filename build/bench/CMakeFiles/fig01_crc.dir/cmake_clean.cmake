@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_crc.dir/fig01_crc.cpp.o"
+  "CMakeFiles/fig01_crc.dir/fig01_crc.cpp.o.d"
+  "fig01_crc"
+  "fig01_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_csr.dir/fig02_csr.cpp.o"
+  "CMakeFiles/fig02_csr.dir/fig02_csr.cpp.o.d"
+  "fig02_csr"
+  "fig02_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dwt.dir/fig02_dwt.cpp.o"
+  "CMakeFiles/fig02_dwt.dir/fig02_dwt.cpp.o.d"
+  "fig02_dwt"
+  "fig02_dwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

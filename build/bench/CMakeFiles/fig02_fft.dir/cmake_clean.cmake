@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fft.dir/fig02_fft.cpp.o"
+  "CMakeFiles/fig02_fft.dir/fig02_fft.cpp.o.d"
+  "fig02_fft"
+  "fig02_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

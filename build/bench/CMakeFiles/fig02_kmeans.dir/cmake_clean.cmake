@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_kmeans.dir/fig02_kmeans.cpp.o"
+  "CMakeFiles/fig02_kmeans.dir/fig02_kmeans.cpp.o.d"
+  "fig02_kmeans"
+  "fig02_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

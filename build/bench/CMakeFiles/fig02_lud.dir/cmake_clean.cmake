@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_lud.dir/fig02_lud.cpp.o"
+  "CMakeFiles/fig02_lud.dir/fig02_lud.cpp.o.d"
+  "fig02_lud"
+  "fig02_lud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_lud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

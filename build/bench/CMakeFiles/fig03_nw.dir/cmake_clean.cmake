@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_nw.dir/fig03_nw.cpp.o"
+  "CMakeFiles/fig03_nw.dir/fig03_nw.cpp.o.d"
+  "fig03_nw"
+  "fig03_nw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_nw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

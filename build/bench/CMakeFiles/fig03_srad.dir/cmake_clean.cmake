@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_srad.dir/fig03_srad.cpp.o"
+  "CMakeFiles/fig03_srad.dir/fig03_srad.cpp.o.d"
+  "fig03_srad"
+  "fig03_srad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_srad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_srad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gem.dir/fig04_gem.cpp.o"
+  "CMakeFiles/fig04_gem.dir/fig04_gem.cpp.o.d"
+  "fig04_gem"
+  "fig04_gem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hmm.dir/fig04_hmm.cpp.o"
+  "CMakeFiles/fig04_hmm.dir/fig04_hmm.cpp.o.d"
+  "fig04_hmm"
+  "fig04_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

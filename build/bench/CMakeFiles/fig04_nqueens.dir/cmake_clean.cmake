@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_nqueens.dir/fig04_nqueens.cpp.o"
+  "CMakeFiles/fig04_nqueens.dir/fig04_nqueens.cpp.o.d"
+  "fig04_nqueens"
+  "fig04_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

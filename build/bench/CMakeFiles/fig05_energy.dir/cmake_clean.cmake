@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_energy.dir/fig05_energy.cpp.o"
+  "CMakeFiles/fig05_energy.dir/fig05_energy.cpp.o.d"
+  "fig05_energy"
+  "fig05_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sizes.dir/table2_sizes.cpp.o"
+  "CMakeFiles/table2_sizes.dir/table2_sizes.cpp.o.d"
+  "table2_sizes"
+  "table2_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

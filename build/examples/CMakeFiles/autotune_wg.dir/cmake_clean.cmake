@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_wg.dir/autotune_wg.cpp.o"
+  "CMakeFiles/autotune_wg.dir/autotune_wg.cpp.o.d"
+  "autotune_wg"
+  "autotune_wg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_wg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

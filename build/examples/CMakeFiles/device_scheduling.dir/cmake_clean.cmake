@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_scheduling.dir/device_scheduling.cpp.o"
+  "CMakeFiles/device_scheduling.dir/device_scheduling.cpp.o.d"
+  "device_scheduling"
+  "device_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

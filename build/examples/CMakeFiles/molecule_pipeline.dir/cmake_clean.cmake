@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_pipeline.dir/molecule_pipeline.cpp.o"
+  "CMakeFiles/molecule_pipeline.dir/molecule_pipeline.cpp.o.d"
+  "molecule_pipeline"
+  "molecule_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

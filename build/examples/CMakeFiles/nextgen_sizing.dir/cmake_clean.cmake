@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nextgen_sizing.dir/nextgen_sizing.cpp.o"
+  "CMakeFiles/nextgen_sizing.dir/nextgen_sizing.cpp.o.d"
+  "nextgen_sizing"
+  "nextgen_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nextgen_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eod_aiwc.dir/aiwc.cpp.o"
+  "CMakeFiles/eod_aiwc.dir/aiwc.cpp.o.d"
+  "libeod_aiwc.a"
+  "libeod_aiwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eod_aiwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

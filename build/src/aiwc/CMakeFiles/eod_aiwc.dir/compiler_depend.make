@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eod_aiwc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwarfs/common.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/common.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/common.cpp.o.d"
+  "/root/repo/src/dwarfs/crc/crc.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/crc/crc.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/crc/crc.cpp.o.d"
+  "/root/repo/src/dwarfs/csr/csr.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/csr/csr.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/csr/csr.cpp.o.d"
+  "/root/repo/src/dwarfs/csr/csr_io.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/csr/csr_io.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/csr/csr_io.cpp.o.d"
+  "/root/repo/src/dwarfs/cwt/cwt.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/cwt/cwt.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/cwt/cwt.cpp.o.d"
+  "/root/repo/src/dwarfs/dwt/dwt.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/dwt/dwt.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/dwt/dwt.cpp.o.d"
+  "/root/repo/src/dwarfs/dwt/image.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/dwt/image.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/dwt/image.cpp.o.d"
+  "/root/repo/src/dwarfs/fft/fft.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/fft/fft.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/dwarfs/gem/gem.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/gem/gem.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/gem/gem.cpp.o.d"
+  "/root/repo/src/dwarfs/hmm/hmm.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/hmm/hmm.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/hmm/hmm.cpp.o.d"
+  "/root/repo/src/dwarfs/kmeans/kmeans.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/kmeans/kmeans.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/kmeans/kmeans.cpp.o.d"
+  "/root/repo/src/dwarfs/lud/lud.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/lud/lud.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/lud/lud.cpp.o.d"
+  "/root/repo/src/dwarfs/nqueens/nqueens.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/nqueens/nqueens.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/nqueens/nqueens.cpp.o.d"
+  "/root/repo/src/dwarfs/nw/nw.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/nw/nw.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/nw/nw.cpp.o.d"
+  "/root/repo/src/dwarfs/registry.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/registry.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/registry.cpp.o.d"
+  "/root/repo/src/dwarfs/srad/srad.cpp" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/srad/srad.cpp.o" "gcc" "src/dwarfs/CMakeFiles/eod_dwarfs.dir/srad/srad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xcl/CMakeFiles/eod_xcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scibench/CMakeFiles/eod_scibench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

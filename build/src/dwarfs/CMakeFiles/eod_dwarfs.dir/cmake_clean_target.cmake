@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeod_dwarfs.a"
+)

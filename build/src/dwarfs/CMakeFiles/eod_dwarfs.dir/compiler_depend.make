@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eod_dwarfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for eod_dwarfs.
+# This may be replaced when dependencies are built.

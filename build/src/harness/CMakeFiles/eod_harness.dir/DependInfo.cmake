@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/autotune.cpp" "src/harness/CMakeFiles/eod_harness.dir/autotune.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/autotune.cpp.o.d"
+  "/root/repo/src/harness/cli.cpp" "src/harness/CMakeFiles/eod_harness.dir/cli.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/cli.cpp.o.d"
+  "/root/repo/src/harness/portability.cpp" "src/harness/CMakeFiles/eod_harness.dir/portability.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/portability.cpp.o.d"
+  "/root/repo/src/harness/problem_size.cpp" "src/harness/CMakeFiles/eod_harness.dir/problem_size.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/problem_size.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/eod_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/eod_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/runner.cpp.o.d"
+  "/root/repo/src/harness/scheduler.cpp" "src/harness/CMakeFiles/eod_harness.dir/scheduler.cpp.o" "gcc" "src/harness/CMakeFiles/eod_harness.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dwarfs/CMakeFiles/eod_dwarfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scibench/CMakeFiles/eod_scibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/xcl/CMakeFiles/eod_xcl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eod_harness.dir/autotune.cpp.o"
+  "CMakeFiles/eod_harness.dir/autotune.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/cli.cpp.o"
+  "CMakeFiles/eod_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/portability.cpp.o"
+  "CMakeFiles/eod_harness.dir/portability.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/problem_size.cpp.o"
+  "CMakeFiles/eod_harness.dir/problem_size.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/report.cpp.o"
+  "CMakeFiles/eod_harness.dir/report.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/runner.cpp.o"
+  "CMakeFiles/eod_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/eod_harness.dir/scheduler.cpp.o"
+  "CMakeFiles/eod_harness.dir/scheduler.cpp.o.d"
+  "libeod_harness.a"
+  "libeod_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eod_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scibench/histogram.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/histogram.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/histogram.cpp.o.d"
+  "/root/repo/src/scibench/logger.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/logger.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/logger.cpp.o.d"
+  "/root/repo/src/scibench/power_analysis.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/power_analysis.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/power_analysis.cpp.o.d"
+  "/root/repo/src/scibench/sample_set.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/sample_set.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/sample_set.cpp.o.d"
+  "/root/repo/src/scibench/stats.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/stats.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/stats.cpp.o.d"
+  "/root/repo/src/scibench/timer.cpp" "src/scibench/CMakeFiles/eod_scibench.dir/timer.cpp.o" "gcc" "src/scibench/CMakeFiles/eod_scibench.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eod_scibench.dir/histogram.cpp.o"
+  "CMakeFiles/eod_scibench.dir/histogram.cpp.o.d"
+  "CMakeFiles/eod_scibench.dir/logger.cpp.o"
+  "CMakeFiles/eod_scibench.dir/logger.cpp.o.d"
+  "CMakeFiles/eod_scibench.dir/power_analysis.cpp.o"
+  "CMakeFiles/eod_scibench.dir/power_analysis.cpp.o.d"
+  "CMakeFiles/eod_scibench.dir/sample_set.cpp.o"
+  "CMakeFiles/eod_scibench.dir/sample_set.cpp.o.d"
+  "CMakeFiles/eod_scibench.dir/stats.cpp.o"
+  "CMakeFiles/eod_scibench.dir/stats.cpp.o.d"
+  "CMakeFiles/eod_scibench.dir/timer.cpp.o"
+  "CMakeFiles/eod_scibench.dir/timer.cpp.o.d"
+  "libeod_scibench.a"
+  "libeod_scibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eod_scibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

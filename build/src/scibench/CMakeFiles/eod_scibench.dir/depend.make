@@ -1,0 +1,2 @@
+# Empty dependencies file for eod_scibench.
+# This may be replaced when dependencies are built.

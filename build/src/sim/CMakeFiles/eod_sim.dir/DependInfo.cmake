@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cpp" "src/sim/CMakeFiles/eod_sim.dir/cache_sim.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/eod_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/device_spec.cpp" "src/sim/CMakeFiles/eod_sim.dir/device_spec.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/eod_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/eod_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/eod_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/eod_sim.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xcl/CMakeFiles/eod_xcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/scibench/CMakeFiles/eod_scibench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eod_sim.dir/cache_sim.cpp.o"
+  "CMakeFiles/eod_sim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/eod_sim.dir/counters.cpp.o"
+  "CMakeFiles/eod_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/eod_sim.dir/device_spec.cpp.o"
+  "CMakeFiles/eod_sim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/eod_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/eod_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/eod_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/eod_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/eod_sim.dir/testbed.cpp.o"
+  "CMakeFiles/eod_sim.dir/testbed.cpp.o.d"
+  "libeod_sim.a"
+  "libeod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xcl/context.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/context.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/context.cpp.o.d"
+  "/root/repo/src/xcl/error.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/error.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/error.cpp.o.d"
+  "/root/repo/src/xcl/executor.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/executor.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/executor.cpp.o.d"
+  "/root/repo/src/xcl/fiber.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/fiber.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/fiber.cpp.o.d"
+  "/root/repo/src/xcl/platform.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/platform.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/platform.cpp.o.d"
+  "/root/repo/src/xcl/queue.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/queue.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/queue.cpp.o.d"
+  "/root/repo/src/xcl/thread_pool.cpp" "src/xcl/CMakeFiles/eod_xcl.dir/thread_pool.cpp.o" "gcc" "src/xcl/CMakeFiles/eod_xcl.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scibench/CMakeFiles/eod_scibench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

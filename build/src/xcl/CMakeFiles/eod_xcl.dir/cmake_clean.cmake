@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eod_xcl.dir/context.cpp.o"
+  "CMakeFiles/eod_xcl.dir/context.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/error.cpp.o"
+  "CMakeFiles/eod_xcl.dir/error.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/executor.cpp.o"
+  "CMakeFiles/eod_xcl.dir/executor.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/fiber.cpp.o"
+  "CMakeFiles/eod_xcl.dir/fiber.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/platform.cpp.o"
+  "CMakeFiles/eod_xcl.dir/platform.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/queue.cpp.o"
+  "CMakeFiles/eod_xcl.dir/queue.cpp.o.d"
+  "CMakeFiles/eod_xcl.dir/thread_pool.cpp.o"
+  "CMakeFiles/eod_xcl.dir/thread_pool.cpp.o.d"
+  "libeod_xcl.a"
+  "libeod_xcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eod_xcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

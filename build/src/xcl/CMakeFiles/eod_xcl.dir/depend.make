@@ -1,0 +1,2 @@
+# Empty dependencies file for eod_xcl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiwc_test.dir/aiwc_test.cpp.o"
+  "CMakeFiles/aiwc_test.dir/aiwc_test.cpp.o.d"
+  "aiwc_test"
+  "aiwc_test.pdb"
+  "aiwc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

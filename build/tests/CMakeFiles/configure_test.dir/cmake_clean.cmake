@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configure_test.dir/configure_test.cpp.o"
+  "CMakeFiles/configure_test.dir/configure_test.cpp.o.d"
+  "configure_test"
+  "configure_test.pdb"
+  "configure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

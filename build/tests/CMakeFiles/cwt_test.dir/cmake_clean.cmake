@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwt_test.dir/cwt_test.cpp.o"
+  "CMakeFiles/cwt_test.dir/cwt_test.cpp.o.d"
+  "cwt_test"
+  "cwt_test.pdb"
+  "cwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

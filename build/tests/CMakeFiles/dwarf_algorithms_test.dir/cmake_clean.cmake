@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_algorithms_test.dir/dwarf_algorithms_test.cpp.o"
+  "CMakeFiles/dwarf_algorithms_test.dir/dwarf_algorithms_test.cpp.o.d"
+  "dwarf_algorithms_test"
+  "dwarf_algorithms_test.pdb"
+  "dwarf_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_validation_test.dir/dwarf_validation_test.cpp.o"
+  "CMakeFiles/dwarf_validation_test.dir/dwarf_validation_test.cpp.o.d"
+  "dwarf_validation_test"
+  "dwarf_validation_test.pdb"
+  "dwarf_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

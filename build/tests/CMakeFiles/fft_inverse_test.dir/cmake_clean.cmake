@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_inverse_test.dir/fft_inverse_test.cpp.o"
+  "CMakeFiles/fft_inverse_test.dir/fft_inverse_test.cpp.o.d"
+  "fft_inverse_test"
+  "fft_inverse_test.pdb"
+  "fft_inverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_inverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/figure_driver_test.cpp" "tests/CMakeFiles/figure_driver_test.dir/figure_driver_test.cpp.o" "gcc" "tests/CMakeFiles/figure_driver_test.dir/figure_driver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/eod_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/aiwc/CMakeFiles/eod_aiwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarfs/CMakeFiles/eod_dwarfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xcl/CMakeFiles/eod_xcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/scibench/CMakeFiles/eod_scibench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

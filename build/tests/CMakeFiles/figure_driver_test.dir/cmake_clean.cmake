@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_driver_test.dir/figure_driver_test.cpp.o"
+  "CMakeFiles/figure_driver_test.dir/figure_driver_test.cpp.o.d"
+  "figure_driver_test"
+  "figure_driver_test.pdb"
+  "figure_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

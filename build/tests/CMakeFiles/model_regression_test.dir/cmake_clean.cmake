@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_regression_test.dir/model_regression_test.cpp.o"
+  "CMakeFiles/model_regression_test.dir/model_regression_test.cpp.o.d"
+  "model_regression_test"
+  "model_regression_test.pdb"
+  "model_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

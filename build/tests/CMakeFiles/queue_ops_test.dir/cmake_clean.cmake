@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_ops_test.dir/queue_ops_test.cpp.o"
+  "CMakeFiles/queue_ops_test.dir/queue_ops_test.cpp.o.d"
+  "queue_ops_test"
+  "queue_ops_test.pdb"
+  "queue_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

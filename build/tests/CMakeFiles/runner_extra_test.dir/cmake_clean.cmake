@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_extra_test.dir/runner_extra_test.cpp.o"
+  "CMakeFiles/runner_extra_test.dir/runner_extra_test.cpp.o.d"
+  "runner_extra_test"
+  "runner_extra_test.pdb"
+  "runner_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

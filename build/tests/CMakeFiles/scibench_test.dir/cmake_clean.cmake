@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scibench_test.dir/scibench_test.cpp.o"
+  "CMakeFiles/scibench_test.dir/scibench_test.cpp.o.d"
+  "scibench_test"
+  "scibench_test.pdb"
+  "scibench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scibench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

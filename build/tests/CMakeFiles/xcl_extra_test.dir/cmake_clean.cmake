@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcl_extra_test.dir/xcl_extra_test.cpp.o"
+  "CMakeFiles/xcl_extra_test.dir/xcl_extra_test.cpp.o.d"
+  "xcl_extra_test"
+  "xcl_extra_test.pdb"
+  "xcl_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcl_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

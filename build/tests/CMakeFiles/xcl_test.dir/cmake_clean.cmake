@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcl_test.dir/xcl_test.cpp.o"
+  "CMakeFiles/xcl_test.dir/xcl_test.cpp.o.d"
+  "xcl_test"
+  "xcl_test.pdb"
+  "xcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/scibench_test[1]_include.cmake")
+include("/root/repo/build/tests/xcl_test[1]_include.cmake")
+include("/root/repo/build/tests/fiber_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_model_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/aiwc_test[1]_include.cmake")
+include("/root/repo/build/tests/portability_test[1]_include.cmake")
+include("/root/repo/build/tests/counters_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/configure_test[1]_include.cmake")
+include("/root/repo/build/tests/xcl_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_inverse_test[1]_include.cmake")
+include("/root/repo/build/tests/cwt_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/util_props_test[1]_include.cmake")
+include("/root/repo/build/tests/model_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/file_io_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/figure_driver_test[1]_include.cmake")
