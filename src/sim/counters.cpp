@@ -1,6 +1,7 @@
 #include "sim/counters.hpp"
 
 #include <cmath>
+#include <sstream>
 
 namespace eod::sim {
 
@@ -93,6 +94,21 @@ CounterSet derive_papi_counters(const xcl::WorkloadProfile& profile,
         static_cast<std::uint64_t>(
             br * std::min(1.0, 0.005 + 0.5 * profile.branch_divergence)));
   return c;
+}
+
+std::string describe_executor_stats(const xcl::ExecutorStats& stats) {
+  std::ostringstream os;
+  os << "executor dispatch counters (host-side, work-stealing NDRange "
+        "executor)\n";
+  os << "  launches            " << stats.launches << '\n';
+  os << "  work-groups run     " << stats.tasks_executed << " ("
+     << stats.groups_loop << " loop, " << stats.groups_fiber << " fiber)\n";
+  os << "  chunks claimed      " << stats.chunks_claimed << '\n';
+  os << "  chunks stolen       " << stats.chunks_stolen << '\n';
+  os << "  arena high-water    " << stats.arena_bytes_hwm << " B\n";
+  os << "  fiber stacks        " << stats.fiber_stacks_created
+     << " created, " << stats.fiber_stacks_reused << " reused\n";
+  return os.str();
 }
 
 }  // namespace eod::sim

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/cache_sim.hpp"
+#include "xcl/executor.hpp"
 #include "xcl/modeling.hpp"
 
 namespace eod::sim {
@@ -62,5 +63,13 @@ class CounterSet {
 [[nodiscard]] CounterSet derive_papi_counters(
     const xcl::WorkloadProfile& profile, const HierarchyCounters& cache,
     double clock_ghz, double seconds, unsigned simd_width = 1);
+
+/// Formats the host-side NDRange-executor dispatch counters (work-stealing
+/// activity and per-worker scratch reuse) as a small human-readable block
+/// for suite/counter reports.  These are harness observability counters,
+/// not modeled PAPI events: they describe the benchmarking substrate
+/// itself, the launch-overhead concern of LibSciBench-style measurement.
+[[nodiscard]] std::string describe_executor_stats(
+    const xcl::ExecutorStats& stats);
 
 }  // namespace eod::sim

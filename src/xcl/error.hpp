@@ -20,7 +20,14 @@ class Error : public std::runtime_error {
   Status status_;
 };
 
-/// Throws Error(status, message) when `ok` is false.
+/// Throws Error(status, message) when `ok` is false.  The const char*
+/// overload keeps the passing path allocation-free: literal messages must
+/// not be materialized into std::string on every successful check (require
+/// guards per-work-item operations like barrier() and __local acquisition,
+/// so an eager conversion would put a heap allocation in the hot path).
+inline void require(bool ok, Status status, const char* message) {
+  if (!ok) throw Error(status, message);
+}
 inline void require(bool ok, Status status, const std::string& message) {
   if (!ok) throw Error(status, message);
 }

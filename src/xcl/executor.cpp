@@ -1,6 +1,7 @@
 #include "xcl/executor.hpp"
 
 #include <array>
+#include <atomic>
 #include <functional>
 
 #include "xcl/fiber.hpp"
@@ -9,6 +10,37 @@
 namespace eod::xcl {
 
 namespace {
+
+// Scratch-reuse observability (process-wide; per-group updates are relaxed).
+std::atomic<std::uint64_t> g_groups_loop{0};
+std::atomic<std::uint64_t> g_groups_fiber{0};
+std::atomic<std::uint64_t> g_arena_hwm{0};
+
+// Per-thread executor scratch.  Pool workers are persistent threads, so the
+// arena storage and fiber stacks built for the first launches are reused by
+// every later group that runs on the same worker -- the steady state does
+// no per-group malloc on either the loop or the barrier path.
+struct WorkerScratch {
+  LocalArena arena{0};
+  FiberPool fibers;
+};
+
+WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
+
+// No thread-local high-water cache here: it would survive
+// reset_executor_stats() and suppress updates afterwards.  The relaxed
+// load per group is cheap enough not to need one.
+void note_arena_use(WorkerScratch& ws) {
+  const std::size_t used = ws.arena.used_bytes();
+  if (used == 0) return;
+  std::uint64_t cur = g_arena_hwm.load(std::memory_order_relaxed);
+  while (cur < used && !g_arena_hwm.compare_exchange_weak(
+                           cur, used, std::memory_order_relaxed)) {
+  }
+}
 
 struct GroupCoords {
   std::array<std::size_t, 3> group_id;
@@ -27,9 +59,13 @@ GroupCoords decode_group(const NDRange& range, std::size_t flat) {
   return g;
 }
 
-// Runs all work-items of one group with a plain loop (no barriers).
+// Runs all work-items of one group with a plain loop.  `barrier_hook` is
+// null for kernels that never call barrier(); single-item groups of
+// barrier kernels pass a no-op hook instead, since a barrier over one
+// work-item synchronizes nothing and needs no fiber suspension.
 void run_group_loop(const Kernel& kernel, const GroupCoords& g,
-                    LocalArena& arena) {
+                    LocalArena& arena,
+                    const std::function<void()>* barrier_hook) {
   arena.reset();
   const auto [lx, ly, lz] = g.local_size;
   for (std::size_t z = 0; z < lz; ++z) {
@@ -40,21 +76,22 @@ void run_group_loop(const Kernel& kernel, const GroupCoords& g,
             g.group_id[0] * lx + x, g.group_id[1] * ly + y,
             g.group_id[2] * lz + z};
         WorkItem item(global_id, local_id, g.group_id, g.global_size,
-                      g.local_size, &arena, nullptr);
+                      g.local_size, &arena, barrier_hook);
         kernel.body()(item);
       }
     }
   }
 }
 
-// Runs one group as a fiber set so barrier() can suspend work-items.
+// Runs one group as a fiber set so barrier() can suspend work-items.  The
+// pool's fibers (and their stacks) are re-armed in place between groups.
 void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
-                      LocalArena& arena) {
+                      LocalArena& arena, FiberPool& fibers) {
   arena.reset();
   const auto [lx, ly, lz] = g.local_size;
   const std::size_t items = lx * ly * lz;
   std::function<void()> barrier_hook = [] { Fiber::yield_current(); };
-  run_fiber_group(items, [&](std::size_t flat) {
+  fibers.run_group(items, [&](std::size_t flat) {
     const std::array<std::size_t, 3> local_id{flat % lx, (flat / lx) % ly,
                                               flat / (lx * ly)};
     const std::array<std::size_t, 3> global_id{
@@ -69,21 +106,53 @@ void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
 }  // namespace
 
 void execute_ndrange(const Kernel& kernel, const NDRange& range,
-                     const Device& device) {
+                     const Device& device, ThreadPool* pool) {
   const std::size_t groups = range.num_groups();
   const std::size_t local_mem = device.info().local_mem_bytes;
+  const std::size_t group_items = range.group_items();
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  // A barrier over a single work-item is trivially satisfied, so one-item
+  // groups of barrier kernels skip the fiber machinery entirely.
+  static const std::function<void()> noop_barrier = [] {};
+  const bool needs_fibers = kernel.barriers() && group_items > 1;
 
-  ThreadPool::global().parallel_for(groups, [&](std::size_t flat) {
-    // One arena per in-flight group; allocated on the worker's stack frame
-    // so concurrent groups never share __local storage.
-    LocalArena arena(local_mem);
+  tp.parallel_for(groups, [&](std::size_t flat) {
+    WorkerScratch& ws = worker_scratch();
+    ws.arena.ensure_capacity(local_mem);
     const GroupCoords g = decode_group(range, flat);
-    if (kernel.barriers()) {
-      run_group_fibers(kernel, g, arena);
+    if (needs_fibers) {
+      run_group_fibers(kernel, g, ws.arena, ws.fibers);
+      g_groups_fiber.fetch_add(1, std::memory_order_relaxed);
     } else {
-      run_group_loop(kernel, g, arena);
+      run_group_loop(kernel, g, ws.arena,
+                     kernel.barriers() ? &noop_barrier : nullptr);
+      g_groups_loop.fetch_add(1, std::memory_order_relaxed);
     }
+    note_arena_use(ws);
   });
+}
+
+ExecutorStats executor_stats() {
+  const ThreadPool::Stats pool = ThreadPool::global().stats();
+  ExecutorStats s;
+  s.launches = pool.launches;
+  s.tasks_executed = pool.tasks_executed;
+  s.chunks_claimed = pool.chunks_claimed;
+  s.chunks_stolen = pool.chunks_stolen;
+  s.groups_loop = g_groups_loop.load(std::memory_order_relaxed);
+  s.groups_fiber = g_groups_fiber.load(std::memory_order_relaxed);
+  s.arena_bytes_hwm = g_arena_hwm.load(std::memory_order_relaxed);
+  s.fiber_stacks_created = fiber_stacks_created();
+  s.fiber_stacks_reused = fiber_stacks_reused();
+  return s;
+}
+
+void reset_executor_stats() {
+  ThreadPool::global().reset_stats();
+  g_groups_loop.store(0, std::memory_order_relaxed);
+  g_groups_fiber.store(0, std::memory_order_relaxed);
+  g_arena_hwm.store(0, std::memory_order_relaxed);
+  reset_fiber_stack_counters();
 }
 
 }  // namespace eod::xcl

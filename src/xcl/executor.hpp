@@ -1,7 +1,12 @@
 // Functional NDRange execution: runs a kernel body for every work-item.
-// Work-groups are distributed across the thread pool; items within a group
-// run on one thread (plain loop, or fibers when the kernel uses barriers).
+// Work-groups are distributed across the work-stealing thread pool; items
+// within a group run on one thread (plain loop, or fibers when the kernel
+// uses barriers).  Each executing thread owns long-lived scratch -- a
+// lazily-grown LocalArena and a FiberPool of reusable stacks -- so
+// steady-state group dispatch performs no heap allocation.
 #pragma once
+
+#include <cstdint>
 
 #include "xcl/device.hpp"
 #include "xcl/kernel.hpp"
@@ -9,9 +14,30 @@
 
 namespace eod::xcl {
 
-/// Executes `kernel` over `range` (local sizes must already be resolved).
-/// Throws the first exception raised by any work-item.
+class ThreadPool;
+
+/// Snapshot of the executor's process-wide observability counters: dispatch
+/// activity from the global pool plus the per-worker scratch reuse counters.
+struct ExecutorStats {
+  std::uint64_t launches = 0;         ///< parallel launches dispatched
+  std::uint64_t tasks_executed = 0;   ///< work-groups (iterations) run
+  std::uint64_t chunks_claimed = 0;   ///< owner-side range claims
+  std::uint64_t chunks_stolen = 0;    ///< thief-side half-range steals
+  std::uint64_t groups_loop = 0;      ///< groups run as plain loops
+  std::uint64_t groups_fiber = 0;     ///< groups run as fiber sets
+  std::uint64_t arena_bytes_hwm = 0;  ///< largest __local footprint served
+  std::uint64_t fiber_stacks_created = 0;
+  std::uint64_t fiber_stacks_reused = 0;
+};
+
+/// Counters for the global pool and all executor worker scratch.
+[[nodiscard]] ExecutorStats executor_stats();
+void reset_executor_stats();
+
+/// Executes `kernel` over `range` (local sizes must already be resolved) on
+/// `pool` (the global pool when null).  Throws the exception raised by the
+/// lowest-indexed failing work-group, deterministically.
 void execute_ndrange(const Kernel& kernel, const NDRange& range,
-                     const Device& device);
+                     const Device& device, ThreadPool* pool = nullptr);
 
 }  // namespace eod::xcl

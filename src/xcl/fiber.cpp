@@ -2,6 +2,7 @@
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -84,27 +85,64 @@ void Fiber::yield_current() {
   swapcontext(&impl->context, &impl->caller);
 }
 
-void run_fiber_group(std::size_t count,
-                     const std::function<void(std::size_t)>& body,
-                     std::size_t stack_bytes) {
-  std::vector<std::unique_ptr<Fiber>> fibers;
-  fibers.reserve(count);
+void Fiber::reset(Fn fn) {
+  impl_->fn = std::move(fn);
+  rearm();
+}
+
+void Fiber::rearm() {
+  impl_->pending = nullptr;
+  impl_->started = false;
+  impl_->finished = false;
+  done_ = false;
+}
+
+namespace {
+std::atomic<std::uint64_t> g_stacks_created{0};
+std::atomic<std::uint64_t> g_stacks_reused{0};
+}  // namespace
+
+std::uint64_t fiber_stacks_created() noexcept {
+  return g_stacks_created.load(std::memory_order_relaxed);
+}
+std::uint64_t fiber_stacks_reused() noexcept {
+  return g_stacks_reused.load(std::memory_order_relaxed);
+}
+void reset_fiber_stack_counters() noexcept {
+  g_stacks_created.store(0, std::memory_order_relaxed);
+  g_stacks_reused.store(0, std::memory_order_relaxed);
+}
+
+void FiberPool::run_group(std::size_t count, GroupFnRef body) {
+  if (count == 0) return;
+  const std::size_t reused = std::min(count, fibers_.size());
+  while (fibers_.size() < count) {
+    // The permanent closure dispatches through body_, so a recycled fiber
+    // never needs a new std::function: rearm() just resets run state.  The
+    // [this, i] capture fits std::function's small-object buffer, so even
+    // this one-time construction does not allocate beyond the stack.
+    const std::size_t i = fibers_.size();
+    fibers_.push_back(
+        std::make_unique<Fiber>([this, i] { body_(i); }, stack_bytes_));
+  }
+  g_stacks_created.fetch_add(count - reused, std::memory_order_relaxed);
+  g_stacks_reused.fetch_add(reused, std::memory_order_relaxed);
+  body_ = body;
   for (std::size_t i = 0; i < count; ++i) {
-    fibers.push_back(std::make_unique<Fiber>([&body, i] { body(i); },
-                                             stack_bytes));
+    fibers_[i]->rearm();
   }
   // Round-robin: one resume per unfinished fiber per round.  All fibers must
   // finish on the same round, otherwise the kernel has divergent barriers.
-  bool any_live = count > 0;
+  bool any_live = true;
   while (any_live) {
     any_live = false;
     std::size_t finished_this_round = 0;
-    std::size_t live_at_round_start = 0;
-    for (auto& f : fibers) {
-      if (f->done()) continue;
-      ++live_at_round_start;
-      f->resume();
-      if (f->done()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Fiber& f = *fibers_[i];
+      if (f.done()) continue;
+      f.resume();  // a rethrown body exception leaves peers suspended; the
+                   // next run_group's reset() re-arms them safely
+      if (f.done()) {
         ++finished_this_round;
       } else {
         any_live = true;
@@ -115,8 +153,14 @@ void run_fiber_group(std::size_t count,
                   "divergent barrier: work-items in a group executed "
                   "different numbers of barriers");
     }
-    (void)live_at_round_start;
   }
+}
+
+void run_fiber_group(std::size_t count,
+                     const std::function<void(std::size_t)>& body,
+                     std::size_t stack_bytes) {
+  FiberPool pool(stack_bytes);
+  pool.run_group(count, body);
 }
 
 }  // namespace eod::xcl

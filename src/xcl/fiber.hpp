@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace eod::xcl {
@@ -35,6 +37,18 @@ class Fiber {
   /// Must be called from inside the fiber body: suspends back to resume().
   static void yield_current();
 
+  /// Re-arms the fiber with a new body, reusing the existing stack
+  /// allocation.  Resetting a suspended (started but unfinished) fiber
+  /// abandons its stack contents without unwinding -- the same teardown
+  /// semantics as destroying it, and only reachable after an error escaped
+  /// the previous group.
+  void reset(Fn fn);
+
+  /// Re-arms the fiber keeping its current body: restartable from the top
+  /// with no std::function assignment at all.  Same abandonment semantics
+  /// for suspended fibers as reset(Fn).
+  void rearm();
+
   [[nodiscard]] bool done() const noexcept { return done_; }
 
   static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
@@ -46,11 +60,77 @@ class Fiber {
   bool done_ = false;
 };
 
-/// Runs `count` bodies as fibers with round-robin barrier scheduling:
-/// repeatedly resumes every unfinished fiber once per round, which realizes
-/// barrier semantics when each body yields at its barrier points (and each
-/// body performs the same number of yields, as OpenCL requires).
-/// Throws if bodies disagree on barrier count (a barrier divergence bug).
+/// Non-owning reference to a callable `void(std::size_t item)`.  Two raw
+/// pointers -- no ownership, no heap, trivially copyable -- so passing a
+/// group body to FiberPool::run_group costs nothing, unlike a per-group
+/// lambda -> std::function conversion.  The referenced callable must
+/// outlive the call it is passed to.
+class GroupFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, GroupFnRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function_ref -- call sites pass lambdas directly.
+  GroupFnRef(const F& fn)
+      : obj_(&fn), call_([](const void* obj, std::size_t i) {
+          (*static_cast<const F*>(obj))(i);
+        }) {}
+
+  void operator()(std::size_t i) const { call_(obj_, i); }
+
+ private:
+  friend class FiberPool;
+  GroupFnRef() = default;  // null ref: FiberPool's between-groups idle state
+
+  const void* obj_ = nullptr;
+  void (*call_)(const void*, std::size_t) = nullptr;
+};
+
+/// A reusable team of fibers: stacks are allocated once and re-armed -- not
+/// reallocated -- between work-groups, so steady-state barrier execution
+/// performs no heap traffic.  Each fiber is built once with a permanent
+/// closure over (pool, index) that dispatches through the pool's
+/// current-group body, so re-arming a fiber never touches its
+/// std::function either.  One pool belongs to one executing thread (a pool
+/// worker owns one in thread-local scratch); it is not thread-safe, and it
+/// is pinned in memory (fiber closures capture the pool address).
+class FiberPool {
+ public:
+  explicit FiberPool(std::size_t stack_bytes = Fiber::kDefaultStackBytes)
+      : stack_bytes_(stack_bytes) {}
+
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  /// Runs `count` bodies as fibers with round-robin barrier scheduling:
+  /// repeatedly resumes every unfinished fiber once per round, which
+  /// realizes barrier semantics when each body yields at its barrier points
+  /// (and each body performs the same number of yields, as OpenCL requires).
+  /// Throws if bodies disagree on barrier count (a barrier divergence bug).
+  /// `body` is only referenced for the duration of the call.
+  void run_group(std::size_t count, GroupFnRef body);
+
+  /// Fibers (hence stacks) currently retained for reuse.
+  [[nodiscard]] std::size_t pooled() const noexcept { return fibers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::size_t stack_bytes_;
+  // The current group's body.  Meaningful only while run_group is resuming
+  // fibers; a null ref in between, and never invoked then (fibers only run
+  // under run_group).
+  GroupFnRef body_{};
+};
+
+/// Process-wide fiber-stack pooling counters (observability): stacks newly
+/// allocated by any FiberPool vs. re-armed from an existing allocation.
+[[nodiscard]] std::uint64_t fiber_stacks_created() noexcept;
+[[nodiscard]] std::uint64_t fiber_stacks_reused() noexcept;
+void reset_fiber_stack_counters() noexcept;
+
+/// One-shot convenience wrapper: runs the group on a temporary FiberPool
+/// (fresh stacks, no reuse).  Prefer a long-lived FiberPool on hot paths.
 void run_fiber_group(std::size_t count,
                      const std::function<void(std::size_t)>& body,
                      std::size_t stack_bytes = Fiber::kDefaultStackBytes);

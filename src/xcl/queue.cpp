@@ -1,17 +1,44 @@
 #include "xcl/queue.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "scibench/timer.hpp"
 
 namespace eod::xcl {
 
+namespace {
+
+// Folds the executor-counter delta of one launch into the queue's running
+// dispatch totals (the high-water mark is a max, not a sum).
+void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
+                         const ExecutorStats& after) {
+  total.launches += after.launches - before.launches;
+  total.tasks_executed += after.tasks_executed - before.tasks_executed;
+  total.chunks_claimed += after.chunks_claimed - before.chunks_claimed;
+  total.chunks_stolen += after.chunks_stolen - before.chunks_stolen;
+  total.groups_loop += after.groups_loop - before.groups_loop;
+  total.groups_fiber += after.groups_fiber - before.groups_fiber;
+  total.arena_bytes_hwm = std::max(total.arena_bytes_hwm,
+                                   after.arena_bytes_hwm);
+  total.fiber_stacks_created +=
+      after.fiber_stacks_created - before.fiber_stacks_created;
+  total.fiber_stacks_reused +=
+      after.fiber_stacks_reused - before.fiber_stacks_reused;
+}
+
+}  // namespace
+
 Event Queue::enqueue(const Kernel& kernel, NDRange range,
                      const WorkloadProfile& profile) {
   range.resolve_local(device().info().max_work_group_size);
 
   const std::uint64_t t0 = scibench::now_ns();
-  if (functional_) execute_ndrange(kernel, range, device());
+  if (functional_) {
+    const ExecutorStats before = executor_stats();
+    execute_ndrange(kernel, range, device());
+    accumulate_dispatch(dispatch_stats_, before, executor_stats());
+  }
   const std::uint64_t t1 = scibench::now_ns();
 
   KernelLaunchStats stats{kernel.name(), range, profile,

@@ -92,6 +92,14 @@ class Queue {
     return launches_;
   }
 
+  /// Host-side dispatch counters accumulated over this queue's functional
+  /// kernel launches (deltas of the global executor counters around each
+  /// enqueue; meaningful while one queue launches at a time, as the harness
+  /// does).  arena_bytes_hwm is a maximum, the rest are sums.
+  [[nodiscard]] const ExecutorStats& dispatch_stats() const noexcept {
+    return dispatch_stats_;
+  }
+
   /// Sum of modeled seconds of all kernel events (the "iteration time" the
   /// paper reports: total compute time across all kernels of a benchmark).
   [[nodiscard]] double modeled_kernel_seconds() const noexcept;
@@ -113,6 +121,7 @@ class Queue {
   std::size_t kernels_since_sync_ = 0;
   std::vector<Event> events_;
   std::vector<KernelLaunchStats> launches_;
+  ExecutorStats dispatch_stats_;
 };
 
 }  // namespace eod::xcl

@@ -1,87 +1,265 @@
 #include "xcl/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
+#include <limits>
 
 namespace eod::xcl {
+
+namespace {
+
+// The pool whose parallel_for body this thread is currently executing (as a
+// worker or as the helping caller); nested launches on the same pool run
+// inline instead of deadlocking on the launch mutex.
+thread_local const ThreadPool* tl_active_pool = nullptr;
+
+constexpr std::uint64_t pack(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+constexpr std::uint32_t range_begin(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r);
+}
+
+// Claims up to `grain` iterations from the front of `range` (owner side).
+bool claim_front(std::atomic<std::uint64_t>& range, std::uint32_t grain,
+                 std::uint32_t& begin, std::uint32_t& end) {
+  std::uint64_t r = range.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint32_t b = range_begin(r);
+    const std::uint32_t e = range_end(r);
+    if (b >= e) return false;
+    const std::uint32_t take = std::min(grain, e - b);
+    if (range.compare_exchange_weak(r, pack(b + take, e),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      begin = b;
+      end = b + take;
+      return true;
+    }
+  }
+}
+
+// Steals half of the victim's remaining range from the back (thief side);
+// owner and thief CAS the same word, so the split can never overlap.
+bool claim_back_half(std::atomic<std::uint64_t>& range, std::uint32_t& begin,
+                     std::uint32_t& end) {
+  std::uint64_t r = range.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint32_t b = range_begin(r);
+    const std::uint32_t e = range_end(r);
+    if (b >= e) return false;
+    const std::uint32_t take = (e - b + 1) / 2;
+    if (range.compare_exchange_weak(r, pack(b, e - take),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      begin = e - take;
+      end = e;
+      return true;
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  slots_ = std::vector<Slot>(threads + 1);  // + the caller's slot
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
-    stop_ = true;
+    // Taking the launch mutex waits out any in-flight parallel_for.
+    std::scoped_lock launch(launch_mutex_);
+    std::scoped_lock wake(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned slot) {
+  std::uint64_t seen = 0;
   for (;;) {
-    std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               epoch_.load(std::memory_order_acquire) != seen;
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      seen = epoch_.load(std::memory_order_acquire);
     }
-    task();
+    participate(slot, seen);
   }
+}
+
+void ThreadPool::run_span(Slot& self,
+                          const std::function<void(std::size_t)>& body,
+                          std::uint32_t begin, std::uint32_t end) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::size_t index = base_ + i;
+    try {
+      body(index);
+    } catch (...) {
+      // Keep only this participant's lowest-index exception; the caller
+      // merges slots after the launch, so the globally lowest one wins.
+      if (!self.error || index < self.error_index) {
+        self.error = std::current_exception();
+        self.error_index = index;
+      }
+    }
+  }
+  if (remaining_.fetch_sub(end - begin, std::memory_order_acq_rel) ==
+      end - begin) {
+    std::scoped_lock lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::participate(unsigned slot, std::uint64_t launch_epoch) {
+  active_.fetch_add(1, std::memory_order_seq_cst);
+  // Check in via active_, then verify the epoch we woke for is still the
+  // live one.  The acquire load synchronizes with the caller's epoch bump,
+  // so a matching epoch guarantees base_/grain_/ranges all belong to the
+  // launch we are about to serve; a stale epoch means that launch already
+  // drained (the caller only advances after active_ empties), so there is
+  // nothing left for us to do.
+  const auto* body =
+      epoch_.load(std::memory_order_acquire) == launch_epoch
+          ? body_.load(std::memory_order_acquire)
+          : nullptr;
+  if (body != nullptr) {
+    const ThreadPool* prev = tl_active_pool;
+    tl_active_pool = this;
+    std::uint64_t tasks = 0, claims = 0, steals = 0;
+    std::uint32_t b = 0, e = 0;
+    while (claim_front(slots_[slot].range, grain_, b, e)) {
+      ++claims;
+      tasks += e - b;
+      run_span(slots_[slot], *body, b, e);
+    }
+    // Own range dry: sweep the other participants, restarting the sweep
+    // after every successful steal (ranges only ever shrink, so one failed
+    // full sweep proves there is nothing left to claim).
+    bool found = true;
+    while (found) {
+      found = false;
+      for (std::size_t v = 1; v < slots_.size(); ++v) {
+        const std::size_t victim = (slot + v) % slots_.size();
+        if (claim_back_half(slots_[victim].range, b, e)) {
+          ++steals;
+          tasks += e - b;
+          run_span(slots_[slot], *body, b, e);
+          found = true;
+          break;
+        }
+      }
+    }
+    tl_active_pool = prev;
+    stat_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+    stat_claims_.fetch_add(claims, std::memory_order_relaxed);
+    stat_steals_.fetch_add(steals, std::memory_order_relaxed);
+  }
+  {
+    std::scoped_lock lock(done_mutex_);
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  done_cv_.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  // Chunk to ~4 tasks per worker to amortize queue overhead while keeping
-  // load balance; small n runs inline.
-  const std::size_t workers = size();
-  if (n == 1 || workers == 1) {
+  if (n == 0) return;  // must not touch the pool at all
+  if (tl_active_pool == this || workers_.empty() || n == 1) {
+    // Inline serial execution: nested launches, degenerate sizes.  Serial
+    // order makes the lowest-index exception guarantee immediate.
     for (std::size_t i = 0; i < n; ++i) body(i);
+    stat_tasks_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t per = (n + chunks - 1) / chunks;
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  std::scoped_lock launch(launch_mutex_);
+  // Ranges are 32-bit packed; iterate gigantic launches in 2^32-1 slices.
+  constexpr std::size_t kMaxSlice = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t offset = 0; offset < n; offset += kMaxSlice) {
+    base_ = offset;
+    run_one_slice(std::min(n - offset, kMaxSlice), body);
+  }
+}
+
+void ThreadPool::run_one_slice(std::size_t n,
+                               const std::function<void(std::size_t)>& body) {
+  const std::size_t participants = slots_.size();
+  // ~8 owner claims per participant: enough granularity that thieves find
+  // meaningful halves, few enough that claim CAS traffic stays negligible.
+  grain_ = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, n / (participants * 8)));
+  for (std::size_t p = 0; p < participants; ++p) {
+    const auto begin = static_cast<std::uint32_t>(n * p / participants);
+    const auto end = static_cast<std::uint32_t>(n * (p + 1) / participants);
+    slots_[p].range.store(pack(begin, end), std::memory_order_relaxed);
+    slots_[p].error = nullptr;
+  }
+  remaining_.store(n, std::memory_order_relaxed);
+  body_.store(&body, std::memory_order_release);
+  {
+    std::scoped_lock lock(wake_mutex_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);  // one atomic publish
+  }
+  wake_cv_.notify_all();
+  stat_launches_.fetch_add(1, std::memory_order_relaxed);
+
+  // The caller always helps; no other thread can bump the epoch while we
+  // hold the launch mutex, so this relaxed load names our own launch.
+  participate(static_cast<unsigned>(participants - 1),
+              epoch_.load(std::memory_order_relaxed));
 
   {
-    std::scoped_lock lock(mutex_);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t begin = c * per;
-      const std::size_t end = std::min(n, begin + per);
-      tasks_.push([&, begin, end] {
-        try {
-          for (std::size_t i = begin; i < end; ++i) body(i);
-        } catch (...) {
-          std::scoped_lock elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1) == 1) {
-          std::scoped_lock dlock(done_mutex);
-          done_cv.notify_all();
-        }
-      });
-    }
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0 &&
+             active_.load(std::memory_order_acquire) == 0;
+    });
   }
-  cv_.notify_all();
+  body_.store(nullptr, std::memory_order_release);
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr lowest;
+  std::size_t lowest_index = std::numeric_limits<std::size_t>::max();
+  for (Slot& s : slots_) {
+    if (s.error && s.error_index < lowest_index) {
+      lowest_index = s.error_index;
+      lowest = s.error;
+    }
+    s.error = nullptr;
+  }
+  if (lowest) std::rethrow_exception(lowest);
 }
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  Stats s;
+  s.launches = stat_launches_.load(std::memory_order_relaxed);
+  s.tasks_executed = stat_tasks_.load(std::memory_order_relaxed);
+  s.chunks_claimed = stat_claims_.load(std::memory_order_relaxed);
+  s.chunks_stolen = stat_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::reset_stats() noexcept {
+  stat_launches_.store(0, std::memory_order_relaxed);
+  stat_tasks_.store(0, std::memory_order_relaxed);
+  stat_claims_.store(0, std::memory_order_relaxed);
+  stat_steals_.store(0, std::memory_order_relaxed);
+}
+
+bool ThreadPool::in_launch() const noexcept { return tl_active_pool == this; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;

@@ -2,6 +2,7 @@
 // analogues, work-group barrier(), and __local memory allocation.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <functional>
@@ -42,12 +43,31 @@ class LocalArena {
   }
 
   /// Resets slot table between work-groups while reusing the storage.
+  /// The previously-used prefix is zeroed so a recycled arena is
+  /// indistinguishable from a freshly constructed one (whose storage is
+  /// value-initialized): work-groups always observe zeroed __local memory.
   void reset() noexcept {
+    std::fill(storage_.begin(),
+              storage_.begin() + static_cast<std::ptrdiff_t>(used_),
+              std::byte{0});
     used_ = 0;
     slots_.fill(Slot{});
   }
 
+  /// Grows the arena (zero-filled, like construction) so one long-lived
+  /// per-worker arena can serve devices with differing __local capacities.
+  /// Never shrinks; existing slots stay valid only until the next reset().
+  void ensure_capacity(std::size_t capacity_bytes) {
+    if (capacity_bytes > capacity_) {
+      storage_.resize(capacity_bytes);
+      capacity_ = capacity_bytes;
+    }
+  }
+
   [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
 
  private:
   struct Slot {
@@ -67,7 +87,7 @@ class WorkItem {
            std::array<std::size_t, 3> group_id,
            std::array<std::size_t, 3> global_size,
            std::array<std::size_t, 3> local_size, LocalArena* arena,
-           std::function<void()>* barrier_hook)
+           const std::function<void()>* barrier_hook)
       : global_id_(global_id),
         local_id_(local_id),
         group_id_(group_id),
@@ -121,7 +141,7 @@ class WorkItem {
   std::array<std::size_t, 3> global_size_;
   std::array<std::size_t, 3> local_size_;
   LocalArena* arena_;
-  std::function<void()>* barrier_hook_;
+  const std::function<void()>* barrier_hook_;
 };
 
 }  // namespace eod::xcl
