@@ -14,6 +14,7 @@
 #include "dwarfs/registry.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/device_spec.hpp"
+#include "sim/replay_cache.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/testbed.hpp"
 #include "xcl/queue.hpp"
@@ -32,21 +33,15 @@ int analytic_level(double ws, const sim::DeviceSpec& d) {
 }
 
 int simulated_level(const dwarfs::Dwarf& dwarf, const sim::DeviceSpec& d) {
-  sim::CacheHierarchy h(d);
-  const auto replay = [&] {
-    dwarf.stream_trace([&h](const sim::MemAccess& a) {
-      h.access(a.address, a.bytes, a.is_write);
-    });
-  };
-  replay();
-  const auto cold = h.counters();
-  replay();
-  const auto warm = h.counters();
-  const double n =
-      static_cast<double>(warm.total_accesses - cold.total_accesses);
-  const double l1 = static_cast<double>(warm.l1_dcm - cold.l1_dcm) / n;
-  const double l2 = static_cast<double>(warm.l2_dcm - cold.l2_dcm) / n;
-  const double l3 = static_cast<double>(warm.l3_tcm - cold.l3_tcm) / n;
+  // Memoized coalesced replay; .warm holds the steady-state pass (the
+  // seed's cold/warm cumulative diff, with the reset folded in).
+  const sim::ReplayMemoEntry memo = sim::memoized_replay(
+      [&dwarf](sim::TraceWriter& w) { dwarf.stream_trace(w); }, d,
+      dwarf.name() + "/ablate");
+  const double n = static_cast<double>(memo.warm.total_accesses);
+  const double l1 = static_cast<double>(memo.warm.l1_dcm) / n;
+  const double l2 = static_cast<double>(memo.warm.l2_dcm) / n;
+  const double l3 = static_cast<double>(memo.warm.l3_tcm) / n;
   // Steady-state service level: the deepest level with meaningful misses
   // one level up and (almost) none itself.
   if (l3 > 1e-3) return 4;
@@ -58,6 +53,9 @@ int simulated_level(const dwarfs::Dwarf& dwarf, const sim::DeviceSpec& d) {
 }  // namespace
 
 int main() {
+  // Persist replayed cells so report re-runs replay nothing.
+  eod::sim::ReplayCache::instance().set_disk_store(
+      "results/replay_memo.tsv");
   const sim::DeviceSpec& sky = sim::skylake();
   std::cout << "Analytic residence rule vs trace-driven simulation "
                "(Skylake hierarchy)\n";
@@ -116,18 +114,14 @@ int main() {
       dwarf->bind(ctx, q);
       q.clear_events();
       dwarf->run();
-      // Steady-state counters.
-      sim::CacheHierarchy h(sky);
-      for (int pass = 0; pass < 2; ++pass) {
-        if (pass == 1) h.reset();
-        dwarf->stream_trace([&h](const sim::MemAccess& a) {
-          h.access(a.address, a.bytes, a.is_write);
-        });
-      }
+      // Steady-state counters via the same memoized replay engine.
+      const sim::ReplayMemoEntry memo = sim::memoized_replay(
+          [&dwarf](sim::TraceWriter& w) { dwarf->stream_trace(w); }, sky,
+          std::string("kmeans/") + to_string(size));
       const xcl::KernelLaunchStats& launch = q.launches().front();
       const double analytic = model.analyze(launch).memory_s;
       const double traced =
-          model.memory_seconds_from_counters(launch, h.counters());
+          model.memory_seconds_from_counters(launch, memo.warm);
       const double ratio = traced > 0.0 ? analytic / traced : 0.0;
       // Agreement within ~3x validates the cheap analytic term.
       const bool ok = ratio > 1.0 / 3.0 && ratio < 3.0;
@@ -141,5 +135,9 @@ int main() {
       dwarf->unbind();
     }
   }
+  const sim::ReplayCache::Stats rc = sim::ReplayCache::instance().stats();
+  std::cout << "\nreplay memo: " << rc.hits << " hits, " << rc.misses
+            << " misses, " << rc.loaded << " loaded from disk, "
+            << rc.stores << " stored\n";
   return (mismatches == 0 && time_mismatches == 0) ? 0 : 1;
 }

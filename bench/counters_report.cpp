@@ -7,16 +7,31 @@
 // trace through the Skylake hierarchy and prints the PAPI-event rates the
 // paper lists: IPC, L1/L2 data cache misses, L3 request/miss rate and miss
 // ratio, data TLB miss rate, and branch mispredictions.
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
 #include "dwarfs/registry.hpp"
 #include "harness/runner.hpp"
+#include "sim/replay_cache.hpp"
 #include "sim/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eod;
   using namespace eod::sim;
+
+  // --max-accesses N skips any trace whose size hint exceeds N (0, the
+  // default, replays everything -- gem medium/large included).
+  std::size_t max_accesses = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-accesses") == 0 && i + 1 < argc) {
+      max_accesses = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  // Replayed cells persist under results/ so re-runs replay nothing.
+  ReplayCache::instance().set_disk_store("results/replay_memo.tsv");
 
   std::cout << "PAPI-style counter rates on the Skylake i7-6700K (per "
                "instruction)\n";
@@ -31,15 +46,10 @@ int main() {
        {"kmeans", "csr", "crc", "fft", "dwt", "srad", "nw", "gem"}) {
     auto dwarf = dwarfs::create_dwarf(name);
     for (const dwarfs::ProblemSize size : dwarf->supported_sizes()) {
-      // gem's all-pairs trace is O(V*A): replaying medium/large would take
-      // hours; the paper's gem sizes don't exercise the hierarchy anyway.
-      if (std::string(name) == "gem" &&
-          size >= dwarfs::ProblemSize::kMedium) {
-        continue;
-      }
       harness::MeasureOptions opts;
       opts.functional = false;
       opts.collect_counters = true;
+      opts.max_trace_accesses = max_accesses;
       const harness::Measurement m = harness::measure(
           *dwarf, size, testbed_device("i7-6700K"), opts);
       if (!m.counters_collected) continue;
@@ -65,6 +75,11 @@ int main() {
   std::cout << "\n(tiny rows show near-zero L1 misses, medium rows near-"
                "zero L3 misses, large rows real DRAM traffic -- the §4.4 "
                "size-selection verification.)\n";
+
+  const ReplayCache::Stats rc = ReplayCache::instance().stats();
+  std::cout << "replay memo: " << rc.hits << " hits, " << rc.misses
+            << " misses, " << rc.loaded << " loaded from disk, "
+            << rc.stores << " stored\n";
 
   // Host-side substrate observability: replay two small benchmarks
   // functionally (one plain-loop kernel set, one barrier-heavy) and report

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/cache_sim.hpp"
+#include "sim/trace_replay.hpp"
 #include "xcl/buffer.hpp"
 #include "xcl/queue.hpp"
 
@@ -116,15 +117,33 @@ class Dwarf {
 
   /// Optional single-iteration memory trace for the cache simulator
   /// (§4.4: used to verify size classes land in the intended cache level).
-  /// Streaming interface so large traces never need materialising.
-  virtual void stream_trace(
+  /// Emits into a batched (optionally line-coalescing) writer so large
+  /// traces never materialise and never pay a per-access callback.
+  /// Overriders should add `using Dwarf::stream_trace;` so the legacy
+  /// per-access overload below stays visible on the concrete type.
+  virtual void stream_trace(sim::TraceWriter& out) const { (void)out; }
+
+  /// Exact (or best-effort) number of accesses stream_trace will emit for
+  /// the current setup; 0 when unknown or trace-less.  Lets memory_trace()
+  /// reserve and lets callers refuse oversized replays up front.
+  [[nodiscard]] virtual std::size_t trace_size_hint() const { return 0; }
+
+  /// Legacy per-access streaming interface, adapted onto the batched one.
+  void stream_trace(
       const std::function<void(const sim::MemAccess&)>& sink) const {
-    (void)sink;
+    sim::FunctionTraceSink fn_sink(sink);
+    sim::TraceWriter writer(fn_sink);
+    stream_trace(writer);
   }
+
   /// Convenience: collects stream_trace into a vector (small sizes only).
   [[nodiscard]] sim::MemoryTrace memory_trace() const {
     sim::MemoryTrace t;
-    stream_trace([&t](const sim::MemAccess& a) { t.push_back(a); });
+    t.reserve(trace_size_hint());
+    sim::VectorTraceSink vec_sink(t);
+    sim::TraceWriter writer(vec_sink);
+    stream_trace(writer);
+    writer.finish();
     return t;
   }
 };

@@ -150,8 +150,7 @@ void Crc::unbind() {
   queue_ = nullptr;
 }
 
-void Crc::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Crc::stream_trace(sim::TraceWriter& out) const {
   const std::uint64_t data_base = 0x10000;
   const std::uint64_t table_base = data_base + data_.size();
   const std::uint64_t out_base = table_base + 256 * 4;
@@ -160,11 +159,15 @@ void Crc::stream_trace(
     const std::size_t begin = p * kPageBytes;
     const std::size_t end = std::min(data_.size(), begin + kPageBytes);
     for (std::size_t i = begin; i < end; ++i) {
-      sink({data_base + i, 1, false});
-      sink({table_base + (data_[i] & 0xFFu) * 4ull, 4, false});
+      out.emit(data_base + i, 1, false);
+      out.emit(table_base + (data_[i] & 0xFFu) * 4ull, 4, false);
     }
-    sink({out_base + p * 4, 4, true});
+    out.emit(out_base + p * 4, 4, true);
   }
+}
+
+std::size_t Crc::trace_size_hint() const {
+  return 2 * data_.size() + pages();
 }
 
 }  // namespace eod::dwarfs

@@ -44,8 +44,9 @@ class Crc final : public Dwarf {
   [[nodiscard]] Validation validate() override;
   void unbind() override;
 
-  void stream_trace(const std::function<void(const sim::MemAccess&)>& sink)
-      const override;
+  using Dwarf::stream_trace;
+  void stream_trace(sim::TraceWriter& out) const override;
+  [[nodiscard]] std::size_t trace_size_hint() const override;
 
   /// Serial reference CRC32 of a byte range.
   [[nodiscard]] static std::uint32_t crc32_reference(

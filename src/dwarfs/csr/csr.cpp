@@ -147,22 +147,25 @@ void Csr::unbind() {
   queue_ = nullptr;
 }
 
-void Csr::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Csr::stream_trace(sim::TraceWriter& out) const {
   const std::uint64_t rp_base = 0x10000;
   const std::uint64_t cols_base = rp_base + m_.row_ptr.size() * 4;
   const std::uint64_t vals_base = cols_base + m_.cols.size() * 4;
   const std::uint64_t x_base = vals_base + m_.vals.size() * 4;
   const std::uint64_t y_base = x_base + x_.size() * 4;
   for (std::size_t r = 0; r < m_.n; ++r) {
-    sink({rp_base + r * 4, 8, false});
+    out.emit(rp_base + r * 4, 8, false);
     for (std::uint32_t k = m_.row_ptr[r]; k < m_.row_ptr[r + 1]; ++k) {
-      sink({cols_base + k * 4ull, 4, false});
-      sink({vals_base + k * 4ull, 4, false});
-      sink({x_base + m_.cols[k] * 4ull, 4, false});
+      out.emit(cols_base + k * 4ull, 4, false);
+      out.emit(vals_base + k * 4ull, 4, false);
+      out.emit(x_base + m_.cols[k] * 4ull, 4, false);
     }
-    sink({y_base + r * 4, 4, true});
+    out.emit(y_base + r * 4, 4, true);
   }
+}
+
+std::size_t Csr::trace_size_hint() const {
+  return 2 * m_.n + 3 * m_.cols.size();
 }
 
 }  // namespace eod::dwarfs

@@ -63,8 +63,9 @@ class Csr final : public Dwarf {
   [[nodiscard]] Validation validate() override;
   void unbind() override;
 
-  void stream_trace(const std::function<void(const sim::MemAccess&)>& sink)
-      const override;
+  using Dwarf::stream_trace;
+  void stream_trace(sim::TraceWriter& out) const override;
+  [[nodiscard]] std::size_t trace_size_hint() const override;
 
  private:
   CsrMatrix m_;

@@ -142,8 +142,7 @@ void Dwt::finish() {
   queue_->enqueue_read<float>(*data_buf_, std::span(output_));
 }
 
-void Dwt::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Dwt::stream_trace(sim::TraceWriter& out) const {
   // The lifting passes in kernel order: horizontal rows (streaming reads,
   // deinterleaved writes into temp), then vertical column walks.
   const std::size_t stride = extent_.width;
@@ -156,19 +155,32 @@ void Dwt::stream_trace(
        ++level) {
     for (std::size_t r = 0; r < lh; ++r) {
       for (std::size_t cidx = 0; cidx < lw; ++cidx) {
-        sink({data_base + (r * stride + cidx) * 4, 4, false});
-        sink({temp_base + (r * stride + cidx) * 4, 4, true});
+        out.emit(data_base + (r * stride + cidx) * 4, 4, false);
+        out.emit(temp_base + (r * stride + cidx) * 4, 4, true);
       }
     }
     for (std::size_t cidx = 0; cidx < lw; ++cidx) {
       for (std::size_t r = 0; r < lh; ++r) {
-        sink({temp_base + (r * stride + cidx) * 4, 4, false});
-        sink({data_base + (r * stride + cidx) * 4, 4, true});
+        out.emit(temp_base + (r * stride + cidx) * 4, 4, false);
+        out.emit(data_base + (r * stride + cidx) * 4, 4, true);
       }
     }
     lw = (lw + 1) / 2;
     lh = (lh + 1) / 2;
   }
+}
+
+std::size_t Dwt::trace_size_hint() const {
+  std::size_t total = 0;
+  std::size_t lw = extent_.width;
+  std::size_t lh = extent_.height;
+  for (unsigned level = 0; level < levels_ && lw >= 2 && lh >= 2;
+       ++level) {
+    total += 4 * lw * lh;
+    lw = (lw + 1) / 2;
+    lh = (lh + 1) / 2;
+  }
+  return total;
 }
 
 void Dwt::reference_dwt53(std::vector<double>& data, std::size_t width,

@@ -180,8 +180,7 @@ Validation Fft::validate() {
   return validate_norm(output_, want, 1e-3, "fft vs double-precision CT");
 }
 
-void Fft::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Fft::stream_trace(sim::TraceWriter& out) const {
   // One full transform: log2(n) Stockham stages ping-ponging between two
   // complex buffers, in work-item order per stage.
   const std::uint64_t base_a = 0x10000;
@@ -193,13 +192,19 @@ void Fft::stream_trace(
     for (std::size_t i = 0; i < n_ / 2; ++i) {
       const std::size_t k = i & (p - 1);
       const std::size_t j = ((i - k) << 1) + k;
-      sink({src + 2 * i * sizeof(float), 8, false});
-      sink({src + 2 * (i + n_ / 2) * sizeof(float), 8, false});
-      sink({dst + 2 * j * sizeof(float), 8, true});
-      sink({dst + 2 * (j + p) * sizeof(float), 8, true});
+      out.emit(src + 2 * i * sizeof(float), 8, false);
+      out.emit(src + 2 * (i + n_ / 2) * sizeof(float), 8, false);
+      out.emit(dst + 2 * j * sizeof(float), 8, true);
+      out.emit(dst + 2 * (j + p) * sizeof(float), 8, true);
     }
     src_is_a = !src_is_a;
   }
+}
+
+std::size_t Fft::trace_size_hint() const {
+  std::size_t stages = 0;
+  for (std::size_t p = 1; p < n_; p <<= 1) ++stages;
+  return stages * 2 * n_;
 }
 
 void Fft::unbind() {

@@ -44,8 +44,9 @@ class Fft final : public Dwarf {
     return 2 * length_for(s) * 2 * sizeof(float);
   }
 
-  void stream_trace(const std::function<void(const sim::MemAccess&)>& sink)
-      const override;
+  using Dwarf::stream_trace;
+  void stream_trace(sim::TraceWriter& out) const override;
+  [[nodiscard]] std::size_t trace_size_hint() const override;
 
   void setup(ProblemSize size) override;
   void bind(xcl::Context& ctx, xcl::Queue& q) override;

@@ -66,8 +66,9 @@ class Gem final : public Dwarf {
     return a * 4 * sizeof(float) + 2 * a * 4 * sizeof(float);
   }
 
-  void stream_trace(const std::function<void(const sim::MemAccess&)>& sink)
-      const override;
+  using Dwarf::stream_trace;
+  void stream_trace(sim::TraceWriter& out) const override;
+  [[nodiscard]] std::size_t trace_size_hint() const override;
 
   void setup(ProblemSize size) override;
   void bind(xcl::Context& ctx, xcl::Queue& q) override;

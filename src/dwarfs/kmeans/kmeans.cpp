@@ -218,8 +218,7 @@ void KMeans::unbind() {
   queue_ = nullptr;
 }
 
-void KMeans::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void KMeans::stream_trace(sim::TraceWriter& out) const {
   // One assign pass in program order, as §4.4.1 describes the kernel's
   // traffic: stream features, reread the small centroid block per point,
   // write membership.  Addresses are laid out as on the device.
@@ -233,13 +232,18 @@ void KMeans::stream_trace(
   for (std::size_t i = 0; i < params_.points; ++i) {
     for (unsigned c = 0; c < cn; ++c) {
       for (unsigned f = 0; f < fn; ++f) {
-        sink({feat_base + (i * fn + f) * sizeof(float), 4, false});
-        sink({clus_base + (std::size_t{c} * fn + f) * sizeof(float), 4,
-              false});
+        out.emit(feat_base + (i * fn + f) * sizeof(float), 4, false);
+        out.emit(clus_base + (std::size_t{c} * fn + f) * sizeof(float), 4,
+                 false);
       }
     }
-    sink({memb_base + i * sizeof(std::int32_t), 4, true});
+    out.emit(memb_base + i * sizeof(std::int32_t), 4, true);
   }
+}
+
+std::size_t KMeans::trace_size_hint() const {
+  return params_.points *
+         (std::size_t{params_.clusters} * params_.features * 2 + 1);
 }
 
 }  // namespace eod::dwarfs

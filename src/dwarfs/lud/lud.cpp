@@ -201,8 +201,7 @@ Validation Lud::validate() {
   return validate_norm(recon, input_, 1e-4, "lud L*U reconstruction");
 }
 
-void Lud::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Lud::stream_trace(sim::TraceWriter& out) const {
   // Blocked factorization order: per step k, the diagonal block, the
   // perimeter row/column panels, then every interior block re-reading its
   // L/U panels -- the tiled-reuse pattern the kTiled factor models.
@@ -210,10 +209,9 @@ void Lud::stream_trace(
   const std::size_t nb = n / B;
   const std::uint64_t base = 0x10000;
   auto touch_block = [&](std::size_t bi, std::size_t bj, bool write) {
+    // Each block row is a dense 4B-stride run of B elements.
     for (std::size_t r = 0; r < B; ++r) {
-      for (std::size_t cidx = 0; cidx < B; ++cidx) {
-        sink({base + ((bi * B + r) * n + bj * B + cidx) * 4, 4, write});
-      }
+      out.emit_run(base + ((bi * B + r) * n + bj * B) * 4, 4, B, write);
     }
   };
   for (std::size_t k = 0; k < nb; ++k) {
@@ -231,6 +229,16 @@ void Lud::stream_trace(
       }
     }
   }
+}
+
+std::size_t Lud::trace_size_hint() const {
+  const std::size_t nb = n_ / B;
+  std::size_t blocks = 0;
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t rest = nb - k - 1;
+    blocks += 1 + 3 * rest + 3 * rest * rest;
+  }
+  return blocks * B * B;
 }
 
 void Lud::unbind() {

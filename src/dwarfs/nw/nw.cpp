@@ -180,8 +180,7 @@ Validation Nw::validate() {
   return v;
 }
 
-void Nw::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Nw::stream_trace(sim::TraceWriter& out) const {
   // One full wavefront sweep in cell order: each cell reads its three
   // score neighbours and its similarity entry, then writes its score.
   const std::size_t m = n_ + 1;
@@ -189,13 +188,18 @@ void Nw::stream_trace(
   const std::uint64_t sim_base = score_base + m * m * 4;
   for (std::size_t i = 1; i < m; ++i) {
     for (std::size_t j = 1; j < m; ++j) {
-      sink({score_base + ((i - 1) * m + j - 1) * 4, 4, false});
-      sink({score_base + ((i - 1) * m + j) * 4, 4, false});
-      sink({score_base + (i * m + j - 1) * 4, 4, false});
-      sink({sim_base + (i * m + j) * 4, 4, false});
-      sink({score_base + (i * m + j) * 4, 4, true});
+      out.emit(score_base + ((i - 1) * m + j - 1) * 4, 4, false);
+      out.emit(score_base + ((i - 1) * m + j) * 4, 4, false);
+      out.emit(score_base + (i * m + j - 1) * 4, 4, false);
+      out.emit(sim_base + (i * m + j) * 4, 4, false);
+      out.emit(score_base + (i * m + j) * 4, 4, true);
     }
   }
+}
+
+std::size_t Nw::trace_size_hint() const {
+  const std::size_t m = n_ + 1;
+  return (m - 1) * (m - 1) * 5;
 }
 
 void Nw::unbind() {

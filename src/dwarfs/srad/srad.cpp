@@ -209,8 +209,7 @@ Validation Srad::validate() {
   return validate_norm(j_out_, jr, 1e-6, "srad diffusion steps");
 }
 
-void Srad::stream_trace(
-    const std::function<void(const sim::MemAccess&)>& sink) const {
+void Srad::stream_trace(sim::TraceWriter& out) const {
   // One diffusion step: srad1's 5-point stencil reads + coefficient and
   // derivative writes, then srad2's coefficient-weighted update.
   const std::size_t rows = extent_.rows;
@@ -226,29 +225,34 @@ void Srad::stream_trace(
     const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
     const std::size_t cw = col == 0 ? 0 : col - 1;
     const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
-    sink({j_base + idx * 4, 4, false});
-    sink({j_base + (rn * cols + col) * 4, 4, false});
-    sink({j_base + (rs * cols + col) * 4, 4, false});
-    sink({j_base + (r * cols + cw) * 4, 4, false});
-    sink({j_base + (r * cols + ce) * 4, 4, false});
+    out.emit(j_base + idx * 4, 4, false);
+    out.emit(j_base + (rn * cols + col) * 4, 4, false);
+    out.emit(j_base + (rs * cols + col) * 4, 4, false);
+    out.emit(j_base + (r * cols + cw) * 4, 4, false);
+    out.emit(j_base + (r * cols + ce) * 4, 4, false);
     for (unsigned k = 0; k < 4; ++k) {
-      sink({d_base + (k * cells + idx) * 4, 4, true});
+      out.emit(d_base + (k * cells + idx) * 4, 4, true);
     }
-    sink({c_base + idx * 4, 4, true});
+    out.emit(c_base + idx * 4, 4, true);
   }
   for (std::size_t idx = 0; idx < cells; ++idx) {
     const std::size_t r = idx / cols;
     const std::size_t col = idx % cols;
     const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
     const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
-    sink({c_base + idx * 4, 4, false});
-    sink({c_base + (rs * cols + col) * 4, 4, false});
-    sink({c_base + (r * cols + ce) * 4, 4, false});
+    out.emit(c_base + idx * 4, 4, false);
+    out.emit(c_base + (rs * cols + col) * 4, 4, false);
+    out.emit(c_base + (r * cols + ce) * 4, 4, false);
     for (unsigned k = 0; k < 4; ++k) {
-      sink({d_base + (k * cells + idx) * 4, 4, false});
+      out.emit(d_base + (k * cells + idx) * 4, 4, false);
     }
-    sink({j_base + idx * 4, 4, true});
+    out.emit(j_base + idx * 4, 4, true);
   }
+}
+
+std::size_t Srad::trace_size_hint() const {
+  // 10 accesses per cell in srad1 + 8 in srad2.
+  return 18 * std::size_t{extent_.rows} * extent_.cols;
 }
 
 void Srad::unbind() {

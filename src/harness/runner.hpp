@@ -36,8 +36,14 @@ struct MeasureOptions {
   bool reuse_setup = false;
   /// Collect PAPI-style hardware counters by replaying the benchmark's
   /// memory trace through the device's cache hierarchy (§4.3; only
-  /// benchmarks that expose a trace produce cache events).
+  /// benchmarks that expose a trace produce cache events).  Replays are
+  /// memoized (sim::ReplayCache), so a sweep pays each (trace, hierarchy)
+  /// cell once.
   bool collect_counters = false;
+  /// Refuse counter replays whose trace_size_hint() exceeds this many
+  /// accesses (0 = unlimited).  A guard, not a truncation: the trace is
+  /// either replayed fully or not at all.
+  std::size_t max_trace_accesses = 0;
 };
 
 /// Per-kernel aggregate over one application iteration.

@@ -5,6 +5,18 @@
 // level of the Skylake hierarchy (§4.4).  This simulator provides the same
 // verification capability for the simulated testbed: replay a benchmark's
 // memory trace through a device's hierarchy and read the miss counters.
+//
+// Replay interfaces, fastest first:
+//   * consume_coalesced(): pages of line-coalesced records (see
+//     sim/trace_replay.hpp) -- run-length repeats of a cache line are
+//     counted as guaranteed hits without a lookup.
+//   * replay_cache_shard()/replay_tlb_shard(): the set-partitioned halves
+//     of a coalesced replay, for running one hierarchy across several
+//     workers (sets are independent under LRU, so lines can be partitioned
+//     by line % shard_count without changing any counter).
+//   * consume()/replay()/access(): batched and per-access raw replay.
+// All paths produce bit-identical HierarchyCounters (enforced by
+// tests/cache_replay_test.cpp against the per-access reference).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,17 @@ struct MemAccess {
 /// A recorded sequence of accesses (single-work-item program order).
 using MemoryTrace = std::vector<MemAccess>;
 
+/// One access plus `repeats` further accesses with the same cache-line
+/// span.  Under LRU a re-touch of the most recently used line(s) is a
+/// guaranteed hit at every level and only refreshes recency stamps it
+/// already tops, so repeats are credited as hits without a lookup --
+/// provably exact (tests/cache_replay_test.cpp).
+struct CoalescedAccess {
+  std::uint64_t address = 0;
+  std::uint32_t bytes = 4;
+  std::uint32_t repeats = 0;
+};
+
 /// One set-associative LRU cache level.
 class CacheLevel {
  public:
@@ -33,7 +56,50 @@ class CacheLevel {
 
   /// Returns true on hit; on miss the line is installed (allocate-on-miss,
   /// no inclusion/exclusion modeling).
-  bool access(std::uint64_t address);
+  bool access(std::uint64_t address) {
+    const bool hit = touch_line(line_index(address), ++clock_);
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    return hit;
+  }
+
+  /// LRU state transition only -- no counter updates.  `stamp` must be
+  /// strictly increasing over successive touches of any one set (the
+  /// internal clock for sequential use, or a shard-private clock for
+  /// set-partitioned parallel replay).  Returns true on hit.
+  bool touch_line(std::uint64_t line, std::uint64_t stamp) noexcept {
+    const std::size_t set =
+        sets_pow2_ ? static_cast<std::size_t>(line & set_mask_)
+                   : static_cast<std::size_t>(line % sets_);
+    std::uint64_t* tags = &tags_[set * assoc_];
+    std::uint64_t* stamps = &stamps_[set * assoc_];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < assoc_; ++w) {
+      if (tags[w] == line) {
+        stamps[w] = stamp;
+        return true;
+      }
+      if (stamps[w] < stamps[victim]) victim = w;
+    }
+    tags[victim] = line;
+    stamps[victim] = stamp;
+    return false;
+  }
+
+  /// Folds externally-counted hits/misses (repeat credits, shard-local
+  /// accumulators) into this level's counters.
+  void credit(std::uint64_t hits, std::uint64_t misses) noexcept {
+    hits_ += hits;
+    misses_ += misses;
+  }
+
+  [[nodiscard]] std::uint64_t line_index(std::uint64_t address) const
+      noexcept {
+    return address >> line_shift_;
+  }
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
@@ -45,17 +111,31 @@ class CacheLevel {
     return a == 0 ? 0.0 : static_cast<double>(misses_) / a;
   }
   [[nodiscard]] unsigned line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] unsigned line_shift() const noexcept { return line_shift_; }
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::size_t capacity_lines() const noexcept {
+    return sets_ * assoc_;
+  }
+  [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
+  /// Moves the internal stamp clock forward (never backward) so stamps
+  /// handed out after an externally-clocked replay stay above every stamp
+  /// already in the arrays.
+  void advance_clock(std::uint64_t to) noexcept {
+    if (to > clock_) clock_ = to;
+  }
   void reset_counters() noexcept { hits_ = misses_ = 0; }
 
  private:
-  struct Way {
-    std::uint64_t tag = ~0ull;
-    std::uint64_t lru = 0;  // last-use stamp
-  };
   unsigned line_bytes_;
+  unsigned line_shift_ = 0;
   unsigned assoc_;
-  std::size_t sets_;
-  std::vector<Way> ways_;  // sets_ * assoc_
+  std::size_t sets_ = 0;
+  std::uint64_t set_mask_ = 0;
+  bool sets_pow2_ = false;
+  // Structure-of-arrays: the tag walk touches one contiguous run of
+  // std::uint64_t per set (vectorizable), stamps only on the chosen way.
+  std::vector<std::uint64_t> tags_;    // sets_ * assoc_, ~0 = invalid
+  std::vector<std::uint64_t> stamps_;  // last-use stamps
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
@@ -68,6 +148,30 @@ struct HierarchyCounters {
   std::uint64_t l2_dcm = 0;  ///< PAPI_L2_DCM
   std::uint64_t l3_tcm = 0;  ///< PAPI_L3_TCM: total L3 misses (DRAM trips)
   std::uint64_t tlb_dm = 0;  ///< data TLB misses
+
+  friend bool operator==(const HierarchyCounters& a,
+                         const HierarchyCounters& b) {
+    return a.total_accesses == b.total_accesses && a.l1_dcm == b.l1_dcm &&
+           a.l2_dcm == b.l2_dcm && a.l3_tcm == b.l3_tcm &&
+           a.tlb_dm == b.tlb_dm;
+  }
+};
+
+/// Shard-local accumulator for set-partitioned parallel replay: every
+/// counter a replay would normally bump, collected privately (no shared
+/// writes) and folded once per pass via fold_shard().
+struct ReplayShardCounters {
+  HierarchyCounters counters;
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t l3_hits = 0, l3_misses = 0;
+  std::uint64_t tlb_hits = 0, tlb_misses = 0;
+  std::uint64_t clock = 0;  ///< shard-private LRU stamp source
+  // One-entry MRU filters: a re-touch of the most recent line/page is a
+  // guaranteed hit whose stamp refresh cannot change any relative LRU
+  // order, so the walk is skipped (exact; same argument as coalescing).
+  std::uint64_t last_line = ~0ull;
+  std::uint64_t last_page = ~0ull;
 };
 
 /// L1 -> L2 [-> L3] -> DRAM plus a data TLB, built from a DeviceSpec.
@@ -80,6 +184,34 @@ class CacheHierarchy {
   /// it straddles a boundary).
   void access(std::uint64_t address, std::uint32_t bytes, bool is_write);
   void replay(const MemoryTrace& trace);
+
+  /// Batched raw replay: one page of accesses per call.
+  void consume(const MemAccess* page, std::size_t n);
+  /// Batched line-coalesced replay (repeats credited as guaranteed hits).
+  void consume_coalesced(const CoalescedAccess* page, std::size_t n);
+
+  /// Set-partitioned parallel replay, cache-level half: processes only the
+  /// lines with line % shard_count == shard (shard_count must divide
+  /// max_replay_shards()).  Touches no shared counter; accumulate into
+  /// `acc` and fold_shard() once per pass.  The TLB/total half is
+  /// replay_tlb_shard() (the TLB is fully associative, so it cannot be
+  /// set-partitioned and runs as its own unit).
+  void replay_cache_shard(const CoalescedAccess* page, std::size_t n,
+                          unsigned shard, unsigned shard_count,
+                          ReplayShardCounters& acc);
+  void replay_tlb_shard(const CoalescedAccess* page, std::size_t n,
+                        ReplayShardCounters& acc);
+  void fold_shard(const ReplayShardCounters& acc);
+
+  /// Fresh shard accumulator whose private clock starts above every stamp
+  /// currently stored in any level, so a replay pass started mid-lifetime
+  /// (e.g. a warm pass after a cold pass) keeps stamps monotonic per set.
+  [[nodiscard]] ReplayShardCounters make_shard() const noexcept;
+
+  /// Largest power-of-two shard count for which set partitioning is exact:
+  /// divides every level's set count, provided all levels share one line
+  /// size (otherwise 1: a single line index must address every level).
+  [[nodiscard]] unsigned max_replay_shards() const noexcept;
 
   [[nodiscard]] const HierarchyCounters& counters() const noexcept {
     return counters_;
@@ -99,6 +231,7 @@ class CacheHierarchy {
   std::optional<CacheLevel> l3_;
   CacheLevel tlb_;  // modeled as a cache of page numbers
   unsigned page_bytes_;
+  unsigned page_shift_;
   HierarchyCounters counters_;
 };
 

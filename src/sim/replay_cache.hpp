@@ -1,0 +1,89 @@
+// Content-keyed replay memo cache.
+//
+// A replayed (trace, hierarchy) cell is a pure function of the trace
+// content and the hierarchy geometry, so its cold/warm counters never need
+// computing twice: suite_report, counters_report and ablate_cachesim all
+// replay e.g. kmeans-large over the same 15 hierarchies.  The cache keys on
+// TraceKey (order-sensitive content hash + access count, from a replay-free
+// hashing pass) plus a geometry hash, and can persist to a text store under
+// results/ so a second report run replays nothing at all.
+//
+// The disk store is opt-in (report binaries call set_disk_store); tests and
+// library code stay hermetic by default.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/trace_replay.hpp"
+
+namespace eod::sim {
+
+/// Hash of everything that determines replay results besides the trace:
+/// level sizes/lines/associativities, TLB reach, page size.
+std::uint64_t hierarchy_geometry_hash(const DeviceSpec& spec,
+                                      unsigned tlb_entries = 64,
+                                      unsigned page_bytes = 4096);
+
+/// Process-wide memo of replayed cells.
+class ReplayCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    ///< find() served from memory
+    std::uint64_t misses = 0;  ///< find() had nothing
+    std::uint64_t stores = 0;  ///< entries inserted this process
+    std::uint64_t loaded = 0;  ///< entries read from the disk store
+  };
+
+  static ReplayCache& instance();
+
+  [[nodiscard]] std::optional<ReplayMemoEntry> find(const TraceKey& trace,
+                                                    std::uint64_t geometry);
+  /// Inserts (idempotently) and, when a disk store is bound, appends the
+  /// entry to it.  `label` is a human-readable annotation for the store
+  /// file ("bench/size/device"), not part of the key.
+  void store(const TraceKey& trace, std::uint64_t geometry,
+             const ReplayMemoEntry& entry, const std::string& label);
+
+  /// Binds a disk store: loads any existing entries from `path` now and
+  /// appends future store() calls to it.  Parent directories are created.
+  /// Returns the number of entries loaded.
+  std::size_t set_disk_store(const std::string& path);
+
+  [[nodiscard]] Stats stats() const;
+  /// Drops all entries and unbinds the disk store (tests).
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t content_hash;
+    std::uint64_t accesses;
+    std::uint64_t geometry;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, ReplayMemoEntry> entries_;
+  std::string disk_path_;
+  Stats stats_;
+};
+
+/// Replays `gen` through `spec`'s hierarchy, memoized: on a cache hit the
+/// only work is the hashing generation pass.  `precomputed` skips even that
+/// when the caller already holds the trace's key.
+ReplayMemoEntry memoized_replay(const TraceGenerator& gen,
+                                const DeviceSpec& spec,
+                                const std::string& label,
+                                const TraceKey* precomputed = nullptr);
+
+/// Hashes the trace once, replays the not-yet-cached specs in one streamed
+/// multi-hierarchy fan-out, stores them, and returns the trace key -- the
+/// cheap way to warm the memo before a per-device measurement sweep.
+TraceKey prime_replay_memo(const TraceGenerator& gen,
+                           const std::vector<const DeviceSpec*>& specs,
+                           const std::string& label);
+
+}  // namespace eod::sim

@@ -1,0 +1,403 @@
+// Property tests for the high-throughput trace-replay engine: every replay
+// path (batched raw, line-coalesced, set-partitioned shards, multi-
+// hierarchy fan-out) must produce HierarchyCounters bit-identical to the
+// seed per-access reference replay -- on randomized traces spanning the
+// residence regimes of all 15 testbed hierarchies.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/cache_sim.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/replay_cache.hpp"
+#include "sim/trace_replay.hpp"
+#include "xcl/thread_pool.hpp"
+
+namespace eod::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference: the seed pipeline replayed one MemAccess at a time through
+// CacheHierarchy::access().  Every engine path must match it bit for bit.
+
+HierarchyCounters reference_replay(const MemoryTrace& trace,
+                                   const DeviceSpec& spec) {
+  CacheHierarchy h(spec);
+  for (const MemAccess& a : trace) h.access(a.address, a.bytes, a.is_write);
+  return h.counters();
+}
+
+ReplayMemoEntry reference_two_pass(const MemoryTrace& trace,
+                                   const DeviceSpec& spec) {
+  // The seed cold/warm protocol: replay, read, reset counters (cache state
+  // survives), replay, read.
+  CacheHierarchy h(spec);
+  ReplayMemoEntry e;
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) h.reset();
+    for (const MemAccess& a : trace) h.access(a.address, a.bytes, a.is_write);
+    (pass == 0 ? e.cold : e.warm) = h.counters();
+  }
+  e.accesses = trace.size();
+  return e;
+}
+
+TraceGenerator generator_of(const MemoryTrace& trace) {
+  return [&trace](TraceWriter& w) {
+    for (const MemAccess& a : trace) w.emit(a.address, a.bytes, a.is_write);
+  };
+}
+
+void expect_counters_eq(const HierarchyCounters& got,
+                        const HierarchyCounters& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.total_accesses, want.total_accesses) << context;
+  EXPECT_EQ(got.l1_dcm, want.l1_dcm) << context;
+  EXPECT_EQ(got.l2_dcm, want.l2_dcm) << context;
+  EXPECT_EQ(got.l3_tcm, want.l3_tcm) << context;
+  EXPECT_EQ(got.tlb_dm, want.tlb_dm) << context;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized trace families, chosen to stress every engine fast path: line
+// coalescing (same-line bursts, dense strides), the MRU filters, spans that
+// straddle lines and pages, and working sets around each hierarchy level.
+
+MemoryTrace random_trace(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  MemoryTrace t;
+  const int family = static_cast<int>(seed % 6);
+  const std::uint64_t base = 0x10000 + (seed % 7) * 13;  // odd alignments too
+  switch (family) {
+    case 0: {  // uniform random in an L1-to-L3-sized window
+      const std::uint64_t window = std::uint64_t{1} << (14 + seed % 10);
+      std::uniform_int_distribution<std::uint64_t> addr(0, window - 1);
+      for (int i = 0; i < 40000; ++i) {
+        t.push_back({base + addr(rng), 4, (i & 7) == 0});
+      }
+      break;
+    }
+    case 1: {  // dense sequential strides (heavily coalescible)
+      const std::uint32_t stride = (seed % 2) ? 4 : 16;
+      for (int sweep = 0; sweep < 6; ++sweep) {
+        for (std::uint64_t i = 0; i < 8000; ++i) {
+          t.push_back({base + i * stride, stride, false});
+        }
+      }
+      break;
+    }
+    case 2: {  // hot set + cold random mix
+      std::uniform_int_distribution<std::uint64_t> hot(0, 63);
+      std::uniform_int_distribution<std::uint64_t> cold(0, (1u << 22) - 1);
+      for (int i = 0; i < 40000; ++i) {
+        const bool is_hot = rng() % 10 != 0;
+        t.push_back({base + (is_hot ? hot(rng) * 64 : cold(rng)), 8, false});
+      }
+      break;
+    }
+    case 3: {  // straddling spans: random sizes and alignments
+      std::uniform_int_distribution<std::uint64_t> addr(0, (1u << 20) - 1);
+      std::uniform_int_distribution<std::uint32_t> bytes(1, 256);
+      for (int i = 0; i < 30000; ++i) {
+        t.push_back({base + addr(rng), bytes(rng), (i & 3) == 0});
+      }
+      break;
+    }
+    case 4: {  // same-line bursts (repeat coalescing + MRU filter)
+      std::uniform_int_distribution<std::uint64_t> line(0, 4095);
+      std::uniform_int_distribution<int> burst(1, 50);
+      int i = 0;
+      while (i < 40000) {
+        const std::uint64_t a = base + line(rng) * 64;
+        for (int b = burst(rng); b > 0 && i < 40000; --b, ++i) {
+          t.push_back({a + (rng() % 60), 4, false});
+        }
+      }
+      break;
+    }
+    default: {  // cyclic sweep larger than most L1s (LRU worst case)
+      for (int sweep = 0; sweep < 5; ++sweep) {
+        for (std::uint64_t i = 0; i < 3000; ++i) {
+          t.push_back({base + i * 64, 64, false});
+        }
+      }
+      break;
+    }
+  }
+  return t;
+}
+
+std::vector<const DeviceSpec*> all_specs() {
+  std::vector<const DeviceSpec*> specs;
+  for (const DeviceSpec& s : testbed()) specs.push_back(&s);
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(CacheReplay, BatchedRawBitIdenticalToPerAccess) {
+  const MemoryTrace trace = random_trace(3);
+  for (const DeviceSpec* spec : all_specs()) {
+    const HierarchyCounters want = reference_replay(trace, *spec);
+    CacheHierarchy h(*spec);
+    // Deliberately odd chunk sizes so batches split at awkward points.
+    std::size_t i = 0, chunk = 1;
+    while (i < trace.size()) {
+      const std::size_t n = std::min(chunk, trace.size() - i);
+      h.consume(trace.data() + i, n);
+      i += n;
+      chunk = chunk * 3 + 1;
+    }
+    expect_counters_eq(h.counters(), want, spec->name);
+  }
+}
+
+TEST(CacheReplay, CoalescedBitIdenticalToPerAccessOnAllDevices) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const MemoryTrace trace = random_trace(seed);
+    for (const DeviceSpec* spec : all_specs()) {
+      const HierarchyCounters want = reference_replay(trace, *spec);
+      CacheHierarchy h(*spec);
+      struct Sink final : CoalescedSink {
+        CacheHierarchy* h;
+        void consume(const CoalescedAccess* page, std::size_t n) override {
+          h->consume_coalesced(page, n);
+        }
+      } sink;
+      sink.h = &h;
+      TraceWriter writer(sink);
+      generator_of(trace)(writer);
+      writer.finish();
+      EXPECT_EQ(writer.accesses(), trace.size());
+      expect_counters_eq(h.counters(), want,
+                         spec->name + " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(CacheReplay, ShardedBitIdenticalToPerAccess) {
+  const MemoryTrace trace = random_trace(7);
+  // Collect the coalesced stream once.
+  std::vector<CoalescedAccess> records;
+  struct Collect final : CoalescedSink {
+    std::vector<CoalescedAccess>* out;
+    void consume(const CoalescedAccess* page, std::size_t n) override {
+      out->insert(out->end(), page, page + n);
+    }
+  } collect;
+  collect.out = &records;
+  {
+    TraceWriter writer(collect);
+    generator_of(trace)(writer);
+    writer.finish();
+  }
+  for (const DeviceSpec* spec : all_specs()) {
+    CacheHierarchy probe(*spec);
+    const unsigned shards = probe.max_replay_shards();
+    if (shards < 2) continue;
+    const HierarchyCounters want = reference_replay(trace, *spec);
+    CacheHierarchy h(*spec);
+    std::vector<ReplayShardCounters> accs(shards + 1, h.make_shard());
+    for (unsigned s = 0; s < shards; ++s) {
+      h.replay_cache_shard(records.data(), records.size(), s, shards,
+                           accs[s]);
+    }
+    h.replay_tlb_shard(records.data(), records.size(), accs[shards]);
+    for (const ReplayShardCounters& acc : accs) h.fold_shard(acc);
+    expect_counters_eq(h.counters(), want, spec->name + " sharded");
+  }
+}
+
+TEST(CacheReplay, FanOutTwoPassBitIdenticalToSeedProtocol) {
+  xcl::ThreadPool pool(3);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const MemoryTrace trace = random_trace(seed);
+    const std::vector<const DeviceSpec*> specs = all_specs();
+    const std::vector<ReplayMemoEntry> got =
+        replay_hierarchies(generator_of(trace), specs, pool);
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const ReplayMemoEntry want = reference_two_pass(trace, *specs[i]);
+      const std::string ctx =
+          specs[i]->name + " seed=" + std::to_string(seed);
+      expect_counters_eq(got[i].cold, want.cold, ctx + " cold");
+      expect_counters_eq(got[i].warm, want.warm, ctx + " warm");
+      EXPECT_EQ(got[i].accesses, trace.size()) << ctx;
+    }
+  }
+}
+
+TEST(CacheReplay, EmitRunMatchesElementwiseEmits) {
+  // emit_run's direct per-line record generation must be access-for-access
+  // equivalent to emitting every element, for aligned and unaligned runs.
+  struct Run {
+    std::uint64_t base;
+    std::uint32_t elem;
+    std::uint64_t count;
+  };
+  const std::vector<Run> runs = {
+      {0x10000, 16, 1000}, {0x10008, 8, 3}, {0x10004, 4, 997},
+      {0x1000c, 4, 31},    {0x20000, 64, 200}, {0x2000a, 2, 5000},
+      {0x30000, 32, 1},    {0x30010, 16, 2},   {0x40001, 1, 130}};
+  const TraceGenerator with_run = [&runs](TraceWriter& w) {
+    for (const Run& r : runs) w.emit_run(r.base, r.elem, r.count, false);
+  };
+  const TraceGenerator elementwise = [&runs](TraceWriter& w) {
+    for (const Run& r : runs) {
+      for (std::uint64_t i = 0; i < r.count; ++i) {
+        w.emit(r.base + i * r.elem, r.elem, false);
+      }
+    }
+  };
+  EXPECT_EQ(hash_trace(with_run).accesses, hash_trace(elementwise).accesses);
+  for (const DeviceSpec* spec : {&skylake(), all_specs().back()}) {
+    CacheHierarchy ha(*spec), hb(*spec);
+    struct Sink final : CoalescedSink {
+      CacheHierarchy* h;
+      void consume(const CoalescedAccess* page, std::size_t n) override {
+        h->consume_coalesced(page, n);
+      }
+    } sa, sb;
+    sa.h = &ha;
+    sb.h = &hb;
+    {
+      TraceWriter wa(sa);
+      with_run(wa);
+    }
+    {
+      TraceWriter wb(sb);
+      elementwise(wb);
+    }
+    expect_counters_eq(ha.counters(), hb.counters(),
+                       spec->name + " emit_run");
+  }
+}
+
+TEST(CacheReplay, HandBuiltRepeatRecordsExactEvenForHugeSpans) {
+  // Records whose span exceeds the L1 (or the whole TLB reach) cannot take
+  // the guaranteed-hit repeat credit; the replay must expand them.  Check
+  // against per-access expansion of the same records.
+  const DeviceSpec& spec = skylake();
+  const std::vector<CoalescedAccess> records = {
+      {0x10000, 64 * 1024, 3},   // span 1024 lines > L1's 512
+      {0x10000, 512 * 1024, 2},  // span > TLB reach (64 x 4 KiB)
+      {0x20000, 64, 5},          // small span: credited
+      {0x20000, 128, 0},
+  };
+  CacheHierarchy ref(spec);
+  for (const CoalescedAccess& r : records) {
+    for (std::uint32_t k = 0; k <= r.repeats; ++k) {
+      ref.access(r.address, r.bytes, false);
+    }
+  }
+  CacheHierarchy h(spec);
+  h.consume_coalesced(records.data(), records.size());
+  expect_counters_eq(h.counters(), ref.counters(), "huge-span records");
+}
+
+TEST(CacheReplay, WriterFlushesAcrossPageBoundaries) {
+  // A trace larger than one 64K-record page must flush seamlessly.
+  const std::size_t lines = kTracePageAccesses + 12345;
+  const TraceGenerator gen = [lines](TraceWriter& w) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      w.emit(i * 64, 4, false);  // every record a fresh line: no merging
+    }
+  };
+  const DeviceSpec& spec = skylake();
+  MemoryTrace trace;
+  trace.reserve(lines);
+  for (std::size_t i = 0; i < lines; ++i) {
+    trace.push_back({i * 64, 4, false});
+  }
+  const HierarchyCounters want = reference_replay(trace, spec);
+  CacheHierarchy h(spec);
+  struct Sink final : CoalescedSink {
+    CacheHierarchy* h;
+    std::size_t calls = 0;
+    void consume(const CoalescedAccess* page, std::size_t n) override {
+      ++calls;
+      h->consume_coalesced(page, n);
+    }
+  } sink;
+  sink.h = &h;
+  TraceWriter writer(sink);
+  gen(writer);
+  writer.finish();
+  EXPECT_GE(sink.calls, 2u);
+  EXPECT_EQ(writer.accesses(), lines);
+  expect_counters_eq(h.counters(), want, "page boundary");
+}
+
+TEST(CacheReplay, TraceKeyIsOrderAndContentSensitive) {
+  const MemoryTrace a = random_trace(1);
+  MemoryTrace b = a;
+  std::swap(b.front(), b.back());
+  const TraceKey ka = hash_trace(generator_of(a));
+  const TraceKey ka2 = hash_trace(generator_of(a));
+  const TraceKey kb = hash_trace(generator_of(b));
+  EXPECT_EQ(ka, ka2);
+  EXPECT_EQ(ka.accesses, a.size());
+  EXPECT_FALSE(ka == kb);
+}
+
+TEST(ReplayCacheTest, MemoizesAndRoundTripsThroughDisk) {
+  ReplayCache::instance().clear();
+  const MemoryTrace trace = random_trace(2);
+  const DeviceSpec& spec = skylake();
+  const ReplayMemoEntry want = reference_two_pass(trace, spec);
+
+  const ReplayMemoEntry first =
+      memoized_replay(generator_of(trace), spec, "test/first");
+  expect_counters_eq(first.cold, want.cold, "memo cold");
+  expect_counters_eq(first.warm, want.warm, "memo warm");
+  const ReplayMemoEntry second =
+      memoized_replay(generator_of(trace), spec, "test/second");
+  expect_counters_eq(second.warm, want.warm, "memo hit");
+  const ReplayCache::Stats stats = ReplayCache::instance().stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_GE(stats.hits, 1u);
+
+  // Disk round-trip: persist, clear, reload -- a fresh process must serve
+  // the cell without replaying.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eod_replay_memo_test.tsv")
+          .string();
+  std::filesystem::remove(path);
+  ReplayCache::instance().clear();
+  ReplayCache::instance().set_disk_store(path);
+  (void)memoized_replay(generator_of(trace), spec, "test/disk");
+  ReplayCache::instance().clear();
+  const std::size_t loaded = ReplayCache::instance().set_disk_store(path);
+  EXPECT_EQ(loaded, 1u);
+  const TraceKey key = hash_trace(generator_of(trace));
+  const auto hit =
+      ReplayCache::instance().find(key, hierarchy_geometry_hash(spec));
+  ASSERT_TRUE(hit.has_value());
+  expect_counters_eq(hit->warm, want.warm, "disk round-trip");
+  ReplayCache::instance().clear();
+  std::filesystem::remove(path);
+}
+
+TEST(ReplayCacheTest, PrimeWarmsEveryHierarchyInOnePass) {
+  ReplayCache::instance().clear();
+  const MemoryTrace trace = random_trace(4);
+  const std::vector<const DeviceSpec*> specs = all_specs();
+  const TraceKey key =
+      prime_replay_memo(generator_of(trace), specs, "test/prime");
+  EXPECT_EQ(key.accesses, trace.size());
+  for (const DeviceSpec* spec : specs) {
+    const auto hit =
+        ReplayCache::instance().find(key, hierarchy_geometry_hash(*spec));
+    ASSERT_TRUE(hit.has_value()) << spec->name;
+    const ReplayMemoEntry want = reference_two_pass(trace, *spec);
+    expect_counters_eq(hit->warm, want.warm, spec->name + " primed");
+  }
+  ReplayCache::instance().clear();
+}
+
+}  // namespace
+}  // namespace eod::sim
