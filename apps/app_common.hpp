@@ -58,6 +58,7 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   opts.functional = true;
   opts.validate = true;
   opts.reuse_setup = true;  // the app configured the dwarf itself
+  opts.dispatch = cli.dispatch;
 
   const harness::Measurement m = harness::measure(
       dwarf, cli.size.value_or(dwarfs::ProblemSize::kTiny), device, opts);

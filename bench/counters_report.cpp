@@ -23,10 +23,21 @@ int main(int argc, char** argv) {
 
   // --max-accesses N skips any trace whose size hint exceeds N (0, the
   // default, replays everything -- gem medium/large included).
+  // --dispatch=auto|item|span pins the kernel tier for the functional
+  // passes below (A/B dispatch measurement; counters are tier-invariant).
   std::size_t max_accesses = 0;
+  xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-accesses") == 0 && i + 1 < argc) {
       max_accesses = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--dispatch=", 11) == 0) {
+      const auto mode = xcl::parse_dispatch_mode(argv[i] + 11);
+      if (!mode.has_value()) {
+        std::cerr << "bad --dispatch (auto|item|span): " << argv[i] + 11
+                  << '\n';
+        return 2;
+      }
+      dispatch = *mode;
     }
   }
 
@@ -50,6 +61,7 @@ int main(int argc, char** argv) {
       opts.functional = false;
       opts.collect_counters = true;
       opts.max_trace_accesses = max_accesses;
+      opts.dispatch = dispatch;
       const harness::Measurement m = harness::measure(
           *dwarf, size, testbed_device("i7-6700K"), opts);
       if (!m.counters_collected) continue;
@@ -92,12 +104,14 @@ int main(int argc, char** argv) {
     auto dwarf = dwarfs::create_dwarf(name);
     harness::MeasureOptions opts;
     opts.functional = true;
+    opts.dispatch = dispatch;
     (void)harness::measure(*dwarf, dwarfs::ProblemSize::kTiny,
                            testbed_device("i7-6700K"), opts);
   }
   std::cout << '\n'
             << describe_executor_stats(xcl::executor_stats())
-            << "(functional replay of kmeans+lud tiny; stolen chunks > 0 "
-               "only on multi-core hosts.)\n";
+            << "(functional replay of kmeans+lud tiny, --dispatch="
+            << xcl::to_string(dispatch)
+            << "; stolen chunks > 0 only on multi-core hosts.)\n";
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sim/cache_sim.hpp"
@@ -81,6 +82,21 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// FNV-1a over a typed output vector, for Dwarf::result_signature
+/// implementations.  Byte-exact: two runs hash equal iff every output
+/// element is bit-identical (NaN payloads and signed zeros included).
+template <typename T>
+[[nodiscard]] std::uint64_t hash_result(std::span<const T> data,
+                                        std::uint64_t seed = 0xcbf29ce484222325ull) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < data.size_bytes(); ++i) {
+    h = (h ^ bytes[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
 /// A benchmark in the suite.  Lifecycle:
 ///   setup(size)  -- generate host-side input (device independent)
 ///   bind(ctx,q)  -- allocate device buffers and enqueue initial transfers
@@ -114,6 +130,13 @@ class Dwarf {
   [[nodiscard]] virtual Validation validate() = 0;
   /// Releases device buffers (must leave the dwarf re-bindable).
   virtual void unbind() = 0;
+
+  /// Order-sensitive hash over the benchmark's host-side output vectors
+  /// (valid after finish(); 0 when the dwarf does not implement it).
+  /// Unlike validate(), which tolerates rounding, equal signatures mean
+  /// bit-identical results -- the span-tier equivalence tests pin the span
+  /// kernels to the per-item reference path with it.
+  [[nodiscard]] virtual std::uint64_t result_signature() const { return 0; }
 
   /// Optional single-iteration memory trace for the cache simulator
   /// (§4.4: used to verify size classes land in the intended cache level).

@@ -52,6 +52,11 @@ class Crc final : public Dwarf {
   [[nodiscard]] static std::uint32_t crc32_reference(
       std::span<const std::uint8_t> data);
 
+  /// Per-page CRC words, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<std::uint32_t>(page_crcs_);
+  }
+
  private:
   [[nodiscard]] std::size_t pages() const {
     return (data_.size() + kPageBytes - 1) / kPageBytes;

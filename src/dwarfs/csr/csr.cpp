@@ -105,6 +105,24 @@ void Csr::run() {
     y[r] = acc;
   });
 
+  // Span tier: one call per group of rows; restrict pointers let the
+  // compiler keep row_ptr/vals/cols loads out of each other's way (the
+  // x gather itself stays serial, as on real hardware).
+  spmv.span([=](std::size_t begin, std::size_t end) {
+    const std::uint32_t* EOD_RESTRICT rp = row_ptr.data();
+    const std::uint32_t* EOD_RESTRICT ci = cols.data();
+    const float* EOD_RESTRICT va = vals.data();
+    const float* EOD_RESTRICT xv = x.data();
+    float* EOD_RESTRICT yv = y.data();
+    for (std::size_t r = begin, last = std::min(end, n); r < last; ++r) {
+      float acc = 0.0f;
+      for (std::uint32_t k = rp[r]; k < rp[r + 1]; ++k) {
+        acc += va[k] * xv[ci[k]];
+      }
+      yv[r] = acc;
+    }
+  });
+
   const double nnz = static_cast<double>(m_.nnz());
   xcl::WorkloadProfile prof;
   prof.flops = 2.0 * nnz;

@@ -67,6 +67,11 @@ class Csr final : public Dwarf {
   void stream_trace(sim::TraceWriter& out) const override;
   [[nodiscard]] std::size_t trace_size_hint() const override;
 
+  /// y = Ax product vector, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(y_);
+  }
+
  private:
   CsrMatrix m_;
   std::vector<float> x_;

@@ -97,6 +97,37 @@ void Cwt::run() {
     w[idx] = norm * std::sqrt(re * re + im * im);
   });
 
+  // Span tier: a run of (scale, translation) coefficients per call.  Most
+  // groups sit inside one scale row, so the scale-dependent radius is
+  // loop-invariant in practice and the tap loop vectorizes.
+  kernel.span([=](std::size_t begin, std::size_t end) {
+    const float* EOD_RESTRICT xs = x.data();
+    float* EOD_RESTRICT ws = w.data();
+    const std::size_t total = std::size_t{scales} * n;
+    for (std::size_t idx = begin, last = std::min(end, total); idx < last;
+         ++idx) {
+      const unsigned j = static_cast<unsigned>(idx / n);
+      const std::size_t b = idx % n;
+      const float s = static_cast<float>(scale_of(j));
+      const auto radius = static_cast<std::ptrdiff_t>(kSupport * s);
+      const auto bb = static_cast<std::ptrdiff_t>(b);
+      const auto nn = static_cast<std::ptrdiff_t>(n);
+      float re = 0.0f;
+      float im = 0.0f;
+      for (std::ptrdiff_t t = std::max<std::ptrdiff_t>(0, bb - radius);
+           t <= std::min(nn - 1, bb + radius); ++t) {
+        const float u = static_cast<float>(t - bb) / s;
+        const float g = std::exp(-0.5f * u * u);
+        re += xs[static_cast<std::size_t>(t)] * g *
+              std::cos(static_cast<float>(kOmega0) * u);
+        im -= xs[static_cast<std::size_t>(t)] * g *
+              std::sin(static_cast<float>(kOmega0) * u);
+      }
+      const float norm = 1.0f / std::sqrt(s);
+      ws[idx] = norm * std::sqrt(re * re + im * im);
+    }
+  });
+
   // Total taps: sum over scales of N * (2 * support * s + 1).
   double taps = 0.0;
   for (unsigned j = 0; j < scales; ++j) {

@@ -52,6 +52,11 @@ class Cwt final : public Dwarf {
     return magnitude_;
   }
 
+  /// Magnitude plane, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(magnitude_);
+  }
+
  private:
   std::size_t n_ = 0;
   unsigned scales_ = kScales;

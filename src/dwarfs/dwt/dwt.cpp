@@ -84,6 +84,32 @@ void Dwt::enqueue_level(std::size_t lw, std::size_t lh) {
     }
   });
 
+  // Span tier: a run of whole rows (or columns below) per call.  data and
+  // temp are distinct buffers, so the lifting loops run over restrict-
+  // qualified pointers.
+  horiz.span([=](std::size_t begin, std::size_t end) {
+    const float* EOD_RESTRICT dp = data.data();
+    float* EOD_RESTRICT tp = temp.data();
+    const std::size_t n = lw;
+    const std::size_t ns = (n + 1) / 2;
+    const std::size_t nd = n / 2;
+    for (std::size_t r = begin, last = std::min(end, lh); r < last; ++r) {
+      const float* EOD_RESTRICT in_row = dp + r * stride;
+      float* EOD_RESTRICT out_row = tp + r * stride;
+      for (std::size_t i = 0; i < nd; ++i) {
+        const std::size_t rr = (2 * i + 2 <= n - 1) ? 2 * i + 2 : n - 2;
+        out_row[ns + i] =
+            in_row[2 * i + 1] - 0.5f * (in_row[2 * i] + in_row[rr]);
+      }
+      for (std::size_t i = 0; i < ns; ++i) {
+        const std::size_t dl = i == 0 ? 0 : i - 1;
+        const std::size_t dr = i < nd ? i : nd - 1;
+        out_row[i] =
+            in_row[2 * i] + 0.25f * (out_row[ns + dl] + out_row[ns + dr]);
+      }
+    }
+  });
+
   // Vertical pass: one work-item per column, temp -> data.
   xcl::Kernel vert("dwt_vertical", [=](xcl::WorkItem& it) {
     const std::size_t c = it.global_id(0);
@@ -103,6 +129,29 @@ void Dwt::enqueue_level(std::size_t lw, std::size_t lh) {
       data[i * stride + c] =
           temp[2 * i * stride + c] + 0.25f * (data[(ns + dl) * stride + c] +
                                               data[(ns + dr) * stride + c]);
+    }
+  });
+
+  vert.span([=](std::size_t begin, std::size_t end) {
+    float* EOD_RESTRICT dp = data.data();
+    const float* EOD_RESTRICT tp = temp.data();
+    const std::size_t n = lh;
+    const std::size_t ns = (n + 1) / 2;
+    const std::size_t nd = n / 2;
+    for (std::size_t c = begin, last = std::min(end, lw); c < last; ++c) {
+      for (std::size_t i = 0; i < nd; ++i) {
+        const std::size_t rr = (2 * i + 2 <= n - 1) ? 2 * i + 2 : n - 2;
+        dp[(ns + i) * stride + c] =
+            tp[(2 * i + 1) * stride + c] -
+            0.5f * (tp[2 * i * stride + c] + tp[rr * stride + c]);
+      }
+      for (std::size_t i = 0; i < ns; ++i) {
+        const std::size_t dl = i == 0 ? 0 : i - 1;
+        const std::size_t dr = i < nd ? i : nd - 1;
+        dp[i * stride + c] =
+            tp[2 * i * stride + c] + 0.25f * (dp[(ns + dl) * stride + c] +
+                                              dp[(ns + dr) * stride + c]);
+      }
     }
   });
 

@@ -67,6 +67,11 @@ class Dwt final : public Dwarf {
   }
   [[nodiscard]] Extent extent() const noexcept { return extent_; }
 
+  /// Transformed plane (all levels applied), byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(output_);
+  }
+
  private:
   void enqueue_level(std::size_t lw, std::size_t lh);
 

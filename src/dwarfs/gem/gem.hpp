@@ -77,6 +77,11 @@ class Gem final : public Dwarf {
   [[nodiscard]] Validation validate() override;
   void unbind() override;
 
+  /// Surface potential vector, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(potential_);
+  }
+
  private:
   void place_surface_vertices();
 

@@ -100,6 +100,31 @@ void KMeans::enqueue_assign() {
     member[i] = best_c;
   });
 
+  // Span tier (DESIGN.md §9): same arithmetic in the same order over the
+  // group's contiguous point run, but one call per group and restrict-
+  // qualified pointers so the feature-distance loop can vectorize.
+  assign.span([=](std::size_t begin, std::size_t end) {
+    const float* EOD_RESTRICT feat = feats.data();
+    const float* EOD_RESTRICT cent = clus.data();
+    std::int32_t* EOD_RESTRICT member_out = member.data();
+    for (std::size_t i = begin, last = std::min(end, pn); i < last; ++i) {
+      float best = HUGE_VALF;
+      std::int32_t best_c = 0;
+      for (unsigned c = 0; c < cn; ++c) {
+        float dist = 0.0f;
+        for (unsigned f = 0; f < fn; ++f) {
+          const float d = feat[i * fn + f] - cent[c * fn + f];
+          dist += d * d;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<std::int32_t>(c);
+        }
+      }
+      member_out[i] = best_c;
+    }
+  });
+
   xcl::WorkloadProfile prof;
   prof.flops = static_cast<double>(pn) * cn * (3.0 * fn);
   prof.int_ops = static_cast<double>(pn) * cn * 2.0;

@@ -57,6 +57,11 @@ class KMeans final : public Dwarf {
                                                      unsigned features,
                                                      unsigned clusters);
 
+  /// Final membership assignment, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<std::int32_t>(membership_);
+  }
+
  private:
   void enqueue_assign();
   void host_update_centroids();

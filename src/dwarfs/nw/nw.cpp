@@ -131,6 +131,32 @@ void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
   });
   kernel.uses_barriers();
 
+  // Span tier for a barrier kernel (DESIGN.md §9): one call computes the
+  // whole B x B block row-major.  Row-major order satisfies every
+  // diag/up/left dependency the intra-block wavefront's barriers
+  // enforced, and integer max has no rounding, so the scores are
+  // bit-identical to the fiber path.  One group is exactly one block, so
+  // begin / B recovers the group index.
+  kernel.span([=](std::size_t begin, std::size_t /*end*/) {
+    const std::size_t bi = lo + begin / B;
+    const std::size_t bj = d - bi;
+    const std::size_t row0 = 1 + bi * B;
+    const std::size_t col0 = 1 + bj * B;
+    std::int32_t* EOD_RESTRICT sc = score.data();
+    const std::int32_t* EOD_RESTRICT sm = sim.data();
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t c = 0; c < B; ++c) {
+        const std::size_t gr = row0 + r;
+        const std::size_t gc = col0 + c;
+        const std::int32_t diag =
+            sc[(gr - 1) * m + gc - 1] + sm[gr * m + gc];
+        const std::int32_t up = sc[(gr - 1) * m + gc] - penalty;
+        const std::int32_t left = sc[gr * m + gc - 1] - penalty;
+        sc[gr * m + gc] = std::max({diag, up, left});
+      }
+    }
+  });
+
   const double cells = static_cast<double>(groups) * B * B;
   xcl::WorkloadProfile prof;
   prof.int_ops = cells * 10.0;

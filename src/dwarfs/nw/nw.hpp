@@ -54,6 +54,11 @@ class Nw final : public Dwarf {
   [[nodiscard]] Validation validate() override;
   void unbind() override;
 
+  /// Full score matrix after the sweep, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<std::int32_t>(result_);
+  }
+
  private:
   void enqueue_diagonal(std::size_t d, std::size_t nb);
 

@@ -63,6 +63,11 @@ class Srad final : public Dwarf {
   [[nodiscard]] Validation validate() override;
   void unbind() override;
 
+  /// Diffused image plane, byte-exact.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(j_out_);
+  }
+
  private:
   Extent extent_;
   float lambda_ = kLambda;

@@ -27,8 +27,10 @@ std::vector<TuneResult> sweep_work_group_sizes(
 
 TuneResult autotune_work_group(const xcl::Device& device,
                                std::size_t global_items,
-                               const xcl::WorkloadProfile& profile) {
-  const auto results = sweep_work_group_sizes(device, global_items, profile);
+                               const xcl::WorkloadProfile& profile,
+                               const std::vector<std::size_t>& candidates) {
+  const auto results =
+      sweep_work_group_sizes(device, global_items, profile, candidates);
   if (results.empty()) {
     return {1, device.model().kernel_seconds(
                    {"autotune_probe", xcl::NDRange(global_items, 1),

@@ -28,9 +28,12 @@ struct TuneResult {
     const xcl::WorkloadProfile& profile,
     const std::vector<std::size_t>& candidates = {8, 16, 32, 64, 128, 256});
 
-/// The single best work-group size for the launch on this device.
+/// The single best work-group size for the launch on this device.  Falls
+/// back to a single-item group when no candidate fits the launch (all
+/// larger than global_items or the device's group-size limit).
 [[nodiscard]] TuneResult autotune_work_group(
     const xcl::Device& device, std::size_t global_items,
-    const xcl::WorkloadProfile& profile);
+    const xcl::WorkloadProfile& profile,
+    const std::vector<std::size_t>& candidates = {8, 16, 32, 64, 128, 256});
 
 }  // namespace eod::harness

@@ -66,6 +66,13 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       o.all_devices = true;
     } else if (arg == "--long-table") {
       o.long_table = true;
+    } else if (arg == "--dispatch") {
+      const std::string v = next(arg);
+      const auto mode = xcl::parse_dispatch_mode(v);
+      if (!mode.has_value()) {
+        throw std::invalid_argument("bad --dispatch (auto|item|span): " + v);
+      }
+      o.dispatch = *mode;
     } else {
       o.positional.push_back(arg);
     }
@@ -78,7 +85,7 @@ std::string usage(const std::string& program) {
          " [-p P] [-d D] [-t 0|1|2] [--device-name NAME]\n"
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
-         "          [--long-table]\n"
+         "          [--long-table] [--dispatch auto|item|span]\n"
          "device selection follows the paper's notation: -p <platform>\n"
          "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n";
 }

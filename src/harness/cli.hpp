@@ -11,6 +11,7 @@
 
 #include "dwarfs/common.hpp"
 #include "xcl/device.hpp"
+#include "xcl/executor.hpp"
 
 namespace eod::harness {
 
@@ -25,6 +26,9 @@ struct CliOptions {
   bool validate = false;
   bool all_devices = false;  ///< sweep the whole testbed
   bool long_table = false;   ///< emit the R-compatible long table
+  /// --dispatch auto|item|span: kernel-tier override for A/B runs
+  /// (DESIGN.md §9); item pins the per-item reference path.
+  xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
   std::vector<std::string> positional;
 
   /// Resolves the requested device within the simulated testbed platform.

@@ -41,6 +41,14 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   m.size = size;
 
   if (!options.reuse_setup) dwarf.setup(size);
+
+  // Tier override for the functional pass, restored on every exit path.
+  struct DispatchModeGuard {
+    xcl::DispatchMode prev = xcl::dispatch_mode();
+    ~DispatchModeGuard() { xcl::set_dispatch_mode(prev); }
+  } dispatch_guard;
+  xcl::set_dispatch_mode(options.dispatch);
+
   xcl::Context ctx(device);
   xcl::Queue queue(ctx);
   queue.set_functional(options.functional);

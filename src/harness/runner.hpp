@@ -22,6 +22,7 @@
 #include "scibench/stats.hpp"
 #include "sim/counters.hpp"
 #include "xcl/device.hpp"
+#include "xcl/executor.hpp"
 
 namespace eod::harness {
 
@@ -44,6 +45,10 @@ struct MeasureOptions {
   /// accesses (0 = unlimited).  A guard, not a truncation: the trace is
   /// either replayed fully or not at all.
   std::size_t max_trace_accesses = 0;
+  /// Kernel-tier override for this group's functional execution (the
+  /// --dispatch= flag): kAuto/kSpan take the span tier where legal, kItem
+  /// pins the per-item reference path for A/B runs.  Restored afterwards.
+  xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
 };
 
 /// Per-kernel aggregate over one application iteration.

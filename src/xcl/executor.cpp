@@ -11,9 +11,14 @@ namespace eod::xcl {
 
 namespace {
 
+// Tier-selection override; relaxed is enough -- callers set it between
+// launches, never concurrently with one.
+std::atomic<DispatchMode> g_dispatch_mode{DispatchMode::kAuto};
+
 // Scratch-reuse observability (process-wide; per-group updates are relaxed).
 std::atomic<std::uint64_t> g_groups_loop{0};
 std::atomic<std::uint64_t> g_groups_fiber{0};
+std::atomic<std::uint64_t> g_groups_span{0};
 std::atomic<std::uint64_t> g_arena_hwm{0};
 
 // Per-thread executor scratch.  Pool workers are persistent threads, so the
@@ -103,7 +108,47 @@ void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
   });
 }
 
+// A launch may take the span tier when the kernel carries a span body, the
+// override does not force the per-item reference path, and the range is
+// effectively 1-D, so each group covers one contiguous [begin, end) run of
+// flat global ids.  Span bodies never touch the __local arena or the
+// barrier hook: a kernel whose group semantics depend on them supplies a
+// span body only if it reproduces those semantics itself (DESIGN.md §9).
+bool span_legal(const Kernel& kernel, const NDRange& range,
+                DispatchMode mode) {
+  return kernel.has_span() && mode != DispatchMode::kItem &&
+         range.global(1) == 1 && range.global(2) == 1;
+}
+
 }  // namespace
+
+DispatchMode dispatch_mode() noexcept {
+  return g_dispatch_mode.load(std::memory_order_relaxed);
+}
+
+void set_dispatch_mode(DispatchMode mode) noexcept {
+  g_dispatch_mode.store(mode, std::memory_order_relaxed);
+}
+
+std::optional<DispatchMode> parse_dispatch_mode(
+    std::string_view name) noexcept {
+  if (name == "auto") return DispatchMode::kAuto;
+  if (name == "item") return DispatchMode::kItem;
+  if (name == "span") return DispatchMode::kSpan;
+  return std::nullopt;
+}
+
+const char* to_string(DispatchMode mode) noexcept {
+  switch (mode) {
+    case DispatchMode::kItem:
+      return "item";
+    case DispatchMode::kSpan:
+      return "span";
+    case DispatchMode::kAuto:
+      break;
+  }
+  return "auto";
+}
 
 void execute_ndrange(const Kernel& kernel, const NDRange& range,
                      const Device& device, ThreadPool* pool) {
@@ -111,6 +156,20 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
   const std::size_t local_mem = device.info().local_mem_bytes;
   const std::size_t group_items = range.group_items();
   ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  if (span_legal(kernel, range, dispatch_mode())) {
+    // Hoist the std::function indirection out of the per-group path: the
+    // workers call through a two-pointer RangeKernelRef only.
+    const Kernel::SpanBody& body = kernel.span_body();
+    const RangeKernelRef span = body;
+    const std::size_t lx = range.local(0);
+    tp.parallel_for(groups, [span, lx](std::size_t flat) {
+      span(flat * lx, (flat + 1) * lx);
+      g_groups_span.fetch_add(1, std::memory_order_relaxed);
+    });
+    return;
+  }
+
   // A barrier over a single work-item is trivially satisfied, so one-item
   // groups of barrier kernels skip the fiber machinery entirely.
   static const std::function<void()> noop_barrier = [] {};
@@ -141,6 +200,7 @@ ExecutorStats executor_stats() {
   s.chunks_stolen = pool.chunks_stolen;
   s.groups_loop = g_groups_loop.load(std::memory_order_relaxed);
   s.groups_fiber = g_groups_fiber.load(std::memory_order_relaxed);
+  s.groups_span = g_groups_span.load(std::memory_order_relaxed);
   s.arena_bytes_hwm = g_arena_hwm.load(std::memory_order_relaxed);
   s.fiber_stacks_created = fiber_stacks_created();
   s.fiber_stacks_reused = fiber_stacks_reused();
@@ -151,6 +211,7 @@ void reset_executor_stats() {
   ThreadPool::global().reset_stats();
   g_groups_loop.store(0, std::memory_order_relaxed);
   g_groups_fiber.store(0, std::memory_order_relaxed);
+  g_groups_span.store(0, std::memory_order_relaxed);
   g_arena_hwm.store(0, std::memory_order_relaxed);
   reset_fiber_stack_counters();
 }

@@ -1,12 +1,15 @@
 // Functional NDRange execution: runs a kernel body for every work-item.
 // Work-groups are distributed across the work-stealing thread pool; items
 // within a group run on one thread (plain loop, or fibers when the kernel
-// uses barriers).  Each executing thread owns long-lived scratch -- a
-// lazily-grown LocalArena and a FiberPool of reusable stacks -- so
+// uses barriers, or a single span-kernel call when the kernel provides a
+// whole-group formulation).  Each executing thread owns long-lived scratch
+// -- a lazily-grown LocalArena and a FiberPool of reusable stacks -- so
 // steady-state group dispatch performs no heap allocation.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "xcl/device.hpp"
 #include "xcl/kernel.hpp"
@@ -15,6 +18,22 @@
 namespace eod::xcl {
 
 class ThreadPool;
+
+/// Process-wide tier-selection override (DESIGN.md §9).  kAuto uses the
+/// span tier whenever it is legal for a launch and falls back to the
+/// per-item loop/fiber tiers otherwise; kItem forces the per-item
+/// reference path even for kernels that carry a span body (the A/B
+/// baseline); kSpan behaves like kAuto but states the intent explicitly in
+/// `--dispatch=span` command lines.
+enum class DispatchMode : std::uint8_t { kAuto, kItem, kSpan };
+
+[[nodiscard]] DispatchMode dispatch_mode() noexcept;
+void set_dispatch_mode(DispatchMode mode) noexcept;
+
+/// "auto" | "item" | "span" -> mode; nullopt for anything else.
+[[nodiscard]] std::optional<DispatchMode> parse_dispatch_mode(
+    std::string_view name) noexcept;
+[[nodiscard]] const char* to_string(DispatchMode mode) noexcept;
 
 /// Snapshot of the executor's process-wide observability counters: dispatch
 /// activity from the global pool plus the per-worker scratch reuse counters.
@@ -25,6 +44,7 @@ struct ExecutorStats {
   std::uint64_t chunks_stolen = 0;    ///< thief-side half-range steals
   std::uint64_t groups_loop = 0;      ///< groups run as plain loops
   std::uint64_t groups_fiber = 0;     ///< groups run as fiber sets
+  std::uint64_t groups_span = 0;      ///< groups run as one span call
   std::uint64_t arena_bytes_hwm = 0;  ///< largest __local footprint served
   std::uint64_t fiber_stacks_created = 0;
   std::uint64_t fiber_stacks_reused = 0;

@@ -19,6 +19,7 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
   total.chunks_stolen += after.chunks_stolen - before.chunks_stolen;
   total.groups_loop += after.groups_loop - before.groups_loop;
   total.groups_fiber += after.groups_fiber - before.groups_fiber;
+  total.groups_span += after.groups_span - before.groups_span;
   total.arena_bytes_hwm = std::max(total.arena_bytes_hwm,
                                    after.arena_bytes_hwm);
   total.fiber_stacks_created +=

@@ -1,5 +1,10 @@
 // The per-work-item view a kernel body receives: get_global_id/get_local_id
 // analogues, work-group barrier(), and __local memory allocation.
+//
+// Only the per-item kernel tier sees a WorkItem.  The span tier
+// (Kernel::span, DESIGN.md §9) replaces the whole group's WorkItem
+// instances with one [begin, end) range call and therefore gets neither a
+// barrier hook nor a LocalArena -- a span body must be self-contained.
 #pragma once
 
 #include <algorithm>

@@ -194,5 +194,20 @@ TEST(Autotune, RespectsDeviceLimits) {
   for (const TuneResult& r : tiny) EXPECT_LE(r.work_group, 8u);
 }
 
+TEST(Autotune, AllCandidatesLargerThanLaunchStillTunes) {
+  // Every explicit candidate exceeds global_items: the sweep is empty and
+  // the tuner must fall back to a single-item group, not crash or return
+  // an oversized one.
+  xcl::WorkloadProfile p;
+  p.flops = 1e6;
+  const auto sweep = sweep_work_group_sizes(
+      sim::testbed_device("i7-6700K"), 4, p, {8, 16, 32});
+  EXPECT_TRUE(sweep.empty());
+  const TuneResult r =
+      autotune_work_group(sim::testbed_device("i7-6700K"), 4, p, {8, 16, 32});
+  EXPECT_EQ(r.work_group, 1u);
+  EXPECT_GT(r.modeled_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace eod::harness

@@ -117,6 +117,48 @@ TEST(Scheduler, EmptyInputs) {
   EXPECT_FALSE(no_devices.feasible);
 }
 
+TEST(Scheduler, EmptyTaskListWithDeadlineIsFeasible) {
+  // Nothing to schedule always meets any deadline, including a zero one.
+  const Schedule s = schedule_tasks({}, small_node(),
+                                    Objective::kMinimizeEnergy, 0.0);
+  EXPECT_TRUE(s.assignments.empty());
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_energy_j, 0.0);
+}
+
+TEST(Scheduler, InfeasibleDeadlineUnderMakespanObjective) {
+  // The makespan objective must also report (not silently accept) a
+  // deadline no placement can meet.
+  const std::vector<Task> tasks = {{"gem", ProblemSize::kLarge},
+                                   {"srad", ProblemSize::kLarge}};
+  const Schedule s = schedule_tasks(tasks, small_node(),
+                                    Objective::kMinimizeMakespan, 1e-9);
+  EXPECT_FALSE(s.feasible);
+  EXPECT_EQ(s.assignments.size(), tasks.size());  // best effort, still full
+  EXPECT_GT(s.makespan_s, 1e-9);
+}
+
+TEST(Scheduler, SingleDevicePoolSerializesEverything) {
+  // One device: every task lands on it, starts stack back-to-back, and the
+  // makespan is the serial sum of the predictions.
+  const std::vector<Task> tasks = {{"crc", ProblemSize::kMedium},
+                                   {"fft", ProblemSize::kSmall},
+                                   {"srad", ProblemSize::kMedium}};
+  const std::vector<xcl::Device*> pool = {&sim::testbed_device("i7-6700K")};
+  const Schedule s =
+      schedule_tasks(tasks, pool, Objective::kMinimizeMakespan);
+  ASSERT_EQ(s.assignments.size(), tasks.size());
+  double serial = 0.0;
+  for (const auto& a : s.assignments) {
+    EXPECT_EQ(a.device, "i7-6700K");
+    EXPECT_DOUBLE_EQ(a.start_s, serial);
+    serial += a.prediction.seconds;
+  }
+  EXPECT_DOUBLE_EQ(s.makespan_s, serial);
+  EXPECT_TRUE(s.feasible);
+}
+
 TEST(Scheduler, StartTimesArePerDeviceContiguous) {
   const std::vector<Task> tasks(4, Task{"fft", ProblemSize::kMedium});
   const Schedule s =

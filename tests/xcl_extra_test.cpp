@@ -3,11 +3,13 @@
 // behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 
 #include "sim/testbed.hpp"
 #include "xcl/buffer.hpp"
+#include "xcl/executor.hpp"
 #include "xcl/kernel.hpp"
 #include "xcl/queue.hpp"
 #include "xcl/thread_pool.hpp"
@@ -172,6 +174,95 @@ TEST(ThreadPool, PropagatesFirstException) {
 TEST(ThreadPool, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+// --- Span tier (DESIGN.md §9) -------------------------------------------
+
+// One RAII scope per test: span-tier tests must not leak a mode override
+// into the rest of the suite.
+struct ScopedDispatchMode {
+  explicit ScopedDispatchMode(DispatchMode m) { set_dispatch_mode(m); }
+  ~ScopedDispatchMode() { set_dispatch_mode(prev); }
+  DispatchMode prev = dispatch_mode();
+};
+
+TEST(SpanTier, GroupsArriveAsContiguousRuns) {
+  Context ctx(dev());
+  Queue q(ctx);
+  constexpr std::size_t kN = 1000;  // padded: last group is a tail
+  Buffer out = make_buffer<int>(ctx, kN);
+  auto view = out.view<int>();
+  std::atomic<int> calls{0};
+  Kernel k("iota", [=](WorkItem& it) {
+    if (it.global_id(0) < kN) view[it.global_id(0)] = -1;
+  });
+  k.span([=, &calls](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin % 64, 0u);
+    EXPECT_EQ(end - begin, 64u);
+    calls++;
+    for (std::size_t i = begin; i < std::min(end, kN); ++i) {
+      view[i] = static_cast<int>(i);
+    }
+  });
+  q.enqueue(k, NDRange(1024, 64), p());
+  EXPECT_EQ(calls.load(), 16);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(view[i], static_cast<int>(i));
+  }
+  const ExecutorStats s = executor_stats();
+  EXPECT_GE(s.groups_span, 16u);
+}
+
+TEST(SpanTier, ItemOverridePinsTheReferencePath) {
+  ScopedDispatchMode mode(DispatchMode::kItem);
+  Context ctx(dev());
+  Queue q(ctx);
+  std::atomic<int> item_calls{0};
+  Kernel k("counted", [&](WorkItem&) { item_calls++; });
+  k.span([&](std::size_t, std::size_t) { FAIL() << "span under kItem"; });
+  const ExecutorStats before = executor_stats();
+  q.enqueue(k, NDRange(128, 64), p());
+  EXPECT_EQ(item_calls.load(), 128);
+  const ExecutorStats after = executor_stats();
+  EXPECT_EQ(after.groups_span - before.groups_span, 0u);
+  EXPECT_EQ(after.groups_loop - before.groups_loop, 2u);
+}
+
+TEST(SpanTier, MultiDimensionalRangesFallBackToPerItem) {
+  Context ctx(dev());
+  Queue q(ctx);
+  std::atomic<int> item_calls{0};
+  Kernel k("grid", [&](WorkItem&) { item_calls++; });
+  k.span([&](std::size_t, std::size_t) { FAIL() << "span on a 2-D range"; });
+  const ExecutorStats before = executor_stats();
+  q.enqueue(k, NDRange(16, 4, 8, 4), p());
+  EXPECT_EQ(item_calls.load(), 64);
+  EXPECT_EQ(executor_stats().groups_span - before.groups_span, 0u);
+}
+
+TEST(SpanTier, BarrierKernelWithSpanBodySkipsFibers) {
+  Context ctx(dev());
+  Queue q(ctx);
+  std::atomic<int> span_calls{0};
+  Kernel k("blocked", [](WorkItem& it) { it.barrier(); });
+  k.uses_barriers();
+  k.span([&](std::size_t, std::size_t) { span_calls++; });
+  const ExecutorStats before = executor_stats();
+  q.enqueue(k, NDRange(64, 16), p());
+  EXPECT_EQ(span_calls.load(), 4);
+  const ExecutorStats after = executor_stats();
+  EXPECT_EQ(after.groups_span - before.groups_span, 4u);
+  EXPECT_EQ(after.groups_fiber - before.groups_fiber, 0u);
+}
+
+TEST(SpanTier, ParseAndPrintModeNames) {
+  EXPECT_EQ(parse_dispatch_mode("auto"), DispatchMode::kAuto);
+  EXPECT_EQ(parse_dispatch_mode("item"), DispatchMode::kItem);
+  EXPECT_EQ(parse_dispatch_mode("span"), DispatchMode::kSpan);
+  EXPECT_FALSE(parse_dispatch_mode("fibers").has_value());
+  EXPECT_STREQ(to_string(DispatchMode::kAuto), "auto");
+  EXPECT_STREQ(to_string(DispatchMode::kItem), "item");
+  EXPECT_STREQ(to_string(DispatchMode::kSpan), "span");
 }
 
 TEST(Registry, TestbedIsIdempotent) {
