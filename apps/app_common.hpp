@@ -79,7 +79,12 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   std::cout << "transfers: " << m.transfer_seconds * 1e3
             << " ms/iteration; energy: " << m.energy_summary().median
             << " J\n";
-  return m.validation.ok ? 0 : 1;
+  if (m.check_performed) {
+    std::cout << m.check_report.to_text();
+  }
+  const bool check_failed =
+      m.check_performed && m.check_report.error_count() > 0;
+  return (m.validation.ok && !check_failed) ? 0 : 1;
 }
 
 /// Fetches argument i (0-based) from a Table 3 argument list or returns

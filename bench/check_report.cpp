@@ -1,0 +1,106 @@
+// DESIGN.md §10 CI gate: every dwarf (benchmarks + extensions) runs at
+// tiny under --dispatch=checked with validation on.  A correct suite comes
+// back with zero findings; any race, out-of-bounds access, uninitialized
+// read, or barrier misuse fails the build.  Also reports the host-side
+// overhead of the checked tier against the per-item reference path, the
+// number EXPERIMENTS.md quotes for checker cost.
+#include <chrono>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dwarfs/registry.hpp"
+#include "harness/runner.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/check/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eod;
+  using Clock = std::chrono::steady_clock;
+
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
+  }
+
+  std::vector<std::string> names = dwarfs::benchmark_names();
+  for (const std::string& ext : dwarfs::extension_names()) {
+    names.push_back(ext);
+  }
+
+  std::cout << "shadow-memory check, all dwarfs at tiny "
+               "(--dispatch=checked)\n";
+  std::cout << std::left << std::setw(10) << "bench" << std::setw(10)
+            << "validate" << std::setw(8) << "errors" << std::setw(10)
+            << "warnings" << std::setw(12) << "item_ms" << std::setw(12)
+            << "checked_ms" << std::setw(10) << "overhead" << '\n';
+
+  int failures = 0;
+  for (const std::string& name : names) {
+    auto dwarf = dwarfs::create_dwarf(name);
+    dwarf->setup(dwarfs::ProblemSize::kTiny);  // outside both timings
+
+    // Reference pass: per-item tier, same functional work, no shadow.
+    harness::MeasureOptions item_opts;
+    item_opts.functional = true;
+    item_opts.validate = false;
+    item_opts.samples = 1;
+    item_opts.reuse_setup = true;
+    item_opts.dispatch = xcl::DispatchMode::kItem;
+    const auto item_t0 = Clock::now();
+    (void)harness::measure(*dwarf, dwarfs::ProblemSize::kTiny,
+                           sim::testbed_device("i7-6700K"), item_opts);
+    const double item_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - item_t0)
+            .count();
+
+    harness::MeasureOptions opts;
+    opts.functional = true;
+    opts.validate = true;
+    opts.samples = 1;
+    opts.reuse_setup = true;  // same dataset as the reference pass
+    opts.dispatch = xcl::DispatchMode::kChecked;
+    const auto t0 = Clock::now();
+    const harness::Measurement m = harness::measure(
+        *dwarf, dwarfs::ProblemSize::kTiny,
+        sim::testbed_device("i7-6700K"), opts);
+    const double checked_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+
+    const bool ok = m.validation.ok && m.check_performed &&
+                    m.check_report.clean();
+    if (!ok) ++failures;
+
+    std::cout << std::left << std::setw(10) << name << std::setw(10)
+              << (m.validation.ok ? "PASS" : "FAIL") << std::setw(8)
+              << m.check_report.error_count() << std::setw(10)
+              << m.check_report.warning_count() << std::fixed
+              << std::setprecision(2) << std::setw(12) << item_ms
+              << std::setw(12) << checked_ms << std::setprecision(1);
+    if (item_ms > 0.0) {
+      std::cout << checked_ms / item_ms << 'x';
+    } else {
+      std::cout << '-';
+    }
+    std::cout << '\n';
+    std::cout.unsetf(std::ios::fixed);
+
+    if (!m.check_report.clean() || verbose) {
+      std::cout << m.check_report.to_text();
+    }
+    if (!m.validation.ok) {
+      std::cout << "  validation: " << m.validation.detail << '\n';
+    }
+  }
+
+  if (failures > 0) {
+    std::cout << "\ncheck_report: " << failures
+              << " dwarf(s) with findings or validation failures\n";
+    return 1;
+  }
+  std::cout << "\ncheck_report: all dwarfs clean under the checked tier\n";
+  return 0;
+}

@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
 
   // --max-accesses N skips any trace whose size hint exceeds N (0, the
   // default, replays everything -- gem medium/large included).
-  // --dispatch=auto|item|span pins the kernel tier for the functional
-  // passes below (A/B dispatch measurement; counters are tier-invariant).
+  // --dispatch=auto|item|span|checked pins the kernel tier for the
+  // functional passes below (A/B dispatch measurement; counters are
+  // tier-invariant; checked adds the §10 shadow-memory report).
   std::size_t max_accesses = 0;
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
   for (int i = 1; i < argc; ++i) {
@@ -33,8 +34,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--dispatch=", 11) == 0) {
       const auto mode = xcl::parse_dispatch_mode(argv[i] + 11);
       if (!mode.has_value()) {
-        std::cerr << "bad --dispatch (auto|item|span): " << argv[i] + 11
-                  << '\n';
+        std::cerr << "bad --dispatch (auto|item|span|checked): "
+                  << argv[i] + 11 << '\n';
         return 2;
       }
       dispatch = *mode;
@@ -105,8 +106,12 @@ int main(int argc, char** argv) {
     harness::MeasureOptions opts;
     opts.functional = true;
     opts.dispatch = dispatch;
-    (void)harness::measure(*dwarf, dwarfs::ProblemSize::kTiny,
-                           testbed_device("i7-6700K"), opts);
+    const harness::Measurement m = harness::measure(
+        *dwarf, dwarfs::ProblemSize::kTiny, testbed_device("i7-6700K"),
+        opts);
+    if (m.check_performed) {
+      std::cout << name << ' ' << m.check_report.to_text();
+    }
   }
   std::cout << '\n'
             << describe_executor_stats(xcl::executor_stats())

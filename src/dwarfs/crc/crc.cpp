@@ -84,9 +84,9 @@ void Crc::bind(xcl::Context& ctx, xcl::Queue& q) {
 void Crc::run() {
   const std::size_t n_pages = pages();
   const std::size_t total = data_.size();
-  auto bytes = data_buf_->view<const std::uint8_t>();
-  auto table = table_buf_->view<const std::uint32_t>();
-  auto out = crc_buf_->view<std::uint32_t>();
+  auto bytes = data_buf_->access<const std::uint8_t>("data");
+  auto table = table_buf_->access<const std::uint32_t>("table");
+  auto out = crc_buf_->access<std::uint32_t>("page_crcs");
 
   xcl::Kernel kernel("crc_page", [=](xcl::WorkItem& it) {
     const std::size_t page = it.global_id(0);

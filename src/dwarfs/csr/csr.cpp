@@ -89,11 +89,11 @@ void Csr::bind(xcl::Context& ctx, xcl::Queue& q) {
 
 void Csr::run() {
   const std::size_t n = m_.n;
-  auto row_ptr = rowptr_buf_->view<const std::uint32_t>();
-  auto cols = cols_buf_->view<const std::uint32_t>();
-  auto vals = vals_buf_->view<const float>();
-  auto x = x_buf_->view<const float>();
-  auto y = y_buf_->view<float>();
+  auto row_ptr = rowptr_buf_->access<const std::uint32_t>("row_ptr");
+  auto cols = cols_buf_->access<const std::uint32_t>("cols");
+  auto vals = vals_buf_->access<const float>("vals");
+  auto x = x_buf_->access<const float>("x");
+  auto y = y_buf_->access<float>("y");
 
   xcl::Kernel spmv("csr_spmv", [=](xcl::WorkItem& it) {
     const std::size_t r = it.global_id(0);

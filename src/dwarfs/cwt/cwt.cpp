@@ -70,8 +70,8 @@ void Cwt::bind(xcl::Context& ctx, xcl::Queue& q) {
 void Cwt::run() {
   const std::size_t n = n_;
   const unsigned scales = scales_;
-  auto x = signal_buf_->view<const float>();
-  auto w = mag_buf_->view<float>();
+  auto x = signal_buf_->access<const float>("signal");
+  auto w = mag_buf_->access<float>("magnitude");
 
   xcl::Kernel kernel("cwt_morlet", [=](xcl::WorkItem& it) {
     const std::size_t idx = it.global_id(0);

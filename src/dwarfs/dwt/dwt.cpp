@@ -59,28 +59,30 @@ void Dwt::bind(xcl::Context& ctx, xcl::Queue& q) {
 
 void Dwt::enqueue_level(std::size_t lw, std::size_t lh) {
   const std::size_t stride = extent_.width;
-  auto data = data_buf_->view<float>();
-  auto temp = temp_buf_->view<float>();
+  auto data = data_buf_->access<float>("data");
+  auto temp = temp_buf_->access<float>("temp");
 
-  // Horizontal pass: one work-item per row, deinterleave into temp.
+  // Horizontal pass: one work-item per row, deinterleave into temp.  Fully
+  // indexed (no row-base pointers) so the checked tier sees every access.
   xcl::Kernel horiz("dwt_horizontal", [=](xcl::WorkItem& it) {
     const std::size_t r = it.global_id(0);
     if (r >= lh) return;
-    const float* in_row = &data[r * stride];
-    float* out_row = &temp[r * stride];
+    const std::size_t row = r * stride;
     const std::size_t n = lw;
     const std::size_t ns = (n + 1) / 2;
     const std::size_t nd = n / 2;
     for (std::size_t i = 0; i < nd; ++i) {
       const std::size_t rr = (2 * i + 2 <= n - 1) ? 2 * i + 2 : n - 2;
-      out_row[ns + i] =
-          in_row[2 * i + 1] - 0.5f * (in_row[2 * i] + in_row[rr]);
+      temp[row + ns + i] =
+          data[row + 2 * i + 1] -
+          0.5f * (data[row + 2 * i] + data[row + rr]);
     }
     for (std::size_t i = 0; i < ns; ++i) {
       const std::size_t dl = i == 0 ? 0 : i - 1;
       const std::size_t dr = i < nd ? i : nd - 1;
-      out_row[i] =
-          in_row[2 * i] + 0.25f * (out_row[ns + dl] + out_row[ns + dr]);
+      temp[row + i] =
+          data[row + 2 * i] +
+          0.25f * (temp[row + ns + dl] + temp[row + ns + dr]);
     }
   });
 

@@ -58,8 +58,8 @@ void Fft::run() {
   for (std::size_t p = 1; p < n; p <<= 1) {
     xcl::Buffer& src = src_is_a ? *buf_a_ : *buf_b_;
     xcl::Buffer& dst = src_is_a ? *buf_b_ : *buf_a_;
-    auto in = src.view<const float>();
-    auto out = dst.view<float>();
+    auto in = src.access<const float>("fft_src");
+    auto out = dst.access<float>("fft_dst");
 
     xcl::Kernel stage("fft_radix2", [=](xcl::WorkItem& it) {
       const std::size_t i = it.global_id(0);
@@ -99,7 +99,7 @@ void Fft::run() {
   if (dir_ == FftDirection::kInverse) {
     // 1/N normalisation pass on the final buffer.
     xcl::Buffer& result = src_is_a ? *buf_a_ : *buf_b_;
-    auto data = result.view<float>();
+    auto data = result.access<float>("fft_result");
     const float inv_n = 1.0f / static_cast<float>(n);
     xcl::Kernel scale("fft_scale", [=](xcl::WorkItem& it) {
       const std::size_t i = it.global_id(0);

@@ -203,17 +203,17 @@ void Hmm::run() {
   const unsigned n = params_.states;
   const unsigned s = params_.symbols;
   const std::size_t t_len = seq_len_;
-  auto a = a_buf_->view<const float>();
-  auto b = b_buf_->view<const float>();
-  auto pi = pi_buf_->view<const float>();
-  auto obs = obs_buf_->view<const std::int32_t>();
-  auto alpha = alpha_buf_->view<float>();
-  auto beta = beta_buf_->view<float>();
-  auto gamma = gamma_buf_->view<float>();
-  auto denom = denom_buf_->view<float>();
-  auto xi_denom = xi_denom_buf_->view<float>();
-  auto new_a = new_a_buf_->view<float>();
-  auto new_b = new_b_buf_->view<float>();
+  auto a = a_buf_->access<const float>("a");
+  auto b = b_buf_->access<const float>("b");
+  auto pi = pi_buf_->access<const float>("pi");
+  auto obs = obs_buf_->access<const std::int32_t>("obs");
+  auto alpha = alpha_buf_->access<float>("alpha");
+  auto beta = beta_buf_->access<float>("beta");
+  auto gamma = gamma_buf_->access<float>("gamma");
+  auto denom = denom_buf_->access<float>("denom");
+  auto xi_denom = xi_denom_buf_->access<float>("xi_denom");
+  auto new_a = new_a_buf_->access<float>("new_a");
+  auto new_b = new_b_buf_->access<float>("new_b");
 
   // Per-step workload: an N x N recurrence plus the normalisation round.
   xcl::WorkloadProfile step_prof;

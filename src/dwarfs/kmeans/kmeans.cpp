@@ -77,9 +77,9 @@ void KMeans::enqueue_assign() {
   const std::size_t pn = params_.points;
   const unsigned fn = params_.features;
   const unsigned cn = params_.clusters;
-  auto feats = feature_buf_->view<const float>();
-  auto clus = cluster_buf_->view<const float>();
-  auto member = membership_buf_->view<std::int32_t>();
+  auto feats = feature_buf_->access<const float>("features");
+  auto clus = cluster_buf_->access<const float>("clusters");
+  auto member = membership_buf_->access<std::int32_t>("membership");
 
   xcl::Kernel assign("kmeans_assign", [=](xcl::WorkItem& it) {
     const std::size_t i = it.global_id(0);

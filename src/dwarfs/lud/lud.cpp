@@ -47,7 +47,7 @@ void Lud::bind(xcl::Context& ctx, xcl::Queue& q) {
 
 void Lud::enqueue_diagonal(std::size_t k) {
   const std::size_t n = n_;
-  auto a = matrix_buf_->view<float>();
+  auto a = matrix_buf_->access<float>("matrix");
   const std::size_t base = k * B * n + k * B;
 
   xcl::Kernel diag("lud_diagonal", [=](xcl::WorkItem& it) {
@@ -82,7 +82,7 @@ void Lud::enqueue_perimeter(std::size_t k) {
   const std::size_t nb = n / B;
   const std::size_t rem = nb - k - 1;
   if (rem == 0) return;
-  auto a = matrix_buf_->view<float>();
+  auto a = matrix_buf_->access<float>("matrix");
   const std::size_t diag_base = k * B * n + k * B;
 
   // Row blocks (k, m): U := L_kk^-1 A.  One work-item owns one column of
@@ -131,7 +131,7 @@ void Lud::enqueue_internal(std::size_t k) {
   const std::size_t nb = n / B;
   const std::size_t rem = nb - k - 1;
   if (rem == 0) return;
-  auto a = matrix_buf_->view<float>();
+  auto a = matrix_buf_->access<float>("matrix");
 
   // Tiled GEMM update A_ij -= L_ik * U_kj staged through __local memory.
   xcl::Kernel internal("lud_internal", [=](xcl::WorkItem& it) {

@@ -98,9 +98,9 @@ void Nqueens::run() {
   const std::size_t items = frontier_.size();
   const unsigned board = board_;
   const std::uint32_t full = (1u << board) - 1;
-  auto frontier = frontier_buf_->view<const QueenNode>();
-  auto children = children_buf_->view<QueenNode>();
-  auto counts = counts_buf_->view<std::uint32_t>();
+  auto frontier = frontier_buf_->access<const QueenNode>("frontier");
+  auto children = children_buf_->access<QueenNode>("children");
+  auto counts = counts_buf_->access<std::uint32_t>("child_counts");
 
   xcl::Kernel kernel("nqueens_expand", [=](xcl::WorkItem& it) {
     const std::size_t i = it.global_id(0);

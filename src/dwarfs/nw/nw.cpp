@@ -104,8 +104,8 @@ void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
   const std::size_t hi = std::min(d, nb - 1);
   const std::size_t groups = hi - lo + 1;
 
-  auto score = score_buf_->view<std::int32_t>();
-  auto sim = sim_buf_->view<const std::int32_t>();
+  auto score = score_buf_->access<std::int32_t>("score");
+  auto sim = sim_buf_->access<const std::int32_t>("similarity");
   const std::int32_t penalty = penalty_;
 
   xcl::Kernel kernel("nw_block", [=](xcl::WorkItem& it) {

@@ -86,12 +86,12 @@ void Srad::run() {
   const float lam = lambda_;
   queue_->enqueue_write<float>(*j_buf_, j_in_);
 
-  auto j = j_buf_->view<float>();
-  auto c = c_buf_->view<float>();
-  auto dn = dn_buf_->view<float>();
-  auto ds = ds_buf_->view<float>();
-  auto dw = dw_buf_->view<float>();
-  auto de = de_buf_->view<float>();
+  auto j = j_buf_->access<float>("j");
+  auto c = c_buf_->access<float>("c");
+  auto dn = dn_buf_->access<float>("dn");
+  auto ds = ds_buf_->access<float>("ds");
+  auto dw = dw_buf_->access<float>("dw");
+  auto de = de_buf_->access<float>("de");
 
   xcl::Kernel srad1("srad_cuda_1", [=](xcl::WorkItem& it) {
     const std::size_t idx = it.global_id(0);

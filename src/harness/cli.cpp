@@ -70,7 +70,8 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       const std::string v = next(arg);
       const auto mode = xcl::parse_dispatch_mode(v);
       if (!mode.has_value()) {
-        throw std::invalid_argument("bad --dispatch (auto|item|span): " + v);
+        throw std::invalid_argument(
+            "bad --dispatch (auto|item|span|checked): " + v);
       }
       o.dispatch = *mode;
     } else {
@@ -85,7 +86,7 @@ std::string usage(const std::string& program) {
          " [-p P] [-d D] [-t 0|1|2] [--device-name NAME]\n"
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
-         "          [--long-table] [--dispatch auto|item|span]\n"
+         "          [--long-table] [--dispatch auto|item|span|checked]\n"
          "device selection follows the paper's notation: -p <platform>\n"
          "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n";
 }

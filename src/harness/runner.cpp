@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <random>
 
 #include "dwarfs/registry.hpp"
+#include "xcl/check/session.hpp"
 #include "sim/energy_model.hpp"
 #include "sim/replay_cache.hpp"
 #include "sim/testbed.hpp"
@@ -49,6 +51,15 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   } dispatch_guard;
   xcl::set_dispatch_mode(options.dispatch);
 
+  // --dispatch=checked: the whole functional pass (bind-time allocations
+  // included, so the shadow sees every buffer from birth) runs under a
+  // CheckSession; the report lands on the Measurement.
+  std::optional<xcl::check::CheckSession> check_session;
+  if (options.dispatch == xcl::DispatchMode::kChecked &&
+      options.functional) {
+    check_session.emplace();
+  }
+
   xcl::Context ctx(device);
   xcl::Queue queue(ctx);
   queue.set_functional(options.functional);
@@ -79,6 +90,12 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   if (options.validate) {
     m.validation = dwarf.validate();
     m.validated = true;
+  }
+
+  if (check_session.has_value()) {
+    m.check_report = check_session->take_report();
+    m.check_performed = true;
+    check_session.reset();  // unpins kChecked before the unbind below
   }
 
   if (options.collect_counters) {

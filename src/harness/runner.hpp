@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dwarfs/common.hpp"
+#include "xcl/check/report.hpp"
 #include "scibench/sample_set.hpp"
 #include "scibench/stats.hpp"
 #include "sim/counters.hpp"
@@ -47,7 +48,9 @@ struct MeasureOptions {
   std::size_t max_trace_accesses = 0;
   /// Kernel-tier override for this group's functional execution (the
   /// --dispatch= flag): kAuto/kSpan take the span tier where legal, kItem
-  /// pins the per-item reference path for A/B runs.  Restored afterwards.
+  /// pins the per-item reference path for A/B runs, kChecked runs the
+  /// functional pass under a CheckSession (DESIGN.md §10) and attaches the
+  /// resulting CheckReport to the Measurement.  Restored afterwards.
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
 };
 
@@ -83,6 +86,11 @@ struct Measurement {
   /// collect_counters was requested and the benchmark exposes a trace.
   bool counters_collected = false;
   sim::CounterSet counters;
+
+  /// Shadow-memory checker findings (DESIGN.md §10), present when the
+  /// group's functional pass ran under --dispatch=checked.
+  bool check_performed = false;
+  xcl::check::CheckReport check_report;
 
   [[nodiscard]] scibench::Summary time_summary() const {
     return scibench::summarize(time_samples_ms);

@@ -2,12 +2,24 @@
 // functionally on the host — but allocation is accounted against the
 // context's simulated device, and transfers through a Queue are timed by the
 // device's interconnect model.
+//
+// Two kernel-facing accessors exist (DESIGN.md §10):
+//   * view<T>()   — a raw std::span.  Host-side setup/teardown code only;
+//     the mutable overload conservatively marks the whole buffer
+//     initialized for the checker.
+//   * access<T>() — a CheckedView that routes loads/stores through the
+//     active CheckSession's shadow memory (raw-speed passthrough when no
+//     session is active).  Kernel bodies use this one so the checked
+//     dispatch tier can observe every access.
 #pragma once
 
 #include <cstring>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "xcl/check/checked_view.hpp"
+#include "xcl/check/session.hpp"
 #include "xcl/context.hpp"
 #include "xcl/error.hpp"
 
@@ -26,19 +38,24 @@ class Buffer {
       ctx.on_free(bytes);
       throw;
     }
+    check::on_buffer_alloc(store_.data(), store_.size());
   }
 
-  ~Buffer() {
-    if (ctx_ != nullptr) ctx_->on_free(store_.size());
-  }
+  ~Buffer() { release(); }
 
   Buffer(Buffer&& other) noexcept
       : ctx_(other.ctx_), store_(std::move(other.store_)) {
+    // The vector's heap block (the shadow-map key) moves with it; no
+    // checker notification needed.
     other.ctx_ = nullptr;
   }
   Buffer& operator=(Buffer&& other) noexcept {
     if (this != &other) {
-      if (ctx_ != nullptr) ctx_->on_free(store_.size());
+      // Release the old allocation — device-capacity accounting and checker
+      // shadow — *before* adopting the new one, so a context gauge never
+      // counts both allocations at once and a capacity-bound device can
+      // swap one large buffer for another.
+      release();
       ctx_ = other.ctx_;
       store_ = std::move(other.store_);
       other.ctx_ = nullptr;
@@ -57,6 +74,9 @@ class Buffer {
   [[nodiscard]] std::span<T> view() {
     require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
             "buffer size is not a multiple of element size");
+    // A mutable raw view is a host-write escape hatch the checker cannot
+    // see through; treat it as initializing the whole buffer.
+    check::on_host_write(store_.data(), 0, store_.size());
     return {reinterpret_cast<T*>(store_.data()), store_.size() / sizeof(T)};
   }
   template <typename T>
@@ -67,11 +87,36 @@ class Buffer {
             store_.size() / sizeof(T)};
   }
 
+  /// Checked accessor for kernel bodies: loads/stores route through the
+  /// active CheckSession (raw passthrough without one).  `label` names the
+  /// buffer in findings.  Use `access<const T>()` for read-only access —
+  /// unlike the mutable view<T>(), creating a checked accessor never marks
+  /// anything initialized, which is what keeps uninit-read detection alive.
+  template <typename T>
+  [[nodiscard]] check::CheckedView<T> access(std::string_view label = {}) {
+    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+            "buffer size is not a multiple of element size");
+    check::BufferShadow* shadow = nullptr;
+    if (check::CheckSession* s = check::active_session()) {
+      shadow = s->shadow_for(store_.data(), store_.size(), label);
+    }
+    return {reinterpret_cast<T*>(store_.data()), store_.size() / sizeof(T),
+            shadow};
+  }
+
   // Internal raw access used by Queue transfers.
   [[nodiscard]] std::byte* data() noexcept { return store_.data(); }
   [[nodiscard]] const std::byte* data() const noexcept { return store_.data(); }
 
  private:
+  /// Returns context accounting and drops the checker shadow for the
+  /// current allocation (no-op for a moved-from shell).
+  void release() noexcept {
+    if (!store_.empty()) check::on_buffer_release(store_.data());
+    if (ctx_ != nullptr) ctx_->on_free(store_.size());
+    ctx_ = nullptr;
+  }
+
   Context* ctx_;
   std::vector<std::byte> store_;
 };

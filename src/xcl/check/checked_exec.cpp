@@ -1,0 +1,134 @@
+#include "xcl/check/checked_exec.hpp"
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "xcl/check/session.hpp"
+#include "xcl/fiber.hpp"
+#include "xcl/work_item.hpp"
+
+namespace eod::xcl::check {
+
+namespace {
+
+// Long-lived per-thread scratch, mirroring the reference executor's
+// WorkerScratch: the arena storage and fiber stacks survive across groups
+// and launches.  The checked tier runs on the launching thread only, so in
+// practice there is exactly one of these.
+struct CheckedScratch {
+  LocalArena arena{0};
+  std::vector<std::unique_ptr<Fiber>> fibers;
+};
+
+CheckedScratch& checked_scratch() {
+  thread_local CheckedScratch scratch;
+  return scratch;
+}
+
+struct GroupCoords {
+  std::array<std::size_t, 3> group_id;
+  std::array<std::size_t, 3> global_size;
+  std::array<std::size_t, 3> local_size;
+};
+
+GroupCoords decode_group(const NDRange& range, std::size_t flat) {
+  GroupCoords g;
+  const std::size_t gx = range.groups(0);
+  const std::size_t gy = range.groups(1);
+  g.group_id = {flat % gx, (flat / gx) % gy, flat / (gx * gy)};
+  g.global_size = {range.global(0), range.global(1), range.global(2)};
+  g.local_size = {range.local(0), range.local(1), range.local(2)};
+  return g;
+}
+
+// Builds the WorkItem for flat in-group id `flat` (x fastest, matching the
+// reference loop/fiber paths) and runs the per-item body under the
+// session's item context.
+void run_item(const Kernel& kernel, const GroupCoords& g, std::size_t flat,
+              LocalArena& arena, const std::function<void()>* barrier_hook,
+              CheckSession& session) {
+  const auto [lx, ly, lz] = g.local_size;
+  const std::array<std::size_t, 3> local_id{flat % lx, (flat / lx) % ly,
+                                            flat / (lx * ly)};
+  const std::array<std::size_t, 3> global_id{
+      g.group_id[0] * lx + local_id[0], g.group_id[1] * ly + local_id[1],
+      g.group_id[2] * lz + local_id[2]};
+  session.begin_item(static_cast<std::uint32_t>(flat));
+  WorkItem item(global_id, local_id, g.group_id, g.global_size,
+                g.local_size, &arena, barrier_hook);
+  kernel.body()(item);
+  session.end_item();
+}
+
+// Round-robin fiber scheduling that — unlike FiberPool::run_group — never
+// throws on divergent barrier counts: every unfinished fiber keeps being
+// resumed until it runs off the end of its body, and the count mismatch is
+// reported by CheckSession::end_group() as a classified finding.
+void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
+                      std::size_t items, CheckedScratch& scratch,
+                      const std::function<void()>* barrier_hook,
+                      CheckSession& session) {
+  while (scratch.fibers.size() < items) {
+    scratch.fibers.push_back(std::make_unique<Fiber>([] {}));
+  }
+  for (std::size_t i = 0; i < items; ++i) {
+    scratch.fibers[i]->reset([&kernel, &g, i, &scratch, barrier_hook,
+                              &session] {
+      run_item(kernel, g, i, scratch.arena, barrier_hook, session);
+    });
+  }
+  std::size_t done = 0;
+  while (done < items) {
+    for (std::size_t i = 0; i < items; ++i) {
+      Fiber& f = *scratch.fibers[i];
+      if (f.done()) continue;
+      f.resume();
+      if (f.done()) ++done;
+    }
+  }
+}
+
+}  // namespace
+
+void execute_checked(const Kernel& kernel, const NDRange& range,
+                     const Device& device, CheckSession& session) {
+  session.begin_launch(kernel);
+  CheckedScratch& scratch = checked_scratch();
+  scratch.arena.ensure_capacity(device.info().local_mem_bytes);
+
+  const std::size_t groups = range.num_groups();
+  const std::size_t items = range.group_items();
+  const bool use_fibers = kernel.barriers() && items > 1;
+
+  // One hook for every item: records the arrival (epoch bump + misuse
+  // classification) and, on the fiber path, suspends the item.  The item
+  // context is saved around the yield because the scheduler resumes a
+  // different item next.
+  const std::function<void()> barrier_hook = [&session, use_fibers] {
+    session.on_barrier();
+    if (use_fibers) {
+      const std::uint32_t current = session.current_item();
+      Fiber::yield_current();
+      session.begin_item(current);
+    }
+  };
+
+  for (std::size_t flat = 0; flat < groups; ++flat) {
+    const GroupCoords g = decode_group(range, flat);
+    session.begin_group(flat, items);
+    scratch.arena.reset();
+    if (use_fibers) {
+      run_group_fibers(kernel, g, items, scratch, &barrier_hook, session);
+    } else {
+      for (std::size_t i = 0; i < items; ++i) {
+        run_item(kernel, g, i, scratch.arena, &barrier_hook, session);
+      }
+    }
+    session.end_group();
+  }
+}
+
+}  // namespace eod::xcl::check

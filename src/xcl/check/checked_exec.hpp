@@ -1,0 +1,29 @@
+// The checked dispatch tier's execution engine (DESIGN.md §10): runs an
+// NDRange serially on the calling thread — groups in flat order, items
+// interleaved by a private fiber scheduler when the kernel uses barriers —
+// while feeding the active CheckSession the (launch, group, item, epoch)
+// context every shadow-memory access is judged against.
+//
+// Serial execution is the point, not a limitation: with one thread the
+// shadow state needs no synchronization and the *first* occurrence of every
+// defect is deterministic, so reports are reproducible run to run.  Unlike
+// the reference fiber path, divergent barrier counts do not throw here:
+// stragglers are resumed to completion and the divergence is reported as a
+// classified finding.
+#pragma once
+
+#include "xcl/device.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/ndrange.hpp"
+
+namespace eod::xcl::check {
+
+class CheckSession;
+
+/// Executes `kernel` over `range` (local sizes resolved) under `session`.
+/// Exceptions thrown by the kernel body propagate, as on the reference
+/// path; checker findings never throw.
+void execute_checked(const Kernel& kernel, const NDRange& range,
+                     const Device& device, CheckSession& session);
+
+}  // namespace eod::xcl::check

@@ -1,0 +1,146 @@
+// CheckedView / CheckedRef: the accessor types behind Buffer::access<T>()
+// (DESIGN.md §10).  A CheckedView is a span-like typed window over a
+// buffer's storage; indexing yields a CheckedRef proxy that routes every
+// load and store through the active CheckSession's shadow memory.  When no
+// session is active the shadow pointer is null and the proxy degrades to a
+// raw indexed access — one predictable branch, no allocation — so dwarfs
+// use access<T>() unconditionally and only pay for checking under
+// --dispatch=checked.
+//
+// Out-of-bounds accesses under a session are *suppressed*, not performed:
+// loads return a value-initialized T, stores are dropped.  Checking is
+// therefore crash-free even for wild indices.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace eod::xcl::check {
+
+struct BufferShadow;
+
+/// Routes one byte-range access through the active session (defined in
+/// session.cpp).  Returns true when the access may be performed; false
+/// when it was out of bounds (reported and suppressed).
+bool checked_access(BufferShadow& shadow, std::size_t offset,
+                    std::size_t bytes, bool is_write);
+
+/// Proxy for one element access.  Holds (base, index) rather than a raw
+/// element pointer so an out-of-bounds index never even forms an invalid
+/// pointer before the bounds check runs.
+template <typename T>
+class CheckedRef {
+ public:
+  using Value = std::remove_const_t<T>;
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "checked accessors require trivially copyable elements");
+
+  CheckedRef(T* base, std::size_t index, BufferShadow* shadow) noexcept
+      : base_(base), index_(index), shadow_(shadow) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): proxy reads like T.
+  operator Value() const { return load(); }
+
+  CheckedRef& operator=(const Value& v)
+    requires(!std::is_const_v<T>)
+  {
+    store(v);
+    return *this;
+  }
+  CheckedRef& operator=(const CheckedRef& other)
+    requires(!std::is_const_v<T>)
+  {
+    store(other.load());
+    return *this;
+  }
+
+  CheckedRef& operator+=(const Value& v)
+    requires(!std::is_const_v<T>)
+  {
+    store(load() + v);
+    return *this;
+  }
+  CheckedRef& operator-=(const Value& v)
+    requires(!std::is_const_v<T>)
+  {
+    store(load() - v);
+    return *this;
+  }
+  CheckedRef& operator*=(const Value& v)
+    requires(!std::is_const_v<T>)
+  {
+    store(load() * v);
+    return *this;
+  }
+  CheckedRef& operator/=(const Value& v)
+    requires(!std::is_const_v<T>)
+  {
+    store(load() / v);
+    return *this;
+  }
+
+  [[nodiscard]] Value load() const {
+    if (shadow_ != nullptr &&
+        !checked_access(*shadow_, index_ * sizeof(Value), sizeof(Value),
+                        /*is_write=*/false)) {
+      return Value{};
+    }
+    return base_[index_];
+  }
+
+  void store(const Value& v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (shadow_ != nullptr &&
+        !checked_access(*shadow_, index_ * sizeof(Value), sizeof(Value),
+                        /*is_write=*/true)) {
+      return;
+    }
+    base_[index_] = v;
+  }
+
+ private:
+  T* base_;
+  std::size_t index_;
+  BufferShadow* shadow_;
+};
+
+/// Span-like checked window.  Copyable and cheap to capture by value in
+/// kernel lambdas (pointer + size + shadow pointer).
+template <typename T>
+class CheckedView {
+ public:
+  CheckedView() = default;
+  CheckedView(T* data, std::size_t size, BufferShadow* shadow) noexcept
+      : data_(data), size_(size), shadow_(shadow) {}
+
+  /// Views lose their const qualifier freely in the read-only direction.
+  /// A template so it never counts as this class's copy constructor.
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::span.
+  template <typename U>
+    requires(std::is_const_v<T> && std::is_same_v<U, std::remove_const_t<T>>)
+  CheckedView(const CheckedView<U>& other) noexcept
+      : data_(other.data()), size_(other.size()), shadow_(other.shadow()) {}
+
+  [[nodiscard]] CheckedRef<T> operator[](std::size_t i) const noexcept {
+    return {data_, i, shadow_};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// True when accesses route through a session's shadow memory.
+  [[nodiscard]] bool checked() const noexcept { return shadow_ != nullptr; }
+  [[nodiscard]] BufferShadow* shadow() const noexcept { return shadow_; }
+
+  /// Unchecked escape hatch for span bodies: the span tier never runs under
+  /// a session (the checker forces the per-item path), so span bodies may
+  /// loop over the raw pointer at full speed.
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  BufferShadow* shadow_ = nullptr;
+};
+
+}  // namespace eod::xcl::check

@@ -1,0 +1,127 @@
+#include "xcl/check/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace eod::xcl::check {
+
+const char* to_string(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kOutOfBounds:
+      return "out-of-bounds";
+    case FindingKind::kIntraGroupRace:
+      return "intra-group-race";
+    case FindingKind::kBarrierDivergence:
+      return "barrier-divergence";
+    case FindingKind::kUninitRead:
+      return "uninit-read";
+    case FindingKind::kSpanBarrier:
+      return "span-barrier";
+  }
+  return "unknown";
+}
+
+const char* to_string(Severity severity) noexcept {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+Severity severity_of(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kOutOfBounds:
+    case FindingKind::kIntraGroupRace:
+    case FindingKind::kBarrierDivergence:
+      return Severity::kError;
+    case FindingKind::kUninitRead:
+    case FindingKind::kSpanBarrier:
+      break;
+  }
+  return Severity::kWarning;
+}
+
+void CheckReport::add(Finding finding) {
+  finding.severity = severity_of(finding.kind);
+  for (Finding& f : findings_) {
+    if (f.kind == finding.kind && f.kernel == finding.kernel &&
+        f.buffer == finding.buffer) {
+      f.occurrences += finding.occurrences;
+      return;  // keep the first occurrence's location fields
+    }
+  }
+  findings_.push_back(std::move(finding));
+  ranked_ = false;
+}
+
+void CheckReport::rank() const {
+  if (ranked_) return;
+  std::stable_sort(findings_.begin(), findings_.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.severity, a.kind, a.kernel, a.buffer) <
+                            std::tie(b.severity, b.kind, b.kernel, b.buffer);
+                   });
+  ranked_ = true;
+}
+
+const std::vector<Finding>& CheckReport::findings() const {
+  rank();
+  return findings_;
+}
+
+std::size_t CheckReport::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings_) {
+    if (f.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t CheckReport::warning_count() const noexcept {
+  return findings_.size() - error_count();
+}
+
+std::uint64_t CheckReport::total_occurrences() const noexcept {
+  std::uint64_t n = 0;
+  for (const Finding& f : findings_) n += f.occurrences;
+  return n;
+}
+
+std::string CheckReport::to_text() const {
+  rank();
+  std::ostringstream os;
+  if (findings_.empty()) {
+    os << "check: clean (no findings)\n";
+    return os.str();
+  }
+  for (const Finding& f : findings_) {
+    os << to_string(f.severity) << ": " << to_string(f.kind) << " in kernel '"
+       << f.kernel << "'";
+    if (!f.buffer.empty()) {
+      os << ", buffer '" << f.buffer << "' bytes [" << f.byte_offset << ", "
+         << f.byte_offset + f.byte_count << ")";
+    }
+    os << "\n    " << f.detail << "\n    group " << f.group << ", item "
+       << f.item_a;
+    if (f.item_b != f.item_a) os << " vs item " << f.item_b;
+    os << ", epoch " << f.epoch << "; " << f.occurrences
+       << " occurrence(s)\n";
+  }
+  os << "check: " << error_count() << " error(s), " << warning_count()
+     << " warning(s), " << total_occurrences() << " total occurrence(s)\n";
+  return os.str();
+}
+
+std::string CheckReport::to_tsv() const {
+  rank();
+  std::ostringstream os;
+  os << "severity\tkind\tkernel\tbuffer\tbyte_offset\tbyte_count\tgroup\t"
+        "item_a\titem_b\tepoch\toccurrences\n";
+  for (const Finding& f : findings_) {
+    os << to_string(f.severity) << '\t' << to_string(f.kind) << '\t'
+       << f.kernel << '\t' << f.buffer << '\t' << f.byte_offset << '\t'
+       << f.byte_count << '\t' << f.group << '\t' << f.item_a << '\t'
+       << f.item_b << '\t' << f.epoch << '\t' << f.occurrences << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace eod::xcl::check

@@ -1,0 +1,85 @@
+// CheckReport: the findings container for the checked dispatch tier
+// (DESIGN.md §10).  Every defect the shadow-memory checker detects is
+// folded into a deduplicated, severity-ranked report that renders both as
+// human-readable text and as machine-readable TSV (one row per distinct
+// finding) so CI gates can diff it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eod::xcl::check {
+
+/// The defect classes the checker distinguishes.  Classification — not
+/// just detection — is part of the contract: a race must never be reported
+/// as an OOB and vice versa (check_tier_test pins this per seeded defect).
+enum class FindingKind : std::uint8_t {
+  kOutOfBounds,        ///< access beyond the owning buffer's byte range
+  kIntraGroupRace,     ///< conflicting same-epoch accesses by two items
+  kBarrierDivergence,  ///< live items of one group disagree on barrier count
+  kUninitRead,         ///< kernel read of a never-written byte
+  kSpanBarrier,        ///< span-registered barrier-free kernel calls barrier()
+};
+
+/// Two-level ranking.  Errors are memory-safety / synchronization defects
+/// that can corrupt results on a real device; warnings are portability
+/// hazards that this functional runtime happens to execute deterministically
+/// (reads of zero-filled storage, a span body whose per-item twin still
+/// calls barrier()) but a conforming OpenCL implementation need not.
+enum class Severity : std::uint8_t { kError, kWarning };
+
+[[nodiscard]] const char* to_string(FindingKind kind) noexcept;
+[[nodiscard]] const char* to_string(Severity severity) noexcept;
+[[nodiscard]] Severity severity_of(FindingKind kind) noexcept;
+
+/// One deduplicated defect.  Location fields describe the *first* occurrence
+/// (the checker runs groups serially, so "first" is deterministic);
+/// `occurrences` counts every byte-level hit folded into this finding.
+struct Finding {
+  FindingKind kind = FindingKind::kOutOfBounds;
+  Severity severity = Severity::kError;
+  std::string kernel;           ///< launching kernel's name
+  std::string buffer;           ///< owning buffer label; empty for barrier findings
+  std::size_t byte_offset = 0;  ///< first offending byte offset in the buffer
+  std::size_t byte_count = 0;   ///< bytes touched by the first occurrence
+  std::uint64_t group = 0;      ///< flat work-group id of the first occurrence
+  std::uint64_t item_a = 0;     ///< flat in-group id of the accessing item
+  std::uint64_t item_b = 0;     ///< second party (races/divergence); ==item_a otherwise
+  std::uint32_t epoch = 0;      ///< barrier epoch of the first occurrence
+  std::uint64_t occurrences = 1;
+  std::string detail;           ///< one-line human-readable description
+};
+
+/// Deduplicated, severity-ranked findings of one checked run.  Findings are
+/// merged by (kind, kernel, buffer): repeated byte-level hits of the same
+/// defect bump `occurrences` instead of flooding the report.
+class CheckReport {
+ public:
+  /// Records one occurrence; merges into an existing finding when the
+  /// (kind, kernel, buffer) key was seen before.
+  void add(Finding finding);
+
+  /// Findings sorted by severity (errors first), then kind, kernel, buffer.
+  [[nodiscard]] const std::vector<Finding>& findings() const;
+
+  [[nodiscard]] bool clean() const noexcept { return findings_.empty(); }
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  [[nodiscard]] std::uint64_t total_occurrences() const noexcept;
+
+  /// Human-readable rendering, one block per finding plus a summary line.
+  [[nodiscard]] std::string to_text() const;
+  /// Machine-readable rendering: a header row, then one TSV row per
+  /// finding (stable column order, no embedded tabs).
+  [[nodiscard]] std::string to_tsv() const;
+
+ private:
+  void rank() const;
+
+  mutable std::vector<Finding> findings_;
+  mutable bool ranked_ = true;
+};
+
+}  // namespace eod::xcl::check

@@ -1,0 +1,240 @@
+#include "xcl/check/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "xcl/error.hpp"
+#include "xcl/executor.hpp"
+#include "xcl/kernel.hpp"
+
+namespace eod::xcl::check {
+
+namespace detail {
+std::atomic<CheckSession*> g_active_session{nullptr};
+}
+
+CheckSession::CheckSession() {
+  CheckSession* expected = nullptr;
+  require(detail::g_active_session.compare_exchange_strong(
+              expected, this, std::memory_order_acq_rel),
+          Status::kInvalidOperation,
+          "a CheckSession is already active (one checker at a time)");
+  // Pin the checked tier for the session's lifetime: auto/span selection
+  // must not route launches around the shadow-memory instrumentation.
+  saved_dispatch_ = static_cast<std::uint8_t>(dispatch_mode());
+  set_dispatch_mode(DispatchMode::kChecked);
+}
+
+CheckSession::~CheckSession() {
+  set_dispatch_mode(static_cast<DispatchMode>(saved_dispatch_));
+  detail::g_active_session.store(nullptr, std::memory_order_release);
+}
+
+CheckSession* CheckSession::active() noexcept { return active_session(); }
+
+void CheckSession::track_alloc(const void* base, std::size_t bytes) {
+  // Pointer reuse after a free is common (allocator recycling); the fresh
+  // allocation replaces any stale entry outright.
+  auto shadow = std::make_unique<BufferShadow>();
+  shadow->bytes = bytes;
+  shadow->tracked_from_birth = true;
+  shadow->state.assign(bytes, ShadowByte{});
+  shadows_[base] = std::move(shadow);
+}
+
+void CheckSession::forget_buffer(const void* base) noexcept {
+  shadows_.erase(base);
+}
+
+void CheckSession::mark_host_write(const void* base, std::size_t offset,
+                                   std::size_t bytes) {
+  auto it = shadows_.find(base);
+  if (it == shadows_.end()) return;  // pre-session buffer: assumed init
+  BufferShadow& sh = *it->second;
+  const std::size_t end = std::min(sh.bytes, offset + bytes);
+  for (std::size_t i = std::min(offset, end); i < end; ++i) {
+    sh.state[i].init = 1;
+  }
+}
+
+BufferShadow* CheckSession::shadow_for(const void* base, std::size_t bytes,
+                                       std::string_view label) {
+  auto it = shadows_.find(base);
+  if (it == shadows_.end()) {
+    // The buffer predates the session: bounds and race checking still
+    // apply, but its contents are conservatively assumed initialized.
+    auto shadow = std::make_unique<BufferShadow>();
+    shadow->bytes = bytes;
+    shadow->tracked_from_birth = false;
+    shadow->state.assign(bytes, ShadowByte{});
+    it = shadows_.emplace(base, std::move(shadow)).first;
+  }
+  BufferShadow& sh = *it->second;
+  if (sh.label.empty() && !label.empty()) sh.label = label;
+  return &sh;
+}
+
+void CheckSession::begin_launch(const Kernel& kernel) {
+  ++launch_;
+  kernel_ = kernel.name();
+  kernel_has_span_ = kernel.has_span();
+  kernel_uses_barriers_ = kernel.barriers();
+}
+
+void CheckSession::begin_group(std::uint64_t group, std::size_t items) {
+  group_ = group;
+  barrier_counts_.assign(items, 0);
+}
+
+void CheckSession::begin_item(std::uint32_t item) {
+  item_ = item;
+  in_item_ = true;
+}
+
+void CheckSession::end_item() { in_item_ = false; }
+
+void CheckSession::on_barrier() {
+  if (!kernel_uses_barriers_) {
+    if (kernel_has_span_) {
+      // The span body's registration asserts the kernel is barrier-free
+      // (DESIGN.md §9); its per-item twin calling barrier() breaks that
+      // contract — a reported defect here, not the UB it would be on the
+      // span tier.
+      record(FindingKind::kSpanBarrier, nullptr, 0, 0, item_,
+             "span-registered kernel calls barrier(): the span tier's "
+             "barrier-free precondition is violated");
+    } else {
+      record(FindingKind::kBarrierDivergence, nullptr, 0, 0, item_,
+             "barrier() reached in a kernel not marked uses_barriers()");
+    }
+  }
+  if (item_ < barrier_counts_.size()) ++barrier_counts_[item_];
+}
+
+void CheckSession::end_group() {
+  // Divergence is judged only for kernels that declared barriers: an
+  // unmarked kernel reaching barrier() is already a misuse finding
+  // (on_barrier), and double-reporting it as divergence would misclassify.
+  if (!kernel_uses_barriers_ || barrier_counts_.empty()) return;
+  const auto [lo, hi] =
+      std::minmax_element(barrier_counts_.begin(), barrier_counts_.end());
+  if (*lo == *hi) return;
+  const auto item_lo =
+      static_cast<std::uint64_t>(lo - barrier_counts_.begin());
+  const auto item_hi =
+      static_cast<std::uint64_t>(hi - barrier_counts_.begin());
+  std::ostringstream detail;
+  detail << "work-items of one group retired different barrier counts: item "
+         << item_lo << " reached " << *lo << " barrier(s), item " << item_hi
+         << " reached " << *hi;
+  const std::uint32_t saved_item = item_;
+  item_ = static_cast<std::uint32_t>(item_lo);
+  record(FindingKind::kBarrierDivergence, nullptr, 0, 0, item_hi,
+         detail.str());
+  item_ = saved_item;
+}
+
+bool CheckSession::note_access(BufferShadow& shadow, std::size_t offset,
+                               std::size_t bytes, bool is_write) {
+  if (offset > shadow.bytes || bytes > shadow.bytes - offset) {
+    std::ostringstream detail;
+    detail << (is_write ? "write" : "read") << " of " << bytes
+           << " byte(s) at offset " << offset << " exceeds buffer size "
+           << shadow.bytes;
+    record(FindingKind::kOutOfBounds, &shadow, offset, bytes, item_,
+           detail.str());
+    return false;  // the access is suppressed, keeping checking crash-free
+  }
+  if (!in_item_) {
+    // Host-side accessor use between launches (setup/teardown code):
+    // writes initialize, nothing races.
+    if (is_write) {
+      for (std::size_t i = offset; i < offset + bytes; ++i) {
+        shadow.state[i].init = 1;
+      }
+    }
+    return true;
+  }
+
+  const std::uint32_t epoch =
+      item_ < barrier_counts_.size() ? barrier_counts_[item_] : 0;
+  bool race_reported = false;
+  bool uninit_reported = false;
+  for (std::size_t i = offset; i < offset + bytes; ++i) {
+    ShadowByte& b = shadow.state[i];
+    // A conflict needs: same launch, same group, *different* item, same
+    // barrier epoch, and at least one write.  Cross-launch and cross-group
+    // reuse is ordered by the in-order queue / group independence and is
+    // not a defect.
+    const auto conflicts = [&](const AccessStamp& s) {
+      return s.launch == launch_ &&
+             s.group == static_cast<std::uint32_t>(group_) &&
+             s.item != item_ && s.epoch == epoch;
+    };
+    if (!race_reported) {
+      const AccessStamp* other = nullptr;
+      const char* other_did = nullptr;
+      if (conflicts(b.write)) {
+        other = &b.write;
+        other_did = "wrote";
+      } else if (is_write && conflicts(b.read)) {
+        other = &b.read;
+        other_did = "read";
+      }
+      if (other != nullptr) {
+        std::ostringstream detail;
+        detail << "work-item " << item_ << (is_write ? " writes" : " reads")
+               << " byte " << i << " that work-item " << other->item << ' '
+               << other_did << " in the same barrier interval (epoch "
+               << epoch << ")";
+        record(FindingKind::kIntraGroupRace, &shadow, i, bytes, other->item,
+               detail.str());
+        race_reported = true;
+      }
+    }
+    if (!is_write && !uninit_reported && shadow.tracked_from_birth &&
+        b.init == 0) {
+      std::ostringstream detail;
+      detail << "read of never-initialized byte " << i
+             << " (no prior kernel write, transfer, fill or host view)";
+      record(FindingKind::kUninitRead, &shadow, i, bytes, item_,
+             detail.str());
+      uninit_reported = true;
+    }
+    if (is_write) {
+      b.write = {launch_, static_cast<std::uint32_t>(group_), item_, epoch};
+      b.init = 1;
+    } else {
+      b.read = {launch_, static_cast<std::uint32_t>(group_), item_, epoch};
+    }
+  }
+  return true;
+}
+
+bool checked_access(BufferShadow& shadow, std::size_t offset,
+                    std::size_t bytes, bool is_write) {
+  CheckSession* s = active_session();
+  if (s == nullptr) return true;  // stale view after session end: unchecked
+  return s->note_access(shadow, offset, bytes, is_write);
+}
+
+void CheckSession::record(FindingKind kind, const BufferShadow* shadow,
+                          std::size_t offset, std::size_t bytes,
+                          std::uint64_t item_b, std::string detail) {
+  Finding f;
+  f.kind = kind;
+  f.kernel = kernel_;
+  if (shadow != nullptr) {
+    f.buffer = shadow->label.empty() ? "<unnamed>" : shadow->label;
+  }
+  f.byte_offset = offset;
+  f.byte_count = bytes;
+  f.group = group_;
+  f.item_a = item_;
+  f.item_b = item_b;
+  f.epoch = item_ < barrier_counts_.size() ? barrier_counts_[item_] : 0;
+  f.detail = std::move(detail);
+  report_.add(std::move(f));
+}
+
+}  // namespace eod::xcl::check

@@ -1,0 +1,179 @@
+// CheckSession: the shadow-memory state machine behind the `checked`
+// dispatch tier (DESIGN.md §10).
+//
+// While a session is active every Buffer::access<T>() view routes kernel
+// loads/stores through per-byte shadow memory recording the init state and
+// the last writer/reader work-item with its barrier epoch.  The checked
+// executor (checked_exec.hpp) feeds the session the execution context —
+// which launch, group, item and epoch is currently running — and the
+// session classifies defects into a CheckReport:
+//
+//   * intra-group race: two different work-items of the same group touch a
+//     byte in the same barrier interval and at least one access is a write;
+//   * out-of-bounds: an access outside the owning buffer's byte range
+//     (suppressed rather than performed, so checking is crash-free);
+//   * uninit read: a kernel reads a byte never written by a kernel, a
+//     transfer, a fill or a host-side view since its allocation;
+//   * barrier divergence: live items of one group retire different barrier
+//     counts, or barrier() is reached in a kernel not marked uses_barriers();
+//   * span barrier: a kernel that registered a span body (asserting the
+//     barrier-free span-tier precondition) calls barrier() after all.
+//
+// Exactly one session may be active at a time, process-wide.  The checked
+// tier executes groups serially on the launching thread, so the session
+// needs no internal synchronization; the only atomics are the active-session
+// pointer that the Buffer/Queue fast paths poll.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xcl/check/report.hpp"
+
+namespace eod::xcl {
+class Kernel;
+}
+
+namespace eod::xcl::check {
+
+/// Last-accessor stamp for one shadow byte.  launch==0 means "never
+/// accessed from a kernel" (launch ids start at 1).
+struct AccessStamp {
+  std::uint32_t launch = 0;
+  std::uint32_t group = 0;
+  std::uint32_t item = 0;
+  std::uint32_t epoch = 0;
+};
+
+/// Per-byte shadow cell: last writer, last reader, and whether the byte has
+/// ever been initialized.  Keeping only the *last* reader is the classic
+/// shadow-memory approximation: a write conflicting with any one of several
+/// same-epoch readers is still caught unless the writer itself happens to be
+/// the retained reader.
+struct ShadowByte {
+  AccessStamp write;
+  AccessStamp read;
+  std::uint8_t init = 0;
+};
+
+/// Shadow state of one Buffer, keyed by its storage address (stable across
+/// Buffer moves — vector storage moves with the object).
+struct BufferShadow {
+  std::string label;        ///< accessor-supplied name for reports
+  std::size_t bytes = 0;
+  /// Allocated while the session was active: uninit reads are only
+  /// meaningful for buffers whose whole lifetime the checker observed;
+  /// pre-existing buffers are conservatively assumed initialized.
+  bool tracked_from_birth = false;
+  std::vector<ShadowByte> state;  ///< one cell per buffer byte
+};
+
+class CheckSession {
+ public:
+  /// Registers as the process-wide active session; throws if one is already
+  /// active.  Forces DispatchMode::kChecked for its lifetime (restored on
+  /// destruction) so auto/span tier selection cannot bypass the checker.
+  CheckSession();
+  ~CheckSession();
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  /// The active session, or null.  Acquire/release ordering pairs with
+  /// registration so a non-null result is a fully constructed session.
+  [[nodiscard]] static CheckSession* active() noexcept;
+
+  // ---- buffer lifecycle (called via the inline hooks below) ----
+  void track_alloc(const void* base, std::size_t bytes);
+  void forget_buffer(const void* base) noexcept;
+  /// Host-side initialization: transfers, fills and mutable view<T>()
+  /// escapes mark the range initialized without touching accessor stamps.
+  void mark_host_write(const void* base, std::size_t offset,
+                       std::size_t bytes);
+
+  /// Shadow for a buffer, created on demand.  The first non-empty label
+  /// sticks (a buffer accessed as "out" in one kernel and anonymously in
+  /// another reports as "out").
+  BufferShadow* shadow_for(const void* base, std::size_t bytes,
+                           std::string_view label);
+
+  // ---- execution context (driven by checked_exec) ----
+  void begin_launch(const Kernel& kernel);
+  void begin_group(std::uint64_t group, std::size_t items);
+  void begin_item(std::uint32_t item);
+  void end_item();
+  /// Flat in-group id of the item currently executing (the checked fiber
+  /// scheduler saves it around a yield and restores via begin_item).
+  [[nodiscard]] std::uint32_t current_item() const noexcept { return item_; }
+  /// Records a barrier() arrival for the current item: bumps its epoch and
+  /// classifies misuse (span-registered or unmarked kernels).
+  void on_barrier();
+  /// Closes the group: live items that retired different barrier counts are
+  /// a divergence finding.
+  void end_group();
+
+  /// Byte-range access check from a CheckedRef.  Returns true when the
+  /// access is in bounds and may be performed; false means the access was
+  /// reported (OOB) and must be suppressed by the caller.
+  bool note_access(BufferShadow& shadow, std::size_t offset,
+                   std::size_t bytes, bool is_write);
+
+  [[nodiscard]] const CheckReport& report() const noexcept { return report_; }
+  [[nodiscard]] CheckReport take_report() { return std::move(report_); }
+
+ private:
+  void record(FindingKind kind, const BufferShadow* shadow,
+              std::size_t offset, std::size_t bytes, std::uint64_t item_b,
+              std::string detail);
+
+  std::unordered_map<const void*, std::unique_ptr<BufferShadow>> shadows_;
+  CheckReport report_;
+
+  // Current-launch context.  Launch ids start at 1 so stamp.launch == 0
+  // always reads as "never".
+  std::uint32_t launch_ = 0;
+  std::string kernel_;
+  bool kernel_has_span_ = false;
+  bool kernel_uses_barriers_ = false;
+  std::uint64_t group_ = 0;
+  std::uint32_t item_ = 0;
+  bool in_item_ = false;
+  /// Per-item barrier arrival counts of the current group; an item's count
+  /// is its current epoch.
+  std::vector<std::uint32_t> barrier_counts_;
+
+  std::uint8_t saved_dispatch_ = 0;  ///< DispatchMode restored by the dtor
+};
+
+namespace detail {
+extern std::atomic<CheckSession*> g_active_session;
+}
+
+/// Fast hooks for the Buffer/Queue hot paths: one relaxed-ish atomic load
+/// when no session is active.
+inline CheckSession* active_session() noexcept {
+  return detail::g_active_session.load(std::memory_order_acquire);
+}
+
+inline void on_buffer_alloc(const void* base, std::size_t bytes) {
+  if (CheckSession* s = active_session()) s->track_alloc(base, bytes);
+}
+
+inline void on_buffer_release(const void* base) noexcept {
+  if (CheckSession* s = active_session()) s->forget_buffer(base);
+}
+
+inline void on_host_write(const void* base, std::size_t offset,
+                          std::size_t bytes) {
+  if (CheckSession* s = active_session()) {
+    s->mark_host_write(base, offset, bytes);
+  }
+}
+
+}  // namespace eod::xcl::check

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <functional>
 
+#include "xcl/check/checked_exec.hpp"
+#include "xcl/check/session.hpp"
 #include "xcl/fiber.hpp"
 #include "xcl/thread_pool.hpp"
 
@@ -19,6 +21,7 @@ std::atomic<DispatchMode> g_dispatch_mode{DispatchMode::kAuto};
 std::atomic<std::uint64_t> g_groups_loop{0};
 std::atomic<std::uint64_t> g_groups_fiber{0};
 std::atomic<std::uint64_t> g_groups_span{0};
+std::atomic<std::uint64_t> g_groups_checked{0};
 std::atomic<std::uint64_t> g_arena_hwm{0};
 
 // Per-thread executor scratch.  Pool workers are persistent threads, so the
@@ -117,7 +120,8 @@ void run_group_fibers(const Kernel& kernel, const GroupCoords& g,
 bool span_legal(const Kernel& kernel, const NDRange& range,
                 DispatchMode mode) {
   return kernel.has_span() && mode != DispatchMode::kItem &&
-         range.global(1) == 1 && range.global(2) == 1;
+         mode != DispatchMode::kChecked && range.global(1) == 1 &&
+         range.global(2) == 1;
 }
 
 }  // namespace
@@ -135,6 +139,7 @@ std::optional<DispatchMode> parse_dispatch_mode(
   if (name == "auto") return DispatchMode::kAuto;
   if (name == "item") return DispatchMode::kItem;
   if (name == "span") return DispatchMode::kSpan;
+  if (name == "checked") return DispatchMode::kChecked;
   return std::nullopt;
 }
 
@@ -144,6 +149,8 @@ const char* to_string(DispatchMode mode) noexcept {
       return "item";
     case DispatchMode::kSpan:
       return "span";
+    case DispatchMode::kChecked:
+      return "checked";
     case DispatchMode::kAuto:
       break;
   }
@@ -156,6 +163,17 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
   const std::size_t local_mem = device.info().local_mem_bytes;
   const std::size_t group_items = range.group_items();
   ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  // Checker tier (DESIGN.md §10): while a session is active every launch
+  // runs serially through the shadow-memory instrumentation, regardless of
+  // span legality -- the session pins DispatchMode::kChecked, but the
+  // session pointer, not the mode, is authoritative (kChecked without a
+  // session degrades to the per-item reference path below).
+  if (check::CheckSession* session = check::CheckSession::active()) {
+    check::execute_checked(kernel, range, device, *session);
+    g_groups_checked.fetch_add(groups, std::memory_order_relaxed);
+    return;
+  }
 
   if (span_legal(kernel, range, dispatch_mode())) {
     // Hoist the std::function indirection out of the per-group path: the
@@ -201,6 +219,7 @@ ExecutorStats executor_stats() {
   s.groups_loop = g_groups_loop.load(std::memory_order_relaxed);
   s.groups_fiber = g_groups_fiber.load(std::memory_order_relaxed);
   s.groups_span = g_groups_span.load(std::memory_order_relaxed);
+  s.groups_checked = g_groups_checked.load(std::memory_order_relaxed);
   s.arena_bytes_hwm = g_arena_hwm.load(std::memory_order_relaxed);
   s.fiber_stacks_created = fiber_stacks_created();
   s.fiber_stacks_reused = fiber_stacks_reused();
@@ -212,6 +231,7 @@ void reset_executor_stats() {
   g_groups_loop.store(0, std::memory_order_relaxed);
   g_groups_fiber.store(0, std::memory_order_relaxed);
   g_groups_span.store(0, std::memory_order_relaxed);
+  g_groups_checked.store(0, std::memory_order_relaxed);
   g_arena_hwm.store(0, std::memory_order_relaxed);
   reset_fiber_stack_counters();
 }

@@ -19,18 +19,21 @@ namespace eod::xcl {
 
 class ThreadPool;
 
-/// Process-wide tier-selection override (DESIGN.md §9).  kAuto uses the
-/// span tier whenever it is legal for a launch and falls back to the
+/// Process-wide tier-selection override (DESIGN.md §9, §10).  kAuto uses
+/// the span tier whenever it is legal for a launch and falls back to the
 /// per-item loop/fiber tiers otherwise; kItem forces the per-item
 /// reference path even for kernels that carry a span body (the A/B
 /// baseline); kSpan behaves like kAuto but states the intent explicitly in
-/// `--dispatch=span` command lines.
-enum class DispatchMode : std::uint8_t { kAuto, kItem, kSpan };
+/// `--dispatch=span` command lines.  kChecked is the checker tier: while a
+/// check::CheckSession is active, launches run serially through the
+/// shadow-memory instrumentation (check/checked_exec.hpp); without a
+/// session it behaves like kItem.
+enum class DispatchMode : std::uint8_t { kAuto, kItem, kSpan, kChecked };
 
 [[nodiscard]] DispatchMode dispatch_mode() noexcept;
 void set_dispatch_mode(DispatchMode mode) noexcept;
 
-/// "auto" | "item" | "span" -> mode; nullopt for anything else.
+/// "auto" | "item" | "span" | "checked" -> mode; nullopt otherwise.
 [[nodiscard]] std::optional<DispatchMode> parse_dispatch_mode(
     std::string_view name) noexcept;
 [[nodiscard]] const char* to_string(DispatchMode mode) noexcept;
@@ -45,6 +48,7 @@ struct ExecutorStats {
   std::uint64_t groups_loop = 0;      ///< groups run as plain loops
   std::uint64_t groups_fiber = 0;     ///< groups run as fiber sets
   std::uint64_t groups_span = 0;      ///< groups run as one span call
+  std::uint64_t groups_checked = 0;   ///< groups run under the checker tier
   std::uint64_t arena_bytes_hwm = 0;  ///< largest __local footprint served
   std::uint64_t fiber_stacks_created = 0;
   std::uint64_t fiber_stacks_reused = 0;

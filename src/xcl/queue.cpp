@@ -20,6 +20,7 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
   total.groups_loop += after.groups_loop - before.groups_loop;
   total.groups_fiber += after.groups_fiber - before.groups_fiber;
   total.groups_span += after.groups_span - before.groups_span;
+  total.groups_checked += after.groups_checked - before.groups_checked;
   total.arena_bytes_hwm = std::max(total.arena_bytes_hwm,
                                    after.arena_bytes_hwm);
   total.fiber_stacks_created +=
@@ -65,6 +66,7 @@ Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes) {
   kernels_since_sync_ = 0;  // blocking transfers synchronise the stream
   const std::uint64_t t0 = scibench::now_ns();
   std::memcpy(dst.data(), src, bytes);
+  check::on_host_write(dst.data(), 0, bytes);  // transfers initialize
   const std::uint64_t t1 = scibench::now_ns();
 
   Event e;
@@ -102,6 +104,7 @@ Event Queue::enqueue_copy(const Buffer& src, Buffer& dst) {
           "copy exceeds destination buffer");
   if (functional_) {
     std::memcpy(dst.data(), src.data(), src.bytes());
+    check::on_host_write(dst.data(), 0, src.bytes());
   }
   return push_device_side_op("copy", 2 * src.bytes());  // read + write
 }

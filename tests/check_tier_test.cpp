@@ -1,0 +1,343 @@
+// Checked dispatch tier (DESIGN.md §10): seeded-defect kernels must each be
+// detected and classified correctly — out-of-bounds write, read-before-init,
+// intra-group race, divergent barrier, and a span-registered kernel calling
+// barrier() — while every real dwarf at tiny comes back clean.  Also pins
+// the report mechanics (dedup, severity ranking, text/TSV rendering) and
+// that kChecked without a session degrades to the per-item path.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "dwarfs/registry.hpp"
+#include "harness/runner.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/buffer.hpp"
+#include "xcl/check/report.hpp"
+#include "xcl/check/session.hpp"
+#include "xcl/context.hpp"
+#include "xcl/executor.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/queue.hpp"
+
+namespace eod::xcl::check {
+namespace {
+
+Device& test_device() { return sim::testbed_device("i7-6700K"); }
+
+WorkloadProfile tiny_profile() {
+  WorkloadProfile p;
+  p.flops = 1.0;
+  p.bytes_read = 64.0;
+  p.bytes_written = 64.0;
+  p.working_set_bytes = 64.0;
+  return p;
+}
+
+/// Finds the first report entry of `kind`, or null.
+const Finding* find_kind(const CheckReport& report, FindingKind kind) {
+  for (const Finding& f : report.findings()) {
+    if (f.kind == kind) return &f;
+  }
+  return nullptr;
+}
+
+TEST(CheckTier, OutOfBoundsWriteDetectedAndSuppressed) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 16 * sizeof(float));
+  q.enqueue_fill(buf, 0.0f);
+
+  auto out = buf.access<float>("out");
+  Kernel oob("seeded_oob", [=](WorkItem& it) {
+    // Items 0..15 write indices 8..23: the upper half lands out of bounds.
+    out[it.global_id(0) + 8] = 1.0f;
+  });
+  q.enqueue(oob, NDRange(16, 16), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const Finding* f = find_kind(report, FindingKind::kOutOfBounds);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->kernel, "seeded_oob");
+  EXPECT_EQ(f->buffer, "out");
+  EXPECT_EQ(f->occurrences, 8u);  // ids 8..15, one finding each, deduped
+  EXPECT_GE(f->byte_offset, 16 * sizeof(float));
+  // No race/uninit noise from the in-bounds half.
+  EXPECT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+TEST(CheckTier, ReadBeforeInitDetected) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer src(ctx, 8 * sizeof(float));   // never written: uninit
+  Buffer dst(ctx, 8 * sizeof(float));
+
+  auto in = src.access<const float>("uninit_src");
+  auto out = dst.access<float>("dst");
+  Kernel k("seeded_uninit", [=](WorkItem& it) {
+    const std::size_t i = it.global_id(0);
+    out[i] = in[i] + 1.0f;
+  });
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const Finding* f = find_kind(report, FindingKind::kUninitRead);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->buffer, "uninit_src");
+  EXPECT_EQ(f->occurrences, 8u);
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(CheckTier, HostWrittenBufferReadsClean) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer src(ctx, 8 * sizeof(float));
+  Buffer dst(ctx, 8 * sizeof(float));
+  q.enqueue_fill(src, 2.0f);  // transfer-style init clears the uninit state
+
+  auto in = src.access<const float>("src");
+  auto out = dst.access<float>("dst");
+  Kernel k("copy", [=](WorkItem& it) {
+    const std::size_t i = it.global_id(0);
+    out[i] = in[i];
+  });
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  EXPECT_TRUE(session.report().clean()) << session.report().to_text();
+}
+
+TEST(CheckTier, IntraGroupRaceDetected) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 4 * sizeof(std::uint32_t));
+
+  auto out = buf.access<std::uint32_t>("raced");
+  Kernel k("seeded_race", [=](WorkItem& it) {
+    // Every item of the group writes slot 0 in the same barrier interval.
+    out[0] = static_cast<std::uint32_t>(it.global_id(0));
+  });
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const Finding* f = find_kind(report, FindingKind::kIntraGroupRace);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->buffer, "raced");
+  EXPECT_EQ(f->byte_offset, 0u);
+  EXPECT_NE(f->item_a, f->item_b);  // both participants identified
+}
+
+TEST(CheckTier, CrossGroupSameByteIsNotARace) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 4 * sizeof(std::uint32_t));
+
+  auto out = buf.access<std::uint32_t>("shared");
+  Kernel k("one_item_groups", [=](WorkItem& it) {
+    out[0] = static_cast<std::uint32_t>(it.global_id(0));
+  });
+  // Four groups of one item each: group execution order is unspecified on
+  // real devices, but single-item groups cannot race intra-group.
+  q.enqueue(k, NDRange(4, 1), tiny_profile());
+
+  EXPECT_EQ(find_kind(session.report(), FindingKind::kIntraGroupRace),
+            nullptr)
+      << session.report().to_text();
+}
+
+TEST(CheckTier, BarrierSeparatedPhasesAreNotARace) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 8 * sizeof(float));
+  q.enqueue_fill(buf, 1.0f);
+
+  auto data = buf.access<float>("staged");
+  Kernel k("staged_reduce", [=](WorkItem& it) {
+    const std::size_t i = it.local_id(0);
+    data[i] = static_cast<float>(i);  // phase 1: disjoint writes
+    it.barrier();
+    // Phase 2: item 0 reads everything written before the barrier.
+    if (i == 0) {
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < 8; ++j) sum += data[j];
+      data[0] = sum;
+    }
+  });
+  k.uses_barriers();
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  EXPECT_TRUE(session.report().clean()) << session.report().to_text();
+}
+
+TEST(CheckTier, DivergentBarrierDetected) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 8 * sizeof(float));
+  q.enqueue_fill(buf, 0.0f);
+
+  auto data = buf.access<float>("diverged");
+  Kernel k("seeded_divergence", [=](WorkItem& it) {
+    const std::size_t i = it.local_id(0);
+    if (i < 4) it.barrier();  // only half the group arrives
+    data[i] = 1.0f;
+  });
+  k.uses_barriers();
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const Finding* f = find_kind(report, FindingKind::kBarrierDivergence);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->kernel, "seeded_divergence");
+}
+
+TEST(CheckTier, SpanKernelCallingBarrierIsAFinding) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 8 * sizeof(float));
+  q.enqueue_fill(buf, 0.0f);
+
+  auto data = buf.access<float>("span_misuse");
+  Kernel k("seeded_span_barrier", [=](WorkItem& it) {
+    it.barrier();  // violates the barrier-free span-tier precondition
+    data[it.global_id(0)] = 1.0f;
+  });
+  // Registered span body, but NOT uses_barriers(): the author asserted the
+  // kernel is barrier-free, and the per-item body breaks that assertion.
+  k.span([=](std::size_t, std::size_t) {});
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const Finding* f = find_kind(report, FindingKind::kSpanBarrier);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->kernel, "seeded_span_barrier");
+}
+
+TEST(CheckTier, UnmarkedBarrierClassifiedAsDivergence) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 8 * sizeof(float));
+  q.enqueue_fill(buf, 0.0f);
+
+  auto data = buf.access<float>("unmarked");
+  Kernel k("seeded_unmarked_barrier", [=](WorkItem& it) {
+    it.barrier();  // kernel never declared uses_barriers()
+    data[it.global_id(0)] = 1.0f;
+  });
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+
+  EXPECT_NE(
+      find_kind(session.report(), FindingKind::kBarrierDivergence),
+      nullptr);
+}
+
+TEST(CheckTier, ReportRendersTextAndTsv) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 4 * sizeof(float));
+  auto out = buf.access<float>("victim");
+  Kernel k("render_me", [=](WorkItem& it) {
+    out[it.global_id(0) + 4] = 1.0f;  // all four accesses out of bounds
+  });
+  q.enqueue(k, NDRange(4, 4), tiny_profile());
+
+  const CheckReport report = session.take_report();
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("out-of-bounds"), std::string::npos);
+  EXPECT_NE(text.find("render_me"), std::string::npos);
+  EXPECT_NE(text.find("victim"), std::string::npos);
+  const std::string tsv = report.to_tsv();
+  EXPECT_NE(tsv.find("kind\t"), std::string::npos);
+  EXPECT_NE(tsv.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(CheckTier, CheckedModeWithoutSessionDegradesToItemPath) {
+  // set_dispatch_mode(kChecked) without a live session must not crash or
+  // divert into the checker: the session pointer is authoritative.
+  const DispatchMode prev = dispatch_mode();
+  set_dispatch_mode(DispatchMode::kChecked);
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 8 * sizeof(float));
+  auto out = buf.access<float>("plain");
+  Kernel k("no_session", [=](WorkItem& it) {
+    out[it.global_id(0)] = 2.0f;
+  });
+  const ExecutorStats before = executor_stats();
+  q.enqueue(k, NDRange(8, 8), tiny_profile());
+  const ExecutorStats after = executor_stats();
+  set_dispatch_mode(prev);
+
+  EXPECT_EQ(after.groups_checked, before.groups_checked);
+  EXPECT_FLOAT_EQ(buf.view<const float>()[3], 2.0f);
+}
+
+TEST(CheckTier, OnlyOneSessionAtATime) {
+  CheckSession session;
+  EXPECT_THROW(CheckSession(), Error);
+}
+
+TEST(CheckTier, GroupsCheckedCounterAdvances) {
+  CheckSession session;
+  Context ctx(test_device());
+  Queue q(ctx);
+  Buffer buf(ctx, 64 * sizeof(float));
+  auto out = buf.access<float>("counted");
+  Kernel k("count_groups", [=](WorkItem& it) {
+    out[it.global_id(0)] = 0.0f;
+  });
+  const ExecutorStats before = executor_stats();
+  q.enqueue(k, NDRange(64, 16), tiny_profile());
+  const ExecutorStats after = executor_stats();
+  EXPECT_EQ(after.groups_checked - before.groups_checked, 4u);
+}
+
+// Every real dwarf (benchmarks and extensions) must come back clean from a
+// validated tiny run under the checked tier — the same gate bench/
+// check_report enforces in CI, pinned here as a tier-1 test.
+class CheckedDwarf : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CheckedDwarf, TinyRunsCleanUnderCheckedDispatch) {
+  auto dwarf = dwarfs::create_dwarf(GetParam());
+  harness::MeasureOptions opts;
+  opts.functional = true;
+  opts.validate = true;
+  opts.samples = 1;
+  opts.dispatch = DispatchMode::kChecked;
+  const harness::Measurement m = harness::measure(
+      *dwarf, dwarfs::ProblemSize::kTiny, test_device(), opts);
+  EXPECT_TRUE(m.validation.ok) << m.validation.detail;
+  ASSERT_TRUE(m.check_performed);
+  EXPECT_TRUE(m.check_report.clean()) << m.check_report.to_text();
+}
+
+std::vector<std::string> all_dwarf_names() {
+  std::vector<std::string> names = dwarfs::benchmark_names();
+  for (const std::string& ext : dwarfs::extension_names()) {
+    names.push_back(ext);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDwarfs, CheckedDwarf,
+                         ::testing::ValuesIn(all_dwarf_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace eod::xcl::check

@@ -7,8 +7,11 @@
 #include <atomic>
 #include <numeric>
 
+#include "sim/device_spec.hpp"
+#include "sim/perf_model.hpp"
 #include "sim/testbed.hpp"
 #include "xcl/buffer.hpp"
+#include "xcl/check/session.hpp"
 #include "xcl/executor.hpp"
 #include "xcl/kernel.hpp"
 #include "xcl/queue.hpp"
@@ -259,10 +262,72 @@ TEST(SpanTier, ParseAndPrintModeNames) {
   EXPECT_EQ(parse_dispatch_mode("auto"), DispatchMode::kAuto);
   EXPECT_EQ(parse_dispatch_mode("item"), DispatchMode::kItem);
   EXPECT_EQ(parse_dispatch_mode("span"), DispatchMode::kSpan);
+  EXPECT_EQ(parse_dispatch_mode("checked"), DispatchMode::kChecked);
   EXPECT_FALSE(parse_dispatch_mode("fibers").has_value());
   EXPECT_STREQ(to_string(DispatchMode::kAuto), "auto");
   EXPECT_STREQ(to_string(DispatchMode::kItem), "item");
   EXPECT_STREQ(to_string(DispatchMode::kSpan), "span");
+  EXPECT_STREQ(to_string(DispatchMode::kChecked), "checked");
+}
+
+TEST(BufferMove, MoveAssignReleasesOldAllocationFirst) {
+  Context ctx(dev());
+  Buffer a(ctx, 1024);
+  {
+    Buffer b(ctx, 4096);
+    EXPECT_EQ(ctx.allocated_bytes(), 5120u);
+    a = std::move(b);
+    // The 1 KiB allocation is gone the moment the assignment completes;
+    // the moved-from b owns nothing.
+    EXPECT_EQ(ctx.allocated_bytes(), 4096u);
+  }
+  EXPECT_EQ(ctx.allocated_bytes(), 4096u);
+  EXPECT_EQ(a.bytes(), 4096u);
+
+  Buffer& same = a;
+  a = std::move(same);  // self-move keeps the allocation intact
+  EXPECT_EQ(ctx.allocated_bytes(), 4096u);
+  EXPECT_EQ(a.bytes(), 4096u);
+}
+
+TEST(BufferMove, MoveAssignAcrossContextsFreesCapacityBoundDevice) {
+  // An 8 KiB device: after move-assigning away its only buffer, the freed
+  // capacity must be available immediately — the regression this pins is a
+  // gauge that still counted the old allocation during adoption.
+  DeviceInfo info;
+  info.name = "cap-8KiB";
+  info.global_mem_bytes = 8192;
+  Device small(info, std::make_shared<sim::DevicePerfModel>(
+                         sim::spec_by_name("i7-6700K")));
+  Context small_ctx(small);
+  Context big_ctx(dev());
+
+  Buffer a(small_ctx, 6000);
+  Buffer b(big_ctx, 4096);
+  a = std::move(b);  // a now holds big_ctx's allocation
+  EXPECT_EQ(small_ctx.allocated_bytes(), 0u);
+  EXPECT_EQ(big_ctx.allocated_bytes(), 4096u);
+
+  Buffer c(small_ctx, 8000);  // fits only if the 6000 were released
+  EXPECT_EQ(small_ctx.allocated_bytes(), 8000u);
+}
+
+TEST(BufferMove, ShadowFollowsStorageAcrossMoves) {
+  // The checker keys shadow state by the storage address, which moves with
+  // the vector: a moved buffer keeps its init state and stays clean.
+  check::CheckSession session;
+  Context ctx(dev());
+  Queue q(ctx);
+  Buffer a(ctx, 16 * sizeof(float));
+  q.enqueue_fill(a, 1.0f);
+
+  Buffer b = std::move(a);
+  auto v = b.access<float>("moved");
+  Kernel k("after_move", [=](WorkItem& it) { v[it.global_id(0)] += 1.0f; });
+  q.enqueue(k, NDRange(16, 16), p());
+
+  EXPECT_TRUE(session.report().clean()) << session.report().to_text();
+  EXPECT_FLOAT_EQ(b.view<const float>()[5], 2.0f);
 }
 
 TEST(Registry, TestbedIsIdempotent) {
