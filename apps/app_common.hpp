@@ -15,6 +15,7 @@
 #include "dwarfs/common.hpp"
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
+#include "obs/trace.hpp"
 
 namespace eod::apps {
 
@@ -59,6 +60,15 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   opts.validate = true;
   opts.reuse_setup = true;  // the app configured the dwarf itself
   opts.dispatch = cli.dispatch;
+  // Observability sinks (DESIGN.md §11): --trace / --metrics flags, with
+  // EOD_TRACE=1 (or =path) as the no-recompile escape hatch.  Either sink
+  // also produces the run manifest next to the process.
+  opts.trace_path =
+      !cli.trace_path.empty() ? cli.trace_path : obs::env_trace_path();
+  opts.metrics_path = cli.metrics_path;
+  if (!opts.trace_path.empty() || !opts.metrics_path.empty()) {
+    opts.manifest_path = "manifest.json";
+  }
 
   const harness::Measurement m = harness::measure(
       dwarf, cli.size.value_or(dwarfs::ProblemSize::kTiny), device, opts);
@@ -81,6 +91,16 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
             << " J\n";
   if (m.check_performed) {
     std::cout << m.check_report.to_text();
+  }
+  if (!opts.trace_path.empty()) {
+    std::cout << "trace: " << opts.trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!opts.metrics_path.empty()) {
+    std::cout << "metrics: " << opts.metrics_path << '\n';
+  }
+  if (!opts.manifest_path.empty()) {
+    std::cout << "manifest: " << opts.manifest_path << '\n';
   }
   const bool check_failed =
       m.check_performed && m.check_report.error_count() > 0;

@@ -14,6 +14,8 @@
 
 #include "dwarfs/registry.hpp"
 #include "harness/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/replay_cache.hpp"
 #include "sim/testbed.hpp"
 
@@ -28,6 +30,10 @@ int main(int argc, char** argv) {
   // tier-invariant; checked adds the §10 shadow-memory report).
   std::size_t max_accesses = 0;
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  // --trace=FILE / --metrics=FILE record the whole report run (every
+  // measure() call below) into one Chrome trace / metrics snapshot.
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-accesses") == 0 && i + 1 < argc) {
       max_accesses = std::strtoull(argv[++i], nullptr, 10);
@@ -39,7 +45,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       dispatch = *mode;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
     }
+  }
+  if (trace_path.empty()) trace_path = obs::env_trace_path();
+  if (!trace_path.empty()) {
+    obs::set_thread_lane_name("counters_report");
+    obs::set_tracing_enabled(true);
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::set_timed_metrics(true);
   }
 
   // Replayed cells persist under results/ so re-runs replay nothing.
@@ -118,5 +136,18 @@ int main(int argc, char** argv) {
             << "(functional replay of kmeans+lud tiny, --dispatch="
             << xcl::to_string(dispatch)
             << "; stolen chunks > 0 only on multi-core hosts.)\n";
+
+  if (!trace_path.empty()) {
+    obs::set_tracing_enabled(false);
+    if (obs::write_chrome_trace(trace_path)) {
+      std::cout << "trace: " << trace_path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (obs::snapshot_metrics().write_file(metrics_path)) {
+      std::cout << "metrics: " << metrics_path << '\n';
+    }
+  }
   return 0;
 }

@@ -1,0 +1,109 @@
+// Tracing-overhead microbench (DESIGN.md §11): the observability layer's
+// cost on the micro_launch workload — empty-kernel 4096-group launches,
+// where every nanosecond is dispatch overhead and a traced span per group.
+//
+// Three configurations of the same launch loop:
+//   * disabled A/B — two identical passes with the recorder off.  Their
+//     difference is the run-to-run noise floor, and the acceptance gate is
+//     that it stays within noise (< 2%-of-mean + 3 sigma of the rep
+//     spread): a disabled-path regression would mean the enabled-flag fast
+//     path leaks work onto the plain dispatch path.
+//   * enabled — recorder on, writing into per-thread rings.  The per-group
+//     cost delta is reported for EXPERIMENTS.md, not gated: tracing is
+//     opt-in, so its cost only has to be known, not zero.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "scibench/timer.hpp"
+#include "sim/testbed.hpp"
+#include "xcl/executor.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/thread_pool.hpp"
+
+namespace {
+
+using namespace eod;
+
+constexpr std::size_t kGroups = 4096;
+constexpr int kWarmup = 3;
+constexpr int kReps = 30;
+
+struct Run {
+  double ns_per_group = 0.0;  ///< mean over reps
+  double rep_stddev = 0.0;    ///< per-rep spread, ns/group
+};
+
+Run time_launches(const xcl::Kernel& k, const xcl::NDRange& range,
+                  const xcl::Device& device) {
+  for (int i = 0; i < kWarmup; ++i) xcl::execute_ndrange(k, range, device);
+  std::vector<double> reps;
+  reps.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) {
+    const std::uint64_t t0 = scibench::now_ns();
+    xcl::execute_ndrange(k, range, device);
+    const std::uint64_t t1 = scibench::now_ns();
+    reps.push_back(static_cast<double>(t1 - t0) / kGroups);
+  }
+  Run r;
+  for (const double v : reps) r.ns_per_group += v;
+  r.ns_per_group /= static_cast<double>(reps.size());
+  for (const double v : reps) {
+    r.rep_stddev += (v - r.ns_per_group) * (v - r.ns_per_group);
+  }
+  r.rep_stddev =
+      std::sqrt(r.rep_stddev / static_cast<double>(reps.size() - 1));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  xcl::Device& device = sim::testbed_device("i7-6700K");
+  xcl::Kernel empty("empty", [](xcl::WorkItem&) {});
+  const xcl::NDRange range(kGroups, 1);
+
+  std::printf(
+      "tracing overhead, empty kernel, %zu groups x1 (%u worker(s) + "
+      "caller)\n",
+      kGroups, xcl::ThreadPool::global().size());
+
+  obs::set_tracing_enabled(false);
+  const Run off_a = time_launches(empty, range, device);
+  const Run off_b = time_launches(empty, range, device);
+
+  obs::reset_tracing();
+  obs::set_tracing_enabled(true);
+  const Run on = time_launches(empty, range, device);
+  obs::set_tracing_enabled(false);
+  const std::uint64_t recorded = obs::trace_events_recorded();
+  obs::reset_tracing();
+
+  std::printf("disabled A: %8.1f ns/group (stddev %.1f)\n", off_a.ns_per_group,
+              off_a.rep_stddev);
+  std::printf("disabled B: %8.1f ns/group (stddev %.1f)\n", off_b.ns_per_group,
+              off_b.rep_stddev);
+  std::printf("enabled:    %8.1f ns/group (stddev %.1f, %llu events)\n",
+              on.ns_per_group, on.rep_stddev,
+              static_cast<unsigned long long>(recorded));
+
+  const double mean_off = 0.5 * (off_a.ns_per_group + off_b.ns_per_group);
+  const double diff = std::abs(off_a.ns_per_group - off_b.ns_per_group);
+  // Noise bound: 2% of the disabled mean plus 3 sigma of the rep-to-rep
+  // spread of either pass — identical code on both sides, so anything
+  // beyond that is a real (impossible) disabled-path cost.
+  const double bound =
+      0.02 * mean_off + 3.0 * std::max(off_a.rep_stddev, off_b.rep_stddev);
+  const double enabled_cost = on.ns_per_group - mean_off;
+  std::printf(
+      "\ndisabled A/B delta: %.1f ns/group (noise bound %.1f)\n"
+      "enabled tracing cost: %+.1f ns/group (%+.1f%%)\n",
+      diff, bound, enabled_cost, 100.0 * enabled_cost / mean_off);
+
+  const bool ok = diff <= bound;
+  std::printf("%s\n", ok ? "PASS: disabled-mode tracing is free"
+                         : "FAIL: disabled A/B differ beyond noise");
+  return ok ? 0 : 1;
+}

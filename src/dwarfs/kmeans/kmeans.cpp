@@ -67,8 +67,11 @@ void KMeans::bind(xcl::Context& ctx, xcl::Queue& q) {
   ctx_ = &ctx;
   queue_ = &q;
   feature_buf_.emplace(ctx, features_.size() * sizeof(float));
+  feature_buf_->named("features");
   cluster_buf_.emplace(ctx, centroids_.size() * sizeof(float));
+  cluster_buf_->named("centroids");
   membership_buf_.emplace(ctx, membership_.size() * sizeof(std::int32_t));
+  membership_buf_->named("membership");
   q.enqueue_write<float>(*feature_buf_, features_);
   q.enqueue_write<float>(*cluster_buf_, centroids_);
 }

@@ -32,8 +32,19 @@ xcl::Device& CliOptions::resolve_device() const {
 CliOptions parse_cli(int argc, const char* const* argv) {
   CliOptions o;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    const std::string original = argv[i];
+    std::string arg = original;
+    // Long options accept both "--flag value" and "--flag=value".
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      }
+    }
     auto next = [&](const std::string& flag) -> std::string {
+      if (inline_value.has_value()) return *inline_value;
       if (i + 1 >= argc) {
         throw std::invalid_argument(flag + " requires a value");
       }
@@ -74,8 +85,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
             "bad --dispatch (auto|item|span|checked): " + v);
       }
       o.dispatch = *mode;
+    } else if (arg == "--trace") {
+      o.trace_path = next(arg);
+    } else if (arg == "--metrics") {
+      o.metrics_path = next(arg);
     } else {
-      o.positional.push_back(arg);
+      o.positional.push_back(original);
     }
   }
   return o;
@@ -87,8 +102,12 @@ std::string usage(const std::string& program) {
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
          "          [--long-table] [--dispatch auto|item|span|checked]\n"
+         "          [--trace FILE] [--metrics FILE]\n"
          "device selection follows the paper's notation: -p <platform>\n"
-         "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n";
+         "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n"
+         "--trace writes a chrome://tracing JSON; --metrics a process\n"
+         "metrics snapshot (.tsv for TSV); either also writes manifest.json\n"
+         "(EOD_TRACE=1 enables tracing without the flag)\n";
 }
 
 }  // namespace eod::harness

@@ -29,6 +29,13 @@ struct CliOptions {
   /// --dispatch auto|item|span: kernel-tier override for A/B runs
   /// (DESIGN.md §9); item pins the per-item reference path.
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  /// --trace FILE: write a Chrome trace_event JSON of the run (DESIGN.md
+  /// §11); empty = recorder off.  The EOD_TRACE env var is the no-recompile
+  /// escape hatch apps consult when the flag is absent.
+  std::string trace_path;
+  /// --metrics FILE: write a process-metrics snapshot (.tsv → TSV, else
+  /// JSON); empty = off.
+  std::string metrics_path;
   std::vector<std::string> positional;
 
   /// Resolves the requested device within the simulated testbed platform.

@@ -7,6 +7,9 @@
 #include <random>
 
 #include "dwarfs/registry.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "xcl/check/session.hpp"
 #include "sim/energy_model.hpp"
 #include "sim/replay_cache.hpp"
@@ -42,7 +45,33 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   m.device = device.name();
   m.size = size;
 
-  if (!options.reuse_setup) dwarf.setup(size);
+  // Observability sinks (DESIGN.md §11).  Recording is scoped to this
+  // group: the flags are restored on every exit path, and the recorder is
+  // reset up front so consecutive measurements write independent traces.
+  const bool want_trace = !options.trace_path.empty();
+  const bool want_obs = want_trace || !options.metrics_path.empty() ||
+                        !options.manifest_path.empty();
+  struct ObsGuard {
+    bool prev_trace = obs::tracing_enabled();
+    bool prev_timed = obs::timed_metrics_enabled();
+    ~ObsGuard() {
+      obs::set_tracing_enabled(prev_trace);
+      obs::set_timed_metrics(prev_timed);
+    }
+  } obs_guard;
+  if (want_trace) {
+    obs::reset_tracing();
+    obs::set_thread_lane_name("harness");
+    obs::set_tracing_enabled(true);
+  }
+  if (want_obs) obs::set_timed_metrics(true);
+  std::optional<obs::TraceSpan> measure_span;
+  if (want_trace) measure_span.emplace("measure", "harness");
+
+  if (!options.reuse_setup) {
+    obs::TraceSpan span("setup", "harness");
+    dwarf.setup(size);
+  }
 
   // Tier override for the functional pass, restored on every exit path.
   struct DispatchModeGuard {
@@ -65,9 +94,17 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   queue.set_functional(options.functional);
   queue.set_record_launches(options.collect_counters);
 
-  dwarf.bind(ctx, queue);
+  {
+    obs::TraceSpan span("bind", "harness");
+    dwarf.bind(ctx, queue);
+  }
   queue.clear_events();  // bind-time transfers are host-setup, not measured
-  dwarf.run();
+  {
+    // The single functional pass: the warmup-equivalent real execution the
+    // sampled loop is modeled from.
+    obs::TraceSpan span("functional", "harness");
+    dwarf.run();
+  }
 
   // Aggregate the iteration's events into per-kernel segments (the paper
   // records kernel, setup and transfer segments via LibSciBench).
@@ -88,6 +125,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
 
   dwarf.finish();
   if (options.validate) {
+    obs::TraceSpan span("validate", "harness");
     m.validation = dwarf.validate();
     m.validated = true;
   }
@@ -106,6 +144,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
     // The replay runs through the batched/coalesced engine and is memoized
     // by trace content + hierarchy geometry, so repeated sweeps over the
     // same cell replay nothing.
+    obs::TraceSpan span("counters.replay", "harness");
     const std::size_t hint = dwarf.trace_size_hint();
     const bool oversized = options.max_trace_accesses != 0 &&
                            hint > options.max_trace_accesses;
@@ -166,17 +205,59 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
 
   m.time_samples_ms.reserve(options.samples);
   m.energy_samples_j.reserve(options.samples);
-  for (std::size_t i = 0; i < options.samples; ++i) {
-    double factor = noise(rng);
-    if ((rng() & 0x1F) == 0) {  // ~3% of samples catch a straggler
-      factor += 0.02 * eff_cov / 0.002 * tail(rng) * 0.1;
+  {
+    obs::TraceSpan sampling_span("sampling", "harness", "samples",
+                                 static_cast<double>(options.samples));
+    for (std::size_t i = 0; i < options.samples; ++i) {
+      obs::TraceSpan sample_span("sample", "harness");
+      double factor = noise(rng);
+      if ((rng() & 0x1F) == 0) {  // ~3% of samples catch a straggler
+        factor += 0.02 * eff_cov / 0.002 * tail(rng) * 0.1;
+      }
+      factor = std::max(0.5, factor);
+      m.time_samples_ms.push_back(iter_s * factor * 1e3);
+      sample_span.set_arg("sample_ms", m.time_samples_ms.back());
+      // §5.2: energy is measured "solely over the kernel execution", i.e.
+      // one application iteration's kernels, not the whole 2 s sampling
+      // loop.
+      m.energy_samples_j.push_back(
+          meter.measure(power, iter_s * factor).joules);
     }
-    factor = std::max(0.5, factor);
-    m.time_samples_ms.push_back(iter_s * factor * 1e3);
-    // §5.2: energy is measured "solely over the kernel execution", i.e. one
-    // application iteration's kernels, not the whole 2 s sampling loop.
-    m.energy_samples_j.push_back(
-        meter.measure(power, iter_s * factor).joules);
+  }
+
+  // ---- artifact writes: trace, metrics snapshot, run manifest ----
+  if (want_obs) {
+    measure_span.reset();  // close the root span before serialising
+    if (want_trace) {
+      obs::set_tracing_enabled(false);  // stop recording into the file walk
+      (void)obs::write_chrome_trace(options.trace_path);
+    }
+    const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+    if (!options.metrics_path.empty()) {
+      (void)snap.write_file(options.metrics_path);
+    }
+    if (!options.manifest_path.empty()) {
+      obs::RunManifest manifest;
+      manifest.benchmark = m.benchmark;
+      manifest.size = dwarfs::to_string(size);
+      manifest.device = m.device;
+      manifest.dispatch = xcl::to_string(options.dispatch);
+      manifest.seed = options.seed;
+      manifest.git_describe = obs::git_describe();
+      manifest.timestamp = obs::utc_timestamp();
+      manifest.samples = m.time_samples_ms.size();
+      manifest.loop_iterations = m.loop_iterations;
+      const scibench::Summary t = m.time_summary();
+      manifest.time_mean_ms = t.mean;
+      manifest.time_median_ms = t.median;
+      manifest.time_cov = t.cov();
+      manifest.energy_median_j = m.energy_summary().median;
+      manifest.validated = m.validated;
+      manifest.validation_ok = m.validation.ok;
+      manifest.trace_path = options.trace_path;
+      manifest.metrics_path = options.metrics_path;
+      (void)manifest.write_json(options.manifest_path, snap);
+    }
   }
   return m;
 }

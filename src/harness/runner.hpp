@@ -52,6 +52,14 @@ struct MeasureOptions {
   /// functional pass under a CheckSession (DESIGN.md §10) and attaches the
   /// resulting CheckReport to the Measurement.  Restored afterwards.
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  /// Observability sinks (DESIGN.md §11); empty = disabled, zero overhead.
+  /// When trace_path is set the group runs with the trace recorder on and
+  /// writes a Chrome trace_event JSON there; metrics_path receives a
+  /// process-metrics snapshot (.tsv suffix for TSV, JSON otherwise);
+  /// manifest_path receives the run manifest with the metrics embedded.
+  std::string trace_path;
+  std::string metrics_path;
+  std::string manifest_path;
 };
 
 /// Per-kernel aggregate over one application iteration.

@@ -1,0 +1,56 @@
+// Run manifest (DESIGN.md §11): a machine-readable, self-describing record
+// of one measurement — what ran, where, with what configuration, what came
+// out, and where the companion artifacts (trace, metrics) live.  Modeled on
+// the self-describing run artifacts GEMMbench and the HPCC FPGA suite argue
+// reproducible benchmarking requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace eod::obs {
+
+struct RunManifest {
+  // Identity: what was measured.
+  std::string benchmark;
+  std::string size;
+  std::string device;
+  std::string dispatch;  ///< kernel tier the functional pass ran under
+  std::uint64_t seed = 0;
+
+  // Provenance.
+  std::string git_describe;  ///< `git describe --always --dirty` or "unknown"
+  std::string timestamp;     ///< ISO-8601 UTC wall time of the write
+
+  // Sample statistics of the measurement group.
+  std::size_t samples = 0;
+  std::size_t loop_iterations = 0;
+  double time_mean_ms = 0.0;
+  double time_median_ms = 0.0;
+  double time_cov = 0.0;
+  double energy_median_j = 0.0;
+  bool validated = false;
+  bool validation_ok = false;
+
+  // Companion artifacts (empty = not written).
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Serialises the manifest (embedding `metrics` under "metrics") to
+  /// `path`.  Returns false when the file cannot be written.
+  bool write_json(const std::string& path,
+                  const MetricsSnapshot& metrics) const;
+
+  [[nodiscard]] std::string to_json(const MetricsSnapshot& metrics) const;
+};
+
+/// Result of `git describe --always --dirty` in the current directory,
+/// cached for the process; "unknown" when git or the repo is unavailable.
+[[nodiscard]] const std::string& git_describe();
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SSZ".
+[[nodiscard]] std::string utc_timestamp();
+
+}  // namespace eod::obs

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <variant>
+
+namespace eod::obs {
+
+namespace {
+
+using Instrument =
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                 std::unique_ptr<Histogram>>;
+
+struct MetricsRegistry {
+  std::mutex mu;
+  std::map<std::string, Instrument, std::less<>> instruments;
+};
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: refs are forever
+  return *r;
+}
+
+template <typename T>
+T& find_or_create(std::string_view name, const char* kind_name) {
+  MetricsRegistry& r = registry();
+  std::scoped_lock lock(r.mu);
+  auto it = r.instruments.find(name);
+  if (it == r.instruments.end()) {
+    it = r.instruments
+             .emplace(std::string(name), Instrument{std::make_unique<T>()})
+             .first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<T>>(&it->second);
+  if (slot == nullptr) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind than " +
+                           kind_name);
+  }
+  return **slot;
+}
+
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return find_or_create<Counter>(name, "counter");
+}
+
+Gauge& gauge(std::string_view name) {
+  return find_or_create<Gauge>(name, "gauge");
+}
+
+Histogram& histogram(std::string_view name) {
+  return find_or_create<Histogram>(name, "histogram");
+}
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsRegistry& r = registry();
+  std::scoped_lock lock(r.mu);
+  MetricsSnapshot snap;
+  snap.samples.reserve(r.instruments.size());
+  for (const auto& [name, inst] : r.instruments) {
+    MetricSample s;
+    s.name = name;
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+      s.kind = MetricSample::Kind::kCounter;
+      s.count = (*c)->value();
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+      s.kind = MetricSample::Kind::kGauge;
+      s.gauge = (*g)->value();
+    } else {
+      const auto& h = *std::get<std::unique_ptr<Histogram>>(inst);
+      s.kind = MetricSample::Kind::kHistogram;
+      s.count = h.count();
+      s.sum = h.sum();
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (const std::uint64_t n = h.bucket(i); n != 0) {
+          s.buckets.emplace_back(i, n);
+        }
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void reset_metrics() {
+  MetricsRegistry& r = registry();
+  std::scoped_lock lock(r.mu);
+  for (auto& [_, inst] : r.instruments) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+      (*c)->reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+      (*g)->reset();
+    } else {
+      std::get<std::unique_ptr<Histogram>>(inst)->reset();
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_tsv() const {
+  std::string out = "name\tkind\tvalue\tsum\tbuckets\n";
+  for (const MetricSample& s : samples) {
+    out += s.name;
+    out += '\t';
+    out += kind_name(s.kind);
+    out += '\t';
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kHistogram:
+        out += std::to_string(s.count);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += std::to_string(s.gauge);
+        break;
+    }
+    out += '\t';
+    out += std::to_string(s.sum);
+    out += '\t';
+    bool first = true;
+    for (const auto& [bucket, n] : s.buckets) {
+      if (!first) out += ' ';
+      first = false;
+      out += std::to_string(Histogram::bucket_floor(bucket));
+      out += ':';
+      out += std::to_string(n);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"metrics\":{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"";
+    out += json_escape(s.name);
+    out += "\":{\"kind\":\"";
+    out += kind_name(s.kind);
+    out += '"';
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += ",\"value\":" + std::to_string(s.count);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += ",\"value\":" + std::to_string(s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += ",\"count\":" + std::to_string(s.count);
+        out += ",\"sum\":" + std::to_string(s.sum);
+        out += ",\"buckets\":{";
+        bool bfirst = true;
+        for (const auto& [bucket, n] : s.buckets) {
+          if (!bfirst) out += ',';
+          bfirst = false;
+          out += '"';
+          out += std::to_string(Histogram::bucket_floor(bucket));
+          out += "\":" + std::to_string(n);
+        }
+        out += '}';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+bool MetricsSnapshot::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  const bool tsv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".tsv") == 0;
+  f << (tsv ? to_tsv() : to_json());
+  return f.good();
+}
+
+}  // namespace eod::obs

@@ -1,0 +1,150 @@
+// Process metrics registry (DESIGN.md §11): named monotonic counters,
+// gauges, and log₂-bucket histograms registered on first use and snapshot-
+// able at any point.  Instruments are owned by the registry and never
+// destroyed, so hot paths hold plain references obtained once:
+//
+//   static obs::Counter& c = obs::counter("executor.groups_span");
+//   c.add(1);
+//
+// All mutation is relaxed-atomic: increments from any number of threads are
+// race-free, and a snapshot observes a (possibly slightly stale) consistent
+// total per instrument — the usual trade for lock-free counters.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eod::obs {
+
+/// Monotonic counter (resets only via reset()).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value / high-water gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  /// Monotone raise: keeps the maximum of all set_max() calls.
+  void set_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log₂-bucket histogram over unsigned values (latencies in ns, sizes in
+/// bytes…).  Bucket 0 holds the value 0; bucket i (i >= 1) holds
+/// [2^(i-1), 2^i), i.e. bucket_of(v) = bit_width(v).  65 buckets cover the
+/// full uint64 range with no saturation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive lower bound of bucket i; inverts bucket_of at the boundary
+  /// (bucket_of(bucket_floor(i)) == i for every bucket).
+  static constexpr std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Registers (or finds) an instrument by name.  A name is bound to exactly
+/// one instrument kind for the process lifetime; re-registering under a
+/// different kind throws std::logic_error.  References stay valid forever.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// One snapshot row.  Histograms carry their non-empty buckets only.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  ///< counter value / histogram sample count
+  std::int64_t gauge = 0;
+  std::uint64_t sum = 0;  ///< histogram value sum
+  /// (bucket index, count) pairs for non-empty histogram buckets.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  /// name<TAB>kind<TAB>value rows (histograms add sum + bucket columns).
+  [[nodiscard]] std::string to_tsv() const;
+  /// {"metrics":{name:{...}, ...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Convenience: writes TSV when `path` ends in ".tsv", JSON otherwise.
+  bool write_file(const std::string& path) const;
+};
+
+/// Snapshot of every registered instrument, sorted by name.
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every registered instrument (registrations persist).
+void reset_metrics();
+
+/// Escapes a string for embedding in a JSON literal (shared by the metrics
+/// and manifest writers).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace eod::obs

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "xcl/thread_pool.hpp"
 
 namespace eod::sim {
+
+namespace {
+
+// Replay-engine instruments (DESIGN.md §11): page-buffer fan-outs and the
+// coalesced entries they carried, accumulated process-wide.
+obs::Counter& g_pages_coalesced = obs::counter("replay.pages_coalesced");
+obs::Counter& g_coalesced_entries = obs::counter("replay.coalesced_entries");
+obs::Counter& g_replay_passes = obs::counter("replay.passes");
+
+}  // namespace
 
 void TraceWriter::flush() {
   if (coalesced_sink_ != nullptr) {
@@ -130,6 +142,10 @@ class FanOutSink final : public CoalescedSink {
 
   void consume(const CoalescedAccess* page, std::size_t n) override {
     if (n == 0) return;
+    g_pages_coalesced.add(1);
+    g_coalesced_entries.add(static_cast<std::int64_t>(n));
+    obs::TraceSpan span("replay:page", "replay", "entries",
+                        static_cast<double>(n));
     page_ = page;
     n_ = n;
     pool_.parallel_for(units_.size(), body_);
@@ -196,6 +212,10 @@ std::vector<ReplayMemoEntry> replay_hierarchies(
 
   std::uint64_t accesses = 0;
   for (int pass = 0; pass < 2; ++pass) {
+    g_replay_passes.add(1);
+    obs::TraceSpan pass_span(pass == 0 ? "replay:cold" : "replay:warm",
+                             "replay", "units",
+                             static_cast<double>(units.size()));
     if (pass == 1) {
       for (auto& hier : hierarchies) hier->reset();
     }

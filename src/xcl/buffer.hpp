@@ -15,7 +15,9 @@
 
 #include <cstring>
 #include <span>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "xcl/check/checked_view.hpp"
@@ -44,7 +46,9 @@ class Buffer {
   ~Buffer() { release(); }
 
   Buffer(Buffer&& other) noexcept
-      : ctx_(other.ctx_), store_(std::move(other.store_)) {
+      : ctx_(other.ctx_),
+        store_(std::move(other.store_)),
+        name_(std::move(other.name_)) {
     // The vector's heap block (the shadow-map key) moves with it; no
     // checker notification needed.
     other.ctx_ = nullptr;
@@ -58,6 +62,7 @@ class Buffer {
       release();
       ctx_ = other.ctx_;
       store_ = std::move(other.store_);
+      name_ = std::move(other.name_);
       other.ctx_ = nullptr;
     }
     return *this;
@@ -67,6 +72,15 @@ class Buffer {
 
   [[nodiscard]] std::size_t bytes() const noexcept { return store_.size(); }
   [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+
+  /// Optional human-readable name used in transfer-event labels and traces
+  /// ("write:centroids[16KiB]").  Returns *this for fluent creation:
+  ///   Buffer b = make_buffer<float>(ctx, n).named("centroids");
+  Buffer& named(std::string name) {
+    name_ = std::move(name);
+    return *this;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Typed view of the device storage for use inside kernels.  The element
   /// count is bytes()/sizeof(T); misaligned sizes are rejected.
@@ -119,6 +133,7 @@ class Buffer {
 
   Context* ctx_;
   std::vector<std::byte> store_;
+  std::string name_;
 };
 
 /// Convenience: create a buffer sized for `count` elements of T.

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "xcl/error.hpp"
 #include "xcl/executor.hpp"
 #include "xcl/kernel.hpp"
 
 namespace eod::xcl::check {
+
+namespace {
+
+// Checker instruments (DESIGN.md §11).
+obs::Counter& g_sessions = obs::counter("check.sessions");
+obs::Counter& g_launches_checked = obs::counter("check.launches_checked");
+obs::Counter& g_findings = obs::counter("check.findings");
+
+}  // namespace
 
 namespace detail {
 std::atomic<CheckSession*> g_active_session{nullptr};
@@ -23,9 +34,12 @@ CheckSession::CheckSession() {
   // must not route launches around the shadow-memory instrumentation.
   saved_dispatch_ = static_cast<std::uint8_t>(dispatch_mode());
   set_dispatch_mode(DispatchMode::kChecked);
+  g_sessions.add(1);
+  obs::emit_instant("check:session-begin", "check");
 }
 
 CheckSession::~CheckSession() {
+  obs::emit_instant("check:session-end", "check");
   set_dispatch_mode(static_cast<DispatchMode>(saved_dispatch_));
   detail::g_active_session.store(nullptr, std::memory_order_release);
 }
@@ -76,6 +90,7 @@ BufferShadow* CheckSession::shadow_for(const void* base, std::size_t bytes,
 
 void CheckSession::begin_launch(const Kernel& kernel) {
   ++launch_;
+  g_launches_checked.add(1);
   kernel_ = kernel.name();
   kernel_has_span_ = kernel.has_span();
   kernel_uses_barriers_ = kernel.barriers();
@@ -234,6 +249,8 @@ void CheckSession::record(FindingKind kind, const BufferShadow* shadow,
   f.item_b = item_b;
   f.epoch = item_ < barrier_counts_.size() ? barrier_counts_[item_] : 0;
   f.detail = std::move(detail);
+  g_findings.add(1);
+  obs::emit_instant("check:finding", "check");
   report_.add(std::move(f));
 }
 

@@ -4,11 +4,48 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "xcl/types.hpp"
 
 namespace eod::xcl {
+
+/// Human-readable byte count: "512B", "16KiB", "2.5MiB".
+[[nodiscard]] inline std::string format_bytes(std::size_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(v), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+/// Label for buffer-transfer events: tag + optional buffer name + size, e.g.
+/// "write:centroids[16KiB]" or "read[4KiB]" — self-explanatory in traces
+/// and figure reports without cross-referencing the enqueue site.
+[[nodiscard]] inline std::string transfer_label(const char* tag,
+                                                const std::string& buffer_name,
+                                                std::size_t bytes) {
+  std::string out = tag;
+  if (!buffer_name.empty()) {
+    out += ':';
+    out += buffer_name;
+  }
+  out += '[';
+  out += format_bytes(bytes);
+  out += ']';
+  return out;
+}
 
 enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead };
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "xcl/check/checked_exec.hpp"
 #include "xcl/check/session.hpp"
 #include "xcl/fiber.hpp"
@@ -17,12 +19,16 @@ namespace {
 // launches, never concurrently with one.
 std::atomic<DispatchMode> g_dispatch_mode{DispatchMode::kAuto};
 
-// Scratch-reuse observability (process-wide; per-group updates are relaxed).
-std::atomic<std::uint64_t> g_groups_loop{0};
-std::atomic<std::uint64_t> g_groups_fiber{0};
-std::atomic<std::uint64_t> g_groups_span{0};
-std::atomic<std::uint64_t> g_groups_checked{0};
-std::atomic<std::uint64_t> g_arena_hwm{0};
+// Tier observability now lives in the process metrics registry
+// (DESIGN.md §11); ExecutorStats is a typed view over these instruments.
+// The references are registry-owned and stable, so per-group updates stay
+// single relaxed atomic adds, exactly as the former file-local atomics.
+obs::Counter& g_groups_loop = obs::counter("executor.groups_loop");
+obs::Counter& g_groups_fiber = obs::counter("executor.groups_fiber");
+obs::Counter& g_groups_span = obs::counter("executor.groups_span");
+obs::Counter& g_groups_checked = obs::counter("executor.groups_checked");
+obs::Counter& g_launches = obs::counter("executor.ndrange_launches");
+obs::Gauge& g_arena_hwm = obs::gauge("executor.arena_bytes_hwm");
 
 // Per-thread executor scratch.  Pool workers are persistent threads, so the
 // arena storage and fiber stacks built for the first launches are reused by
@@ -44,10 +50,7 @@ WorkerScratch& worker_scratch() {
 void note_arena_use(WorkerScratch& ws) {
   const std::size_t used = ws.arena.used_bytes();
   if (used == 0) return;
-  std::uint64_t cur = g_arena_hwm.load(std::memory_order_relaxed);
-  while (cur < used && !g_arena_hwm.compare_exchange_weak(
-                           cur, used, std::memory_order_relaxed)) {
-  }
+  g_arena_hwm.set_max(static_cast<std::int64_t>(used));
 }
 
 struct GroupCoords {
@@ -163,6 +166,7 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
   const std::size_t local_mem = device.info().local_mem_bytes;
   const std::size_t group_items = range.group_items();
   ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  g_launches.add(1);
 
   // Checker tier (DESIGN.md §10): while a session is active every launch
   // runs serially through the shadow-memory instrumentation, regardless of
@@ -170,8 +174,10 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
   // session pointer, not the mode, is authoritative (kChecked without a
   // session degrades to the per-item reference path below).
   if (check::CheckSession* session = check::CheckSession::active()) {
+    obs::TraceSpan launch_span(kernel.name().c_str(), "launch:checked",
+                               "groups", static_cast<double>(groups));
     check::execute_checked(kernel, range, device, *session);
-    g_groups_checked.fetch_add(groups, std::memory_order_relaxed);
+    g_groups_checked.add(groups);
     return;
   }
 
@@ -181,9 +187,12 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
     const Kernel::SpanBody& body = kernel.span_body();
     const RangeKernelRef span = body;
     const std::size_t lx = range.local(0);
+    obs::TraceSpan launch_span(kernel.name().c_str(), "launch:span",
+                               "groups", static_cast<double>(groups));
     tp.parallel_for(groups, [span, lx](std::size_t flat) {
+      obs::TraceSpan group_span("group:span", "executor");
       span(flat * lx, (flat + 1) * lx);
-      g_groups_span.fetch_add(1, std::memory_order_relaxed);
+      g_groups_span.add(1);
     });
     return;
   }
@@ -193,17 +202,22 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
   static const std::function<void()> noop_barrier = [] {};
   const bool needs_fibers = kernel.barriers() && group_items > 1;
 
+  obs::TraceSpan launch_span(kernel.name().c_str(),
+                             needs_fibers ? "launch:fiber" : "launch:loop",
+                             "groups", static_cast<double>(groups));
   tp.parallel_for(groups, [&](std::size_t flat) {
+    obs::TraceSpan group_span(needs_fibers ? "group:fiber" : "group:loop",
+                              "executor");
     WorkerScratch& ws = worker_scratch();
     ws.arena.ensure_capacity(local_mem);
     const GroupCoords g = decode_group(range, flat);
     if (needs_fibers) {
       run_group_fibers(kernel, g, ws.arena, ws.fibers);
-      g_groups_fiber.fetch_add(1, std::memory_order_relaxed);
+      g_groups_fiber.add(1);
     } else {
       run_group_loop(kernel, g, ws.arena,
                      kernel.barriers() ? &noop_barrier : nullptr);
-      g_groups_loop.fetch_add(1, std::memory_order_relaxed);
+      g_groups_loop.add(1);
     }
     note_arena_use(ws);
   });
@@ -216,11 +230,11 @@ ExecutorStats executor_stats() {
   s.tasks_executed = pool.tasks_executed;
   s.chunks_claimed = pool.chunks_claimed;
   s.chunks_stolen = pool.chunks_stolen;
-  s.groups_loop = g_groups_loop.load(std::memory_order_relaxed);
-  s.groups_fiber = g_groups_fiber.load(std::memory_order_relaxed);
-  s.groups_span = g_groups_span.load(std::memory_order_relaxed);
-  s.groups_checked = g_groups_checked.load(std::memory_order_relaxed);
-  s.arena_bytes_hwm = g_arena_hwm.load(std::memory_order_relaxed);
+  s.groups_loop = g_groups_loop.value();
+  s.groups_fiber = g_groups_fiber.value();
+  s.groups_span = g_groups_span.value();
+  s.groups_checked = g_groups_checked.value();
+  s.arena_bytes_hwm = static_cast<std::uint64_t>(g_arena_hwm.value());
   s.fiber_stacks_created = fiber_stacks_created();
   s.fiber_stacks_reused = fiber_stacks_reused();
   return s;
@@ -228,11 +242,12 @@ ExecutorStats executor_stats() {
 
 void reset_executor_stats() {
   ThreadPool::global().reset_stats();
-  g_groups_loop.store(0, std::memory_order_relaxed);
-  g_groups_fiber.store(0, std::memory_order_relaxed);
-  g_groups_span.store(0, std::memory_order_relaxed);
-  g_groups_checked.store(0, std::memory_order_relaxed);
-  g_arena_hwm.store(0, std::memory_order_relaxed);
+  g_groups_loop.reset();
+  g_groups_fiber.reset();
+  g_groups_span.reset();
+  g_groups_checked.reset();
+  g_launches.reset();
+  g_arena_hwm.reset();
   reset_fiber_stack_counters();
 }
 

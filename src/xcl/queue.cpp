@@ -3,14 +3,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scibench/timer.hpp"
 
 namespace eod::xcl {
 
 namespace {
 
+// Queue-level instruments (DESIGN.md §11).  Histograms are recorded only
+// while timed metrics are on; the counters are relaxed adds on the rare
+// per-command (not per-group) path and stay unconditional.
+obs::Counter& g_q_kernels = obs::counter("queue.kernel_commands");
+obs::Counter& g_q_transfers = obs::counter("queue.transfer_commands");
+obs::Counter& g_q_bytes_written = obs::counter("queue.bytes_written");
+obs::Counter& g_q_bytes_read = obs::counter("queue.bytes_read");
+obs::Histogram& g_q_kernel_host_ns = obs::histogram("queue.kernel_host_ns");
+obs::Histogram& g_q_transfer_host_ns =
+    obs::histogram("queue.transfer_host_ns");
+
 // Folds the executor-counter delta of one launch into the queue's running
-// dispatch totals (the high-water mark is a max, not a sum).
+// dispatch totals.  All fields are delta-based: the high-water mark is only
+// folded in when it *rose during this command* — the global gauge keeps its
+// maximum across the whole process, so unconditionally max-ing it in would
+// leak another queue's (or an earlier run's) high-water mark into this
+// queue's per-queue stats.
 void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
                          const ExecutorStats& after) {
   total.launches += after.launches - before.launches;
@@ -21,8 +38,10 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
   total.groups_fiber += after.groups_fiber - before.groups_fiber;
   total.groups_span += after.groups_span - before.groups_span;
   total.groups_checked += after.groups_checked - before.groups_checked;
-  total.arena_bytes_hwm = std::max(total.arena_bytes_hwm,
-                                   after.arena_bytes_hwm);
+  if (after.arena_bytes_hwm > before.arena_bytes_hwm) {
+    total.arena_bytes_hwm =
+        std::max(total.arena_bytes_hwm, after.arena_bytes_hwm);
+  }
   total.fiber_stacks_created +=
       after.fiber_stacks_created - before.fiber_stacks_created;
   total.fiber_stacks_reused +=
@@ -30,6 +49,13 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
 }
 
 }  // namespace
+
+std::uint32_t Queue::obs_lane() {
+  if (obs_lane_ < 0) {
+    obs_lane_ = obs::alloc_device_lane("queue:" + device().info().name);
+  }
+  return static_cast<std::uint32_t>(obs_lane_);
+}
 
 Event Queue::enqueue(const Kernel& kernel, NDRange range,
                      const WorkloadProfile& profile) {
@@ -50,6 +76,14 @@ Event Queue::enqueue(const Kernel& kernel, NDRange range,
   const double dt = model.kernel_seconds(stats);
   const double watts = model.kernel_power_watts(stats);
 
+  g_q_kernels.add(1);
+  if (obs::timed_metrics_enabled()) g_q_kernel_host_ns.record(t1 - t0);
+  if (obs::tracing_enabled()) {
+    obs::emit_complete_arg(kernel.name().c_str(), "queue:kernel", t0, t1 - t0,
+                           "groups",
+                           static_cast<double>(range.num_groups()));
+  }
+
   Event e;
   e.kind = CommandKind::kKernel;
   e.label = kernel.name();
@@ -69,14 +103,22 @@ Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes) {
   check::on_host_write(dst.data(), 0, bytes);  // transfers initialize
   const std::uint64_t t1 = scibench::now_ns();
 
+  g_q_transfers.add(1);
+  g_q_bytes_written.add(static_cast<std::int64_t>(bytes));
+  if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+
   Event e;
   e.kind = CommandKind::kWrite;
-  e.label = "write";
+  e.label = transfer_label("write", dst.name(), bytes);
   e.modeled_start_s = now_s_;
   e.modeled_end_s =
       now_s_ + device().model().transfer_seconds(bytes,
                                                  TransferDir::kHostToDevice);
   e.host_ns = t1 - t0;
+  if (obs::tracing_enabled()) {
+    obs::emit_complete_arg(e.label.c_str(), "queue:transfer", t0, t1 - t0,
+                           "bytes", static_cast<double>(bytes));
+  }
   return push(e);
 }
 
@@ -88,14 +130,22 @@ Event Queue::read_bytes(const Buffer& src, void* dst, std::size_t bytes) {
   std::memcpy(dst, src.data(), bytes);
   const std::uint64_t t1 = scibench::now_ns();
 
+  g_q_transfers.add(1);
+  g_q_bytes_read.add(static_cast<std::int64_t>(bytes));
+  if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+
   Event e;
   e.kind = CommandKind::kRead;
-  e.label = "read";
+  e.label = transfer_label("read", src.name(), bytes);
   e.modeled_start_s = now_s_;
   e.modeled_end_s =
       now_s_ + device().model().transfer_seconds(bytes,
                                                  TransferDir::kDeviceToHost);
   e.host_ns = t1 - t0;
+  if (obs::tracing_enabled()) {
+    obs::emit_complete_arg(e.label.c_str(), "queue:transfer", t0, t1 - t0,
+                           "bytes", static_cast<double>(bytes));
+  }
   return push(e);
 }
 
@@ -106,10 +156,12 @@ Event Queue::enqueue_copy(const Buffer& src, Buffer& dst) {
     std::memcpy(dst.data(), src.data(), src.bytes());
     check::on_host_write(dst.data(), 0, src.bytes());
   }
-  return push_device_side_op("copy", 2 * src.bytes());  // read + write
+  return push_device_side_op(
+      transfer_label("copy", dst.name(), src.bytes()),
+      2 * src.bytes());  // read + write
 }
 
-Event Queue::push_device_side_op(const char* label, std::size_t bytes) {
+Event Queue::push_device_side_op(std::string label, std::size_t bytes) {
   // Device-side moves run at global-memory bandwidth, not over the host
   // interconnect; model them as a streaming launch of the right size.
   WorkloadProfile p;
@@ -123,7 +175,7 @@ Event Queue::push_device_side_op(const char* label, std::size_t bytes) {
   const double dt = device().model().kernel_seconds(stats);
   Event e;
   e.kind = CommandKind::kKernel;
-  e.label = label;
+  e.label = std::move(label);
   e.modeled_start_s = now_s_;
   e.modeled_end_s = now_s_ + dt;
   e.energy_j = device().model().kernel_power_watts(stats) * dt;
@@ -133,7 +185,21 @@ Event Queue::push_device_side_op(const char* label, std::size_t bytes) {
 Event& Queue::push(Event e) {
   now_s_ = e.modeled_end_s;
   events_.push_back(std::move(e));
-  return events_.back();
+  Event& back = events_.back();
+  // Mirror every command onto this queue's modeled-device lane (pid 2).
+  // Device timestamps are the virtual timeline in ns, deliberately not
+  // rebased against the host clock — the viewer shows them as a separate
+  // process, so the timebases never visually overlap.
+  if (obs::tracing_enabled()) {
+    obs::emit_complete_on(
+        obs::kDevicePid, obs_lane(), back.label.c_str(),
+        back.kind == CommandKind::kKernel ? "device:kernel"
+                                          : "device:transfer",
+        static_cast<std::uint64_t>(back.modeled_start_s * 1e9),
+        static_cast<std::uint64_t>(back.modeled_seconds() * 1e9), "energy_j",
+        back.energy_j);
+  }
+  return back;
 }
 
 double Queue::modeled_kernel_seconds() const noexcept {

@@ -47,7 +47,8 @@ class Queue {
     if (functional_) {
       for (auto& v : view) v = value;
     }
-    return push_device_side_op("fill", dst.bytes());
+    return push_device_side_op(
+        transfer_label("fill", dst.name(), dst.bytes()), dst.bytes());
   }
 
   /// Device-to-device copy (clEnqueueCopyBuffer).
@@ -111,14 +112,18 @@ class Queue {
  private:
   Event write_bytes(Buffer& dst, const void* src, std::size_t bytes);
   Event read_bytes(const Buffer& src, void* dst, std::size_t bytes);
-  Event push_device_side_op(const char* label, std::size_t bytes);
+  Event push_device_side_op(std::string label, std::size_t bytes);
   Event& push(Event e);
+  /// Lane id of this queue on the modeled-device trace track, allocated on
+  /// first traced command.
+  std::uint32_t obs_lane();
 
   Context* ctx_;
   double now_s_ = 0.0;  // device virtual timeline
   bool functional_ = true;
   bool record_launches_ = false;
   std::size_t kernels_since_sync_ = 0;
+  std::int64_t obs_lane_ = -1;
   std::vector<Event> events_;
   std::vector<KernelLaunchStats> launches_;
   ExecutorStats dispatch_stats_;

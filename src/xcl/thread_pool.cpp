@@ -1,11 +1,27 @@
 #include "xcl/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scibench/timer.hpp"
 
 namespace eod::xcl {
 
 namespace {
+
+// Process-wide pool metrics (registry-owned; see DESIGN.md §11).  These
+// accumulate across every pool instance -- unlike the per-pool Stats, they
+// are never reset by reset_stats(), only by obs::reset_metrics().
+obs::Counter& g_m_tasks = obs::counter("executor.tasks_executed");
+obs::Counter& g_m_claims = obs::counter("executor.chunks_claimed");
+obs::Counter& g_m_steals = obs::counter("executor.chunks_stolen");
+// Time from going dry on the own range to landing a successful steal;
+// recorded only while timed metrics are on (the clock reads are the cost).
+obs::Histogram& g_m_steal_latency =
+    obs::histogram("executor.steal_latency_ns");
 
 // The pool whose parallel_for body this thread is currently executing (as a
 // worker or as the helping caller); nested launches on the same pool run
@@ -86,6 +102,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(unsigned slot) {
+  {
+    char name[32];
+    std::snprintf(name, sizeof(name), "pool-worker-%u", slot);
+    obs::set_thread_lane_name(name);
+  }
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -144,11 +165,17 @@ void ThreadPool::participate(unsigned slot, std::uint64_t launch_epoch) {
     while (claim_front(slots_[slot].range, grain_, b, e)) {
       ++claims;
       tasks += e - b;
+      obs::TraceSpan span("claim", "pool", "items",
+                          static_cast<double>(e - b));
       run_span(slots_[slot], *body, b, e);
     }
     // Own range dry: sweep the other participants, restarting the sweep
     // after every successful steal (ranges only ever shrink, so one failed
-    // full sweep proves there is nothing left to claim).
+    // full sweep proves there is nothing left to claim).  Steal latency --
+    // dry-to-successful-steal -- is sampled only when timed metrics are on,
+    // keeping the clock reads off the plain dispatch path.
+    std::uint64_t dry_since =
+        obs::timed_metrics_enabled() ? scibench::now_ns() : 0;
     bool found = true;
     while (found) {
       found = false;
@@ -157,7 +184,17 @@ void ThreadPool::participate(unsigned slot, std::uint64_t launch_epoch) {
         if (claim_back_half(slots_[victim].range, b, e)) {
           ++steals;
           tasks += e - b;
-          run_span(slots_[slot], *body, b, e);
+          if (dry_since != 0) {
+            g_m_steal_latency.record(scibench::now_ns() - dry_since);
+          }
+          {
+            obs::TraceSpan span("steal", "pool", "items",
+                                static_cast<double>(e - b));
+            run_span(slots_[slot], *body, b, e);
+          }
+          // Dry again once the stolen chunk is done; the next successful
+          // steal's latency starts here, not inside the chunk's run time.
+          if (dry_since != 0) dry_since = scibench::now_ns();
           found = true;
           break;
         }
@@ -167,6 +204,9 @@ void ThreadPool::participate(unsigned slot, std::uint64_t launch_epoch) {
     stat_tasks_.fetch_add(tasks, std::memory_order_relaxed);
     stat_claims_.fetch_add(claims, std::memory_order_relaxed);
     stat_steals_.fetch_add(steals, std::memory_order_relaxed);
+    g_m_tasks.add(tasks);
+    g_m_claims.add(claims);
+    g_m_steals.add(steals);
   }
   {
     std::scoped_lock lock(done_mutex_);

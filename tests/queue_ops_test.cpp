@@ -1,10 +1,11 @@
-// Tests for the device-side buffer operations (fill/copy) and the
-// histogram utility.
+// Tests for the device-side buffer operations (fill/copy), transfer-event
+// labels, per-queue dispatch-stat isolation, and the histogram utility.
 #include <gtest/gtest.h>
 
 #include "scibench/histogram.hpp"
 #include "sim/testbed.hpp"
 #include "xcl/buffer.hpp"
+#include "xcl/executor.hpp"
 #include "xcl/queue.hpp"
 
 namespace eod::xcl {
@@ -46,6 +47,71 @@ TEST(QueueOps, CopyMovesDataAndModelsBandwidth) {
   EXPECT_LT(copy_s, pcie_s);
   Buffer small(ctx, 16);
   EXPECT_THROW(q.enqueue_copy(src, small), Error);
+}
+
+TEST(QueueOps, TransferLabelsCarryBufferNameAndSize) {
+  Context ctx(dev());
+  Queue q(ctx);
+  Buffer b = make_buffer<float>(ctx, 4096);  // 16 KiB
+  b.named("centroids");
+  std::vector<float> host(4096, 1.0f);
+  q.enqueue_write<float>(b, host);
+  EXPECT_EQ(q.events().back().label, "write:centroids[16KiB]");
+  q.enqueue_read<float>(b, host);
+  EXPECT_EQ(q.events().back().label, "read:centroids[16KiB]");
+  q.enqueue_fill(b, 0.0f);
+  EXPECT_EQ(q.events().back().label, "fill:centroids[16KiB]");
+
+  // Unnamed buffers keep the tag but still carry the size.
+  Buffer anon = make_buffer<float>(ctx, 128);  // 512 B
+  q.enqueue_write<float>(anon, std::span<const float>(host.data(), 128));
+  EXPECT_EQ(q.events().back().label, "write[512B]");
+  q.enqueue_copy(anon, b);
+  EXPECT_EQ(q.events().back().label, "copy:centroids[512B]");
+}
+
+TEST(QueueOps, FormatBytesRendersHumanUnits) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(16 * 1024), "16KiB");
+  EXPECT_EQ(format_bytes(5 * 1024 * 1024 / 2), "2.5MiB");
+  EXPECT_EQ(format_bytes(std::size_t{3} << 30), "3GiB");
+}
+
+TEST(QueueOps, DispatchStatsAreDeltaBasedPerQueue) {
+  Context ctx(sim::testbed_device("i7-6700K"));
+  WorkloadProfile p;
+  p.flops = 1.0;
+  p.bytes_read = 64.0;
+  p.bytes_written = 64.0;
+  p.working_set_bytes = 64.0;
+
+  // Queue A runs an arena-using kernel (raising the global arena gauge);
+  // queue B on the same context then runs an arena-free kernel.  B's stats
+  // must reflect only B's own launches — in particular, B must not inherit
+  // A's arena high-water mark from the process-wide gauge.
+  reset_executor_stats();  // a known gauge baseline for the HWM assertions
+  Queue qa(ctx);
+  Kernel scratch_k("scratch", [](WorkItem& it) {
+    auto scratch = it.local<int>(0, 64);
+    scratch[0] = static_cast<int>(it.global_id(0));
+  });
+  qa.enqueue(scratch_k, NDRange(64, 8), p);
+  EXPECT_EQ(qa.dispatch_stats().launches, 1u);
+  EXPECT_EQ(qa.dispatch_stats().groups_loop, 8u);
+  EXPECT_GE(qa.dispatch_stats().arena_bytes_hwm, 64 * sizeof(int));
+
+  Queue qb(ctx);
+  Kernel plain_k("plain", [](WorkItem&) {});
+  qb.enqueue(plain_k, NDRange(64, 8), p);
+  EXPECT_EQ(qb.dispatch_stats().launches, 1u);
+  EXPECT_EQ(qb.dispatch_stats().groups_loop, 8u);
+  // Regression: the global gauge still holds A's high-water mark, but B's
+  // own launch never touched the arena.
+  EXPECT_EQ(qb.dispatch_stats().arena_bytes_hwm, 0u);
+  // And A's totals are untouched by B's launch (no double-counting).
+  EXPECT_EQ(qa.dispatch_stats().launches, 1u);
+  EXPECT_EQ(qa.dispatch_stats().groups_loop, 8u);
 }
 
 TEST(QueueOps, NonFunctionalFillSkipsWrites) {
