@@ -60,6 +60,7 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   opts.validate = true;
   opts.reuse_setup = true;  // the app configured the dwarf itself
   opts.dispatch = cli.dispatch;
+  opts.queue_mode = cli.queue_mode;
   // Observability sinks (DESIGN.md §11): --trace / --metrics flags, with
   // EOD_TRACE=1 (or =path) as the no-recompile escape hatch.  Either sink
   // also produces the run manifest next to the process.
@@ -89,6 +90,10 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   std::cout << "transfers: " << m.transfer_seconds * 1e3
             << " ms/iteration; energy: " << m.energy_summary().median
             << " J\n";
+  std::cout << "pipeline span ("
+            << xcl::to_string(cli.queue_mode.value_or(
+                   xcl::default_queue_mode()))
+            << " queue): " << m.span_seconds * 1e3 << " ms/iteration\n";
   if (m.check_performed) {
     std::cout << m.check_report.to_text();
   }

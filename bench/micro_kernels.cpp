@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "scibench/timer.hpp"
 #include "sim/testbed.hpp"
 #include "xcl/executor.hpp"
@@ -49,8 +50,10 @@ struct ScopedDispatchMode {
 // Best rep, not the mean: the container shares one core, so any rep can
 // absorb an unrelated scheduling bubble and the mean under-reports both
 // tiers by different amounts; the fastest rep is the uncontended rate.
+// Raw per-rep samples are also kept for the BENCH_kernels.json percentiles.
 template <typename LaunchFn>
-double mitems_per_second(std::size_t items, LaunchFn&& launch) {
+double mitems_per_second(std::size_t items, LaunchFn&& launch,
+                         std::vector<double>* samples_ns = nullptr) {
   for (int i = 0; i < kWarmup; ++i) launch();
   std::uint64_t best = ~std::uint64_t{0};
   for (int i = 0; i < kReps; ++i) {
@@ -58,6 +61,9 @@ double mitems_per_second(std::size_t items, LaunchFn&& launch) {
     launch();
     const std::uint64_t t1 = scibench::now_ns();
     best = std::min(best, t1 - t0);
+    if (samples_ns != nullptr) {
+      samples_ns->push_back(static_cast<double>(t1 - t0));
+    }
   }
   return static_cast<double>(items) * 1e3 / static_cast<double>(best);
 }
@@ -117,6 +123,9 @@ struct TierRates {
   double fiber = 0.0;
   double loop = 0.0;
   double span = 0.0;
+  std::vector<double> fiber_ns;
+  std::vector<double> loop_ns;
+  std::vector<double> span_ns;
 };
 
 TierRates measure(const KernelSet& set, const xcl::Device& device) {
@@ -127,18 +136,21 @@ TierRates measure(const KernelSet& set, const xcl::Device& device) {
     ScopedDispatchMode mode(xcl::DispatchMode::kItem);
     const xcl::NDRange range(kFiberItems, kLocal);
     r.fiber = mitems_per_second(
-        kFiberItems, [&] { xcl::execute_ndrange(set.fiber, range, device); });
+        kFiberItems, [&] { xcl::execute_ndrange(set.fiber, range, device); },
+        &r.fiber_ns);
   }
   const xcl::NDRange range(kMemItems, kLocal);
   {
     ScopedDispatchMode mode(xcl::DispatchMode::kItem);
     r.loop = mitems_per_second(
-        kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); });
+        kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); },
+        &r.loop_ns);
   }
   {
     ScopedDispatchMode mode(xcl::DispatchMode::kSpan);
     r.span = mitems_per_second(
-        kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); });
+        kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); },
+        &r.span_ns);
   }
   return r;
 }
@@ -171,20 +183,21 @@ int main() {
     // normalization by timing over kComputeItems explicitly.
     ScopedDispatchMode mode(xcl::DispatchMode::kItem);
     const xcl::NDRange fiber_range(kFiberItems, kLocal);
-    fma_rates.fiber = mitems_per_second(kFiberItems, [&] {
-      xcl::execute_ndrange(fma.fiber, fiber_range, device);
-    });
+    fma_rates.fiber = mitems_per_second(
+        kFiberItems,
+        [&] { xcl::execute_ndrange(fma.fiber, fiber_range, device); },
+        &fma_rates.fiber_ns);
     const xcl::NDRange range(kComputeItems, kLocal);
-    fma_rates.loop = mitems_per_second(kComputeItems, [&] {
-      xcl::execute_ndrange(fma.plain, range, device);
-    });
+    fma_rates.loop = mitems_per_second(
+        kComputeItems, [&] { xcl::execute_ndrange(fma.plain, range, device); },
+        &fma_rates.loop_ns);
   }
   {
     ScopedDispatchMode mode(xcl::DispatchMode::kSpan);
     const xcl::NDRange range(kComputeItems, kLocal);
-    fma_rates.span = mitems_per_second(kComputeItems, [&] {
-      xcl::execute_ndrange(fma.plain, range, device);
-    });
+    fma_rates.span = mitems_per_second(
+        kComputeItems, [&] { xcl::execute_ndrange(fma.plain, range, device); },
+        &fma_rates.span_ns);
   }
   report("compute-bound", fma_rates);
 
@@ -193,6 +206,24 @@ int main() {
       "\nmemory-bound span/loop: %.2fx (target >= 5x); compute-bound "
       "span/loop: %.2fx (expected ~1x: real work dominates)\n",
       target, fma_rates.span / fma_rates.loop);
+
+  bench::BenchReport json("kernels");
+  json.config("device", device.info().name);
+  json.config("local", static_cast<double>(kLocal));
+  json.config("mem_items", static_cast<double>(kMemItems));
+  json.config("compute_items", static_cast<double>(kComputeItems));
+  json.metric("mem_fiber", mem_rates.fiber_ns);
+  json.metric("mem_loop", mem_rates.loop_ns);
+  json.metric("mem_span", mem_rates.span_ns);
+  json.metric("fma_fiber", fma_rates.fiber_ns);
+  json.metric("fma_loop", fma_rates.loop_ns);
+  json.metric("fma_span", fma_rates.span_ns);
+  json.value("mem_span_mitems_per_s", mem_rates.span);
+  json.value("mem_loop_mitems_per_s", mem_rates.loop);
+  json.value("fma_span_over_loop", fma_rates.span / fma_rates.loop);
+  json.speedup(target);
+  if (!json.write()) std::printf("warning: BENCH_kernels.json not written\n");
+
   const bool ok = target >= 5.0;
   std::printf("%s\n", ok ? "PASS: span tier removes per-item dispatch cost"
                          : "FAIL: target not met");

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "scibench/timer.hpp"
 #include "sim/testbed.hpp"
 #include "xcl/executor.hpp"
@@ -226,17 +227,23 @@ constexpr int kReps = 20;
 struct Run {
   double ns_per_group = 0.0;
   double allocs_per_launch = 0.0;
+  std::vector<double> launch_ns;  ///< per-rep samples for BENCH_launch.json
 };
 
 template <typename LaunchFn>
 Run time_launches(LaunchFn&& launch) {
   for (int i = 0; i < kWarmup; ++i) launch();
+  Run r;
+  r.launch_ns.reserve(kReps);
   const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
   const std::uint64_t t0 = scibench::now_ns();
-  for (int i = 0; i < kReps; ++i) launch();
+  for (int i = 0; i < kReps; ++i) {
+    const std::uint64_t s0 = scibench::now_ns();
+    launch();
+    r.launch_ns.push_back(static_cast<double>(scibench::now_ns() - s0));
+  }
   const std::uint64_t t1 = scibench::now_ns();
   const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
-  Run r;
   r.ns_per_group = static_cast<double>(t1 - t0) /
                    (static_cast<double>(kReps) * kGroups);
   r.allocs_per_launch =
@@ -313,6 +320,20 @@ int main() {
       "per-group dispatch-overhead reduction: loop %.2fx, fiber %.2fx "
       "(target >= 5x)\n",
       loop1.speedup(), fiber1.speedup());
+
+  eod::bench::BenchReport json("launch");
+  json.config("device", device.info().name);
+  json.config("groups", static_cast<double>(kGroups));
+  json.config("reps", static_cast<double>(kReps));
+  json.metric("seed_loop_x1", loop1.seed_run.launch_ns);
+  json.metric("ws_loop_x1", loop1.ws_run.launch_ns);
+  json.metric("seed_fiber_x1", fiber1.seed_run.launch_ns);
+  json.metric("ws_fiber_x1", fiber1.ws_run.launch_ns);
+  json.value("loop_x1_speedup", loop1.speedup());
+  json.value("fiber_x1_speedup", fiber1.speedup());
+  json.value("ws_allocs_per_group_worst", worst_allocs);
+  json.speedup(loop1.speedup());
+  if (!json.write()) std::printf("warning: BENCH_launch.json not written\n");
 
   const bool ok = loop1.speedup() >= 5.0 && fiber1.speedup() >= 5.0 &&
                   worst_allocs < 0.01;

@@ -85,9 +85,20 @@ class Gem final : public Dwarf {
  private:
   void place_surface_vertices();
 
+  /// One vertex-range tile of the potential kernel (tiled write-back,
+  /// DESIGN.md §12): finish() reads tile [begin, end) of the potential
+  /// buffer waiting only on that tile's kernel, so on an out-of-order
+  /// queue each tile's read-back overlaps the later tiles' compute.
+  struct Tile {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    xcl::Event kernel;
+  };
+
   Molecule mol_;
   std::vector<float> vx_, vy_, vz_;  // surface vertices
   std::vector<float> potential_;
+  std::vector<Tile> tiles_;  // filled by run(), consumed by finish()
 
   xcl::Queue* queue_ = nullptr;
   std::optional<xcl::Buffer> atoms_buf_;  // xyzq interleaved

@@ -73,20 +73,22 @@ void KMeans::bind(xcl::Context& ctx, xcl::Queue& q) {
   membership_buf_.emplace(ctx, membership_.size() * sizeof(std::int32_t));
   membership_buf_->named("membership");
   q.enqueue_write<float>(*feature_buf_, features_);
-  q.enqueue_write<float>(*cluster_buf_, centroids_);
+  centroid_write_ = q.enqueue_write<float>(*cluster_buf_, centroids_);
 }
 
-void KMeans::enqueue_assign() {
+xcl::Event KMeans::enqueue_assign(std::size_t begin, std::size_t end,
+                                  std::span<const xcl::Event> wait) {
   const std::size_t pn = params_.points;
   const unsigned fn = params_.features;
   const unsigned cn = params_.clusters;
+  const std::size_t span_n = end - begin;
   auto feats = feature_buf_->access<const float>("features");
   auto clus = cluster_buf_->access<const float>("clusters");
   auto member = membership_buf_->access<std::int32_t>("membership");
 
   xcl::Kernel assign("kmeans_assign", [=](xcl::WorkItem& it) {
-    const std::size_t i = it.global_id(0);
-    if (i >= pn) return;
+    const std::size_t i = begin + it.global_id(0);
+    if (i >= end) return;
     float best = HUGE_VALF;
     std::int32_t best_c = 0;
     for (unsigned c = 0; c < cn; ++c) {
@@ -106,11 +108,12 @@ void KMeans::enqueue_assign() {
   // Span tier (DESIGN.md §9): same arithmetic in the same order over the
   // group's contiguous point run, but one call per group and restrict-
   // qualified pointers so the feature-distance loop can vectorize.
-  assign.span([=](std::size_t begin, std::size_t end) {
+  assign.span([=](std::size_t lo, std::size_t hi) {
     const float* EOD_RESTRICT feat = feats.data();
     const float* EOD_RESTRICT cent = clus.data();
     std::int32_t* EOD_RESTRICT member_out = member.data();
-    for (std::size_t i = begin, last = std::min(end, pn); i < last; ++i) {
+    for (std::size_t i = begin + lo, last = std::min(begin + hi, end);
+         i < last; ++i) {
       float best = HUGE_VALF;
       std::int32_t best_c = 0;
       for (unsigned c = 0; c < cn; ++c) {
@@ -129,10 +132,13 @@ void KMeans::enqueue_assign() {
   });
 
   xcl::WorkloadProfile prof;
-  prof.flops = static_cast<double>(pn) * cn * (3.0 * fn);
-  prof.int_ops = static_cast<double>(pn) * cn * 2.0;
-  prof.bytes_read = static_cast<double>(pn) * fn * sizeof(float);
-  prof.bytes_written = static_cast<double>(pn) * sizeof(std::int32_t);
+  prof.flops = static_cast<double>(span_n) * cn * (3.0 * fn);
+  prof.int_ops = static_cast<double>(span_n) * cn * 2.0;
+  prof.bytes_read = static_cast<double>(span_n) * fn * sizeof(float);
+  prof.bytes_written = static_cast<double>(span_n) * sizeof(std::int32_t);
+  // Residency is governed by the whole pass, not the half: both halves run
+  // back-to-back over the same cache, so a half-launch never gains the
+  // cache fit the full point set lacks.
   prof.working_set_bytes = static_cast<double>(
       working_set_bytes(pn, fn, cn));
   // Each work-item scans its point's contiguous feature row: ideal for CPU
@@ -140,7 +146,9 @@ void KMeans::enqueue_assign() {
   // paper's "CPU execution times were comparable to GPU" observation.
   prof.pattern = xcl::AccessPattern::kRowPerItem;
   prof.parallel_fraction = 1.0;
-  queue_->enqueue(assign, xcl::NDRange(((pn + 63) / 64) * 64, 64), prof);
+  return queue_->enqueue(assign,
+                         xcl::NDRange(((span_n + 63) / 64) * 64, 64), prof,
+                         wait);
 }
 
 void KMeans::host_update_centroids() {
@@ -165,12 +173,33 @@ void KMeans::host_update_centroids() {
 }
 
 void KMeans::run() {
+  // Double-buffered rounds (DESIGN.md §12): the point range is split in
+  // half, each half's membership read-back waits only on its own assign
+  // kernel, so on an out-of-order queue the first half's read overlaps the
+  // second half's compute.  The centroid upload for the next round waits on
+  // both assign kernels (they read the centroid buffer), which is also the
+  // only edge the next round's kernels need.
+  const std::size_t pn = params_.points;
+  const std::size_t half = (pn + 1) / 2;  // ceil; a 1-point set has no tail
   for (unsigned round = 0; round < params_.rounds; ++round) {
-    enqueue_assign();
-    queue_->enqueue_read<std::int32_t>(*membership_buf_,
-                                       std::span(membership_));
+    const xcl::Event dep[] = {centroid_write_};
+    const xcl::Event a0 = enqueue_assign(0, half, dep);
+    const xcl::Event a1 = half < pn ? enqueue_assign(half, pn, dep) : a0;
+    const xcl::Event w0[] = {a0};
+    const xcl::Event w1[] = {a1};
+    const xcl::Event r0 = queue_->enqueue_read<std::int32_t>(
+        *membership_buf_, std::span(membership_).subspan(0, half), 0, w0);
+    xcl::Event r1 = r0;
+    if (half < pn) {
+      r1 = queue_->enqueue_read<std::int32_t>(
+          *membership_buf_, std::span(membership_).subspan(half), half, w1);
+    }
+    queue_->wait(r0);
+    queue_->wait(r1);
     if (queue_->functional()) host_update_centroids();
-    queue_->enqueue_write<float>(*cluster_buf_, centroids_);
+    const xcl::Event both[] = {a0, a1};
+    centroid_write_ = queue_->enqueue_write<float>(
+        *cluster_buf_, std::span<const float>(centroids_), both);
   }
 }
 
@@ -239,6 +268,7 @@ Validation KMeans::validate() {
 }
 
 void KMeans::unbind() {
+  centroid_write_ = {};  // its queue pointer dies with this binding
   membership_buf_.reset();
   cluster_buf_.reset();
   feature_buf_.reset();

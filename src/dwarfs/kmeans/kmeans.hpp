@@ -63,7 +63,12 @@ class KMeans final : public Dwarf {
   }
 
  private:
-  void enqueue_assign();
+  /// Enqueues the assign kernel over points [begin, end) after `wait`,
+  /// returning its event.  run() splits the point range in two so each
+  /// half's membership read-back overlaps the other half's compute on an
+  /// out-of-order queue (double-buffered write-back, DESIGN.md §12).
+  xcl::Event enqueue_assign(std::size_t begin, std::size_t end,
+                            std::span<const xcl::Event> wait);
   void host_update_centroids();
 
   Params params_;
@@ -73,6 +78,9 @@ class KMeans final : public Dwarf {
 
   xcl::Context* ctx_ = nullptr;
   xcl::Queue* queue_ = nullptr;
+  /// Last centroid upload; each round's assign kernels wait on it, which
+  /// is the only cross-round edge the dependency graph needs.
+  xcl::Event centroid_write_;
   std::optional<xcl::Buffer> feature_buf_;
   std::optional<xcl::Buffer> cluster_buf_;
   std::optional<xcl::Buffer> membership_buf_;

@@ -84,7 +84,7 @@ void Srad::run() {
   const std::size_t cols = extent_.cols;
   const float q0 = q0sqr_;
   const float lam = lambda_;
-  queue_->enqueue_write<float>(*j_buf_, j_in_);
+  const xcl::Event j_write = queue_->enqueue_write<float>(*j_buf_, j_in_);
 
   auto j = j_buf_->access<float>("j");
   auto c = c_buf_->access<float>("c");
@@ -93,10 +93,17 @@ void Srad::run() {
   auto dw = dw_buf_->access<float>("dw");
   auto de = de_buf_->access<float>("de");
 
-  xcl::Kernel srad1("srad_cuda_1", [=](xcl::WorkItem& it) {
-    const std::size_t idx = it.global_id(0);
-    if (idx >= rows * cols) return;
-    const std::size_t r = idx / cols;
+  // Halo-exchange decomposition (DESIGN.md §12): the grid is split into a
+  // top and bottom row band; each band's stencil kernel waits only on the
+  // kernels that produced the rows it reads (its own band plus the one
+  // halo row across the boundary).  The per-cell arithmetic is byte-
+  // identical to the whole-grid kernels, so results match the in-order
+  // path bit for bit -- only the expressed dependencies are finer.
+  auto make_srad1 = [=](std::size_t base, std::size_t limit) {
+    xcl::Kernel k("srad_cuda_1", [=](xcl::WorkItem& it) {
+      const std::size_t idx = base + it.global_id(0);
+      if (idx >= limit) return;
+      const std::size_t r = idx / cols;
     const std::size_t col = idx % cols;
     const std::size_t rn = r == 0 ? 0 : r - 1;
     const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
@@ -118,21 +125,20 @@ void Srad::run() {
     const float qsqr = num / (den1 * den1);
     const float den2 = (qsqr - q0) / (q0 * (1.0f + q0));
     c[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
-  });
+    });
 
-  // Span tier for both stencil passes: a contiguous run of flat cells per
-  // call; the six planes are distinct buffers, so every pointer is
-  // restrict-qualified and the interior cells vectorize.
-  srad1.span([=](std::size_t begin, std::size_t end) {
+    // Span tier for both stencil passes: a contiguous run of flat cells
+    // per call; the six planes are distinct buffers, so every pointer is
+    // restrict-qualified and the interior cells vectorize.
+    k.span([=](std::size_t lo, std::size_t hi) {
     const float* EOD_RESTRICT jp = j.data();
     float* EOD_RESTRICT cp = c.data();
     float* EOD_RESTRICT dnp = dn.data();
     float* EOD_RESTRICT dsp = ds.data();
     float* EOD_RESTRICT dwp = dw.data();
     float* EOD_RESTRICT dep = de.data();
-    const std::size_t total = rows * cols;
-    for (std::size_t idx = begin, last = std::min(end, total); idx < last;
-         ++idx) {
+    for (std::size_t idx = base + lo, last = std::min(base + hi, limit);
+         idx < last; ++idx) {
       const std::size_t r = idx / cols;
       const std::size_t col = idx % cols;
       const std::size_t rn = r == 0 ? 0 : r - 1;
@@ -156,33 +162,35 @@ void Srad::run() {
       const float den2 = (qsqr - q0) / (q0 * (1.0f + q0));
       cp[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
     }
-  });
+    });
+    return k;
+  };
 
-  xcl::Kernel srad2("srad_cuda_2", [=](xcl::WorkItem& it) {
-    const std::size_t idx = it.global_id(0);
-    if (idx >= rows * cols) return;
-    const std::size_t r = idx / cols;
-    const std::size_t col = idx % cols;
-    const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
-    const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
-    const float cc = c[idx];
-    const float cs = c[rs * cols + col];
-    const float cev = c[r * cols + ce];
-    const float d =
-        cc * dn[idx] + cs * ds[idx] + cc * dw[idx] + cev * de[idx];
-    j[idx] += 0.25f * lam * d;
-  });
+  auto make_srad2 = [=](std::size_t base, std::size_t limit) {
+    xcl::Kernel k("srad_cuda_2", [=](xcl::WorkItem& it) {
+      const std::size_t idx = base + it.global_id(0);
+      if (idx >= limit) return;
+      const std::size_t r = idx / cols;
+      const std::size_t col = idx % cols;
+      const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+      const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+      const float cc = c[idx];
+      const float cs = c[rs * cols + col];
+      const float cev = c[r * cols + ce];
+      const float d =
+          cc * dn[idx] + cs * ds[idx] + cc * dw[idx] + cev * de[idx];
+      j[idx] += 0.25f * lam * d;
+    });
 
-  srad2.span([=](std::size_t begin, std::size_t end) {
+    k.span([=](std::size_t lo, std::size_t hi) {
     float* EOD_RESTRICT jp = j.data();
     const float* EOD_RESTRICT cp = c.data();
     const float* EOD_RESTRICT dnp = dn.data();
     const float* EOD_RESTRICT dsp = ds.data();
     const float* EOD_RESTRICT dwp = dw.data();
     const float* EOD_RESTRICT dep = de.data();
-    const std::size_t total = rows * cols;
-    for (std::size_t idx = begin, last = std::min(end, total); idx < last;
-         ++idx) {
+    for (std::size_t idx = base + lo, last = std::min(base + hi, limit);
+         idx < last; ++idx) {
       const std::size_t r = idx / cols;
       const std::size_t col = idx % cols;
       const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
@@ -194,31 +202,69 @@ void Srad::run() {
           cc * dnp[idx] + cs * dsp[idx] + cc * dwp[idx] + cev * dep[idx];
       jp[idx] += 0.25f * lam * d;
     }
-  });
+    });
+    return k;
+  };
 
-  const double cells = static_cast<double>(rows) * cols;
-  xcl::WorkloadProfile p1;
-  p1.flops = cells * 22.0;
-  p1.int_ops = cells * 12.0;
-  p1.bytes_read = cells * 5 * sizeof(float);
-  p1.bytes_written = cells * 5 * sizeof(float);
-  p1.working_set_bytes = cells * 6 * sizeof(float);
-  p1.pattern = xcl::AccessPattern::kStencil;
+  // Streaming terms scale with the band; the working set stays the whole
+  // grid's six planes -- the two bands run over the same cache within one
+  // pass, so a band never gains a cache fit the full grid lacks.
+  const double all_cells = static_cast<double>(rows) * cols;
+  auto make_p1 = [all_cells](double cells) {
+    xcl::WorkloadProfile p;
+    p.flops = cells * 22.0;
+    p.int_ops = cells * 12.0;
+    p.bytes_read = cells * 5 * sizeof(float);
+    p.bytes_written = cells * 5 * sizeof(float);
+    p.working_set_bytes = all_cells * 6 * sizeof(float);
+    p.pattern = xcl::AccessPattern::kStencil;
+    return p;
+  };
+  auto make_p2 = [all_cells](double cells) {
+    xcl::WorkloadProfile p;
+    p.flops = cells * 8.0;
+    p.int_ops = cells * 10.0;
+    p.bytes_read = cells * 7 * sizeof(float);
+    p.bytes_written = cells * sizeof(float);
+    p.working_set_bytes = all_cells * 6 * sizeof(float);
+    p.pattern = xcl::AccessPattern::kStencil;
+    return p;
+  };
 
-  xcl::WorkloadProfile p2;
-  p2.flops = cells * 8.0;
-  p2.int_ops = cells * 10.0;
-  p2.bytes_read = cells * 7 * sizeof(float);
-  p2.bytes_written = cells * sizeof(float);
-  p2.working_set_bytes = cells * 6 * sizeof(float);
-  p2.pattern = xcl::AccessPattern::kStencil;
-
+  // Top band: rows [0, rows/2); bottom band: the rest.  Each srad1 band
+  // reads the j halo row across the boundary (written by the *other*
+  // band's srad2 of the previous iteration), and each srad2 band must
+  // follow both srad1 bands: srad2 overwrites j rows whose halo the other
+  // band's srad1 still reads, and srad2's own c halo row is produced by
+  // the neighbouring srad1.  Within a pass the two bands share no edges,
+  // so an out-of-order queue runs them concurrently.
   const std::size_t total = rows * cols;
+  const std::size_t band = (rows / 2) * cols;
   const std::size_t wg = 64;
-  const std::size_t global = (total + wg - 1) / wg * wg;
+  const xcl::Kernel srad1_top = make_srad1(0, band);
+  const xcl::Kernel srad1_bot = make_srad1(band, total);
+  const xcl::Kernel srad2_top = make_srad2(0, band);
+  const xcl::Kernel srad2_bot = make_srad2(band, total);
+  const xcl::WorkloadProfile p1_top = make_p1(static_cast<double>(band));
+  const xcl::WorkloadProfile p1_bot =
+      make_p1(static_cast<double>(total - band));
+  const xcl::WorkloadProfile p2_top = make_p2(static_cast<double>(band));
+  const xcl::WorkloadProfile p2_bot =
+      make_p2(static_cast<double>(total - band));
+  const xcl::NDRange range_top((band + wg - 1) / wg * wg, wg);
+  const xcl::NDRange range_bot((total - band + wg - 1) / wg * wg, wg);
+
+  xcl::Event s2_top = j_write;
+  xcl::Event s2_bot = j_write;
   for (unsigned iter = 0; iter < iterations_; ++iter) {
-    queue_->enqueue(srad1, xcl::NDRange(global, wg), p1);
-    queue_->enqueue(srad2, xcl::NDRange(global, wg), p2);
+    const xcl::Event prev[] = {s2_top, s2_bot};
+    const xcl::Event s1_top =
+        queue_->enqueue(srad1_top, range_top, p1_top, prev);
+    const xcl::Event s1_bot =
+        queue_->enqueue(srad1_bot, range_bot, p1_bot, prev);
+    const xcl::Event stage1[] = {s1_top, s1_bot};
+    s2_top = queue_->enqueue(srad2_top, range_top, p2_top, stage1);
+    s2_bot = queue_->enqueue(srad2_bot, range_bot, p2_bot, stage1);
   }
 }
 

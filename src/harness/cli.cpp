@@ -85,6 +85,13 @@ CliOptions parse_cli(int argc, const char* const* argv) {
             "bad --dispatch (auto|item|span|checked): " + v);
       }
       o.dispatch = *mode;
+    } else if (arg == "--queue") {
+      const std::string v = next(arg);
+      const auto mode = xcl::parse_queue_mode(v);
+      if (!mode.has_value()) {
+        throw std::invalid_argument("bad --queue (inorder|ooo): " + v);
+      }
+      o.queue_mode = *mode;
     } else if (arg == "--trace") {
       o.trace_path = next(arg);
     } else if (arg == "--metrics") {
@@ -102,12 +109,14 @@ std::string usage(const std::string& program) {
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
          "          [--long-table] [--dispatch auto|item|span|checked]\n"
-         "          [--trace FILE] [--metrics FILE]\n"
+         "          [--queue inorder|ooo] [--trace FILE] [--metrics FILE]\n"
          "device selection follows the paper's notation: -p <platform>\n"
          "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n"
          "--trace writes a chrome://tracing JSON; --metrics a process\n"
          "metrics snapshot (.tsv for TSV); either also writes manifest.json\n"
-         "(EOD_TRACE=1 enables tracing without the flag)\n";
+         "(EOD_TRACE=1 enables tracing without the flag)\n"
+         "--queue ooo lets dependency-expressed dwarfs overlap transfers\n"
+         "with compute (EOD_QUEUE=ooo sets the default without the flag)\n";
 }
 
 }  // namespace eod::harness

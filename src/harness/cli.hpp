@@ -12,6 +12,7 @@
 #include "dwarfs/common.hpp"
 #include "xcl/device.hpp"
 #include "xcl/executor.hpp"
+#include "xcl/queue.hpp"
 
 namespace eod::harness {
 
@@ -29,6 +30,9 @@ struct CliOptions {
   /// --dispatch auto|item|span: kernel-tier override for A/B runs
   /// (DESIGN.md §9); item pins the per-item reference path.
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  /// --queue inorder|ooo: measurement-queue execution mode (DESIGN.md §12).
+  /// Unset defers to default_queue_mode() (the EOD_QUEUE env hatch).
+  std::optional<xcl::QueueMode> queue_mode;
   /// --trace FILE: write a Chrome trace_event JSON of the run (DESIGN.md
   /// §11); empty = recorder off.  The EOD_TRACE env var is the no-recompile
   /// escape hatch apps consult when the flag is absent.

@@ -90,7 +90,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   }
 
   xcl::Context ctx(device);
-  xcl::Queue queue(ctx);
+  xcl::Queue queue(ctx, options.queue_mode);
   queue.set_functional(options.functional);
   queue.set_record_launches(options.collect_counters);
 
@@ -110,7 +110,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   // records kernel, setup and transfer segments via LibSciBench).
   std::map<std::string, KernelSegment> segs;
   for (const xcl::Event& e : queue.events()) {
-    if (e.kind == xcl::CommandKind::kKernel) {
+    if (xcl::is_device_side(e.kind)) {
       KernelSegment& s = segs[e.label];
       s.kernel = e.label;
       ++s.launches;
@@ -121,6 +121,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
     }
   }
   m.kernel_seconds = queue.modeled_kernel_seconds();
+  m.span_seconds = queue.modeled_span_seconds();
   for (auto& [_, s] : segs) m.segments.push_back(s);
 
   dwarf.finish();
@@ -242,6 +243,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
       manifest.size = dwarfs::to_string(size);
       manifest.device = m.device;
       manifest.dispatch = xcl::to_string(options.dispatch);
+      manifest.queue = xcl::to_string(queue.mode());
       manifest.seed = options.seed;
       manifest.git_describe = obs::git_describe();
       manifest.timestamp = obs::utc_timestamp();

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "sim/counters.hpp"
 #include "xcl/device.hpp"
 #include "xcl/executor.hpp"
+#include "xcl/queue.hpp"
 
 namespace eod::harness {
 
@@ -52,6 +54,12 @@ struct MeasureOptions {
   /// functional pass under a CheckSession (DESIGN.md §10) and attaches the
   /// resulting CheckReport to the Measurement.  Restored afterwards.
   xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  /// Queue execution mode for the measurement queue (the --queue= flag):
+  /// kInOrder serialises commands exactly as the paper's testbed drivers
+  /// did; kOutOfOrder lets dependency-expressed dwarfs overlap transfers
+  /// with compute (DESIGN.md §12).  nullopt defers to default_queue_mode()
+  /// (kInOrder unless the EOD_QUEUE env hatch says otherwise).
+  std::optional<xcl::QueueMode> queue_mode;
   /// Observability sinks (DESIGN.md §11); empty = disabled, zero overhead.
   /// When trace_path is set the group runs with the trace recorder on and
   /// writes a Chrome trace_event JSON there; metrics_path receives a
@@ -79,6 +87,10 @@ struct Measurement {
   /// Modeled per-iteration segment times, seconds.
   double kernel_seconds = 0.0;
   double transfer_seconds = 0.0;
+  /// Modeled end-to-end makespan of the iteration's command graph.  Equals
+  /// kernel_seconds + transfer_seconds on an in-order queue; smaller when
+  /// an out-of-order queue overlaps transfers with compute.
+  double span_seconds = 0.0;
   double energy_joules = 0.0;  ///< modeled device energy per iteration
   std::vector<KernelSegment> segments;
 

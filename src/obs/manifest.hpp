@@ -18,6 +18,7 @@ struct RunManifest {
   std::string size;
   std::string device;
   std::string dispatch;  ///< kernel tier the functional pass ran under
+  std::string queue;     ///< queue mode ("inorder" | "ooo")
   std::uint64_t seed = 0;
 
   // Provenance.

@@ -126,6 +126,12 @@ class Buffer {
   /// Returns context accounting and drops the checker shadow for the
   /// current allocation (no-op for a moved-from shell).
   void release() noexcept {
+    if (ctx_ != nullptr && !store_.empty()) {
+      // clReleaseMemObject semantics under deferred execution (DESIGN.md
+      // §12): commands still pending on the context's queues may reference
+      // this storage; run them before the memory goes away.
+      ctx_->drain_queues_for_buffer_release();
+    }
     if (!store_.empty()) check::on_buffer_release(store_.data());
     if (ctx_ != nullptr) ctx_->on_free(store_.size());
     ctx_ = nullptr;

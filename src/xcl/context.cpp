@@ -1,6 +1,9 @@
 #include "xcl/context.hpp"
 
+#include <algorithm>
+
 #include "xcl/error.hpp"
+#include "xcl/queue.hpp"
 
 namespace eod::xcl {
 
@@ -22,6 +25,35 @@ void Context::on_alloc(std::size_t bytes) {
 
 void Context::on_free(std::size_t bytes) noexcept {
   allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void Context::register_queue(Queue* q) {
+  const std::lock_guard<std::mutex> lock(queues_mu_);
+  queues_.push_back(q);
+}
+
+void Context::unregister_queue(Queue* q) noexcept {
+  const std::lock_guard<std::mutex> lock(queues_mu_);
+  queues_.erase(std::remove(queues_.begin(), queues_.end(), q),
+                queues_.end());
+}
+
+void Context::drain_queues_for_buffer_release() noexcept {
+  // Snapshot under the lock, drain outside it: a drained command could in
+  // principle release a buffer of this context and re-enter.
+  std::vector<Queue*> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(queues_mu_);
+    snapshot = queues_;
+  }
+  for (Queue* q : snapshot) {
+    try {
+      q->drain_pending();
+    } catch (...) {
+      // Deferred command errors cannot surface from a release path (a
+      // clReleaseMemObject analogue has no error channel for them).
+    }
+  }
 }
 
 }  // namespace eod::xcl

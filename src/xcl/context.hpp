@@ -7,10 +7,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <vector>
 
 #include "xcl/device.hpp"
 
 namespace eod::xcl {
+
+class Queue;
 
 class Context {
  public:
@@ -34,10 +38,23 @@ class Context {
   void on_alloc(std::size_t bytes);
   void on_free(std::size_t bytes) noexcept;
 
+  // Internal: Queue lifecycle (registered in its constructor, removed in
+  // its destructor).
+  void register_queue(Queue* q);
+  void unregister_queue(Queue* q) noexcept;
+  /// clReleaseMemObject semantics for deferred execution (DESIGN.md §12):
+  /// before a Buffer frees its storage, every queue of this context with
+  /// still-pending commands is drained, so no deferred closure can touch
+  /// released memory.  Errors raised by the drained commands are swallowed
+  /// (release paths must not throw); re-running via finish() re-raises.
+  void drain_queues_for_buffer_release() noexcept;
+
  private:
   const Device& device_;
   std::atomic<std::size_t> allocated_{0};
   std::atomic<std::size_t> peak_{0};
+  std::mutex queues_mu_;
+  std::vector<Queue*> queues_;
 };
 
 }  // namespace eod::xcl

@@ -20,6 +20,8 @@ const char* to_string(Status s) noexcept {
       return "MEM_OBJECT_ALLOCATION_FAILURE";
     case Status::kInvalidOperation:
       return "INVALID_OPERATION";
+    case Status::kInvalidEventWaitList:
+      return "INVALID_EVENT_WAIT_LIST";
   }
   return "UNKNOWN_STATUS";
 }

@@ -1,10 +1,17 @@
 // Profiling events (cl_event analogue).  Every queue operation returns one,
 // carrying both the *modeled* device time (what the paper's figures plot)
 // and the actual host wall time of the functional execution.
+//
+// Events double as dependency handles: any enqueue accepts a wait list of
+// previously returned Events (clEnqueue*'s event_wait_list), and the queue's
+// command scheduler will not start a command before every waited-on command
+// has completed.  An Event's `id` identifies the command process-wide;
+// `enqueue_index` is its position in the owning queue's enqueue stream.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 
 #include "xcl/types.hpp"
@@ -47,7 +54,7 @@ namespace eod::xcl {
   return out;
 }
 
-enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead };
+enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead, kCopy, kFill };
 
 [[nodiscard]] constexpr const char* to_string(CommandKind k) noexcept {
   switch (k) {
@@ -57,9 +64,29 @@ enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead };
       return "write";
     case CommandKind::kRead:
       return "read";
+    case CommandKind::kCopy:
+      return "copy";
+    case CommandKind::kFill:
+      return "fill";
   }
   return "unknown";
 }
+
+/// True for commands that move bytes over the host<->device link (and thus
+/// occupy the queue's modeled *transfer* lane).  Copies and fills move bytes
+/// too, but at device-memory bandwidth: they are device-side work and share
+/// the kernel lane.
+[[nodiscard]] constexpr bool is_link_transfer(CommandKind k) noexcept {
+  return k == CommandKind::kWrite || k == CommandKind::kRead;
+}
+
+/// True for commands the device itself executes (kernel-lane occupants whose
+/// modeled time counts as kernel/device time, not interconnect time).
+[[nodiscard]] constexpr bool is_device_side(CommandKind k) noexcept {
+  return !is_link_transfer(k);
+}
+
+class Queue;
 
 struct Event {
   CommandKind kind = CommandKind::kKernel;
@@ -68,6 +95,18 @@ struct Event {
   double modeled_end_s = 0;   ///< device virtual-timeline end
   std::uint64_t host_ns = 0;  ///< wall time of the functional execution
   double energy_j = 0;        ///< modeled device energy for this command
+  /// Process-unique command id (1-based; 0 = a null/default event that is
+  /// rejected in wait lists).  Ids are allocated in enqueue order across all
+  /// queues, so a wait list can only ever point backwards — the command
+  /// graph is acyclic by construction.
+  std::uint64_t id = 0;
+  /// Position of this command in its queue's enqueue stream (0-based).
+  /// Queue::events() reports history in *completion* order; this field keys
+  /// it back to program order for figure drivers and replay tooling.
+  std::uint64_t enqueue_index = 0;
+  /// The queue the command was enqueued on (non-owning; valid while that
+  /// queue is alive).  Cross-queue waits use it to locate the dependency.
+  Queue* queue = nullptr;
 
   [[nodiscard]] double modeled_seconds() const noexcept {
     return modeled_end_s - modeled_start_s;
@@ -76,5 +115,11 @@ struct Event {
     return modeled_seconds() * 1e3;
   }
 };
+
+/// Explicitly empty wait list: "this command depends on nothing".  Passing
+/// it to an out-of-order queue declares the command independent, unlike the
+/// overloads without a wait list, which preserve the implicit program-order
+/// chain (so un-annotated code is correct in either queue mode).
+inline constexpr std::span<const Event> kNoWait{};
 
 }  // namespace eod::xcl

@@ -1,11 +1,16 @@
 #include "xcl/queue.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "scibench/timer.hpp"
+#include "xcl/check/session.hpp"
+#include "xcl/thread_pool.hpp"
 
 namespace eod::xcl {
 
@@ -16,11 +21,20 @@ namespace {
 // per-command (not per-group) path and stay unconditional.
 obs::Counter& g_q_kernels = obs::counter("queue.kernel_commands");
 obs::Counter& g_q_transfers = obs::counter("queue.transfer_commands");
+obs::Counter& g_q_copies = obs::counter("queue.copy_commands");
+obs::Counter& g_q_fills = obs::counter("queue.fill_commands");
 obs::Counter& g_q_bytes_written = obs::counter("queue.bytes_written");
 obs::Counter& g_q_bytes_read = obs::counter("queue.bytes_read");
 obs::Histogram& g_q_kernel_host_ns = obs::histogram("queue.kernel_host_ns");
 obs::Histogram& g_q_transfer_host_ns =
     obs::histogram("queue.transfer_host_ns");
+
+// Process-wide command id allocator.  Ids are handed out in enqueue order
+// across all queues and never reused, so any *real* event in a wait list has
+// an id strictly below the command being enqueued — the dependency graph is
+// acyclic by construction, and a forward-pointing id can only come from a
+// forged event (rejected with kInvalidEventWaitList).
+std::atomic<std::uint64_t> g_next_event_id{1};
 
 // Folds the executor-counter delta of one launch into the queue's running
 // dispatch totals.  All fields are delta-based: the high-water mark is only
@@ -48,7 +62,72 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
       after.fiber_stacks_reused - before.fiber_stacks_reused;
 }
 
+[[nodiscard]] const char* device_trace_cat(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kKernel:
+      return "device:kernel";
+    case CommandKind::kWrite:
+    case CommandKind::kRead:
+      return "device:transfer";
+    case CommandKind::kCopy:
+      return "device:copy";
+    case CommandKind::kFill:
+      return "device:fill";
+  }
+  return "device:unknown";
+}
+
 }  // namespace
+
+const char* to_string(QueueMode mode) noexcept {
+  return mode == QueueMode::kOutOfOrder ? "ooo" : "inorder";
+}
+
+std::optional<QueueMode> parse_queue_mode(std::string_view name) noexcept {
+  if (name == "inorder" || name == "in-order") return QueueMode::kInOrder;
+  if (name == "ooo" || name == "out-of-order" || name == "outoforder") {
+    return QueueMode::kOutOfOrder;
+  }
+  return std::nullopt;
+}
+
+QueueMode default_queue_mode() noexcept {
+  static const QueueMode mode = [] {
+    if (const char* v = std::getenv("EOD_QUEUE")) {
+      if (auto parsed = parse_queue_mode(v)) return *parsed;
+    }
+    return QueueMode::kInOrder;
+  }();
+  return mode;
+}
+
+Queue::Queue(Context& ctx, std::optional<QueueMode> mode)
+    : ctx_(&ctx), mode_(mode.value_or(default_queue_mode())) {
+  ctx_->register_queue(this);
+}
+
+Queue::~Queue() {
+  ctx_->unregister_queue(this);
+  // clReleaseCommandQueue performs an implicit flush; never throw from here.
+  try {
+    drain(0);
+  } catch (...) {
+  }
+}
+
+void Queue::drain_pending() {
+  if (!pending_.empty()) drain(0);
+}
+
+bool Queue::eager() const noexcept {
+  // The shadow-memory checker validates one command at a time against a
+  // serial reference; concurrent drains would race its shadow state, so an
+  // active session pins every queue to eager in-enqueue-order execution —
+  // always a correct linearization of the DAG, since wait lists only point
+  // backwards.
+  return mode_ == QueueMode::kInOrder ||
+         check::CheckSession::active() != nullptr;
+}
 
 std::uint32_t Queue::obs_lane() {
   if (obs_lane_ < 0) {
@@ -57,17 +136,273 @@ std::uint32_t Queue::obs_lane() {
   return static_cast<std::uint32_t>(obs_lane_);
 }
 
+std::uint32_t Queue::obs_transfer_lane() {
+  if (obs_transfer_lane_ < 0) {
+    obs_transfer_lane_ =
+        obs::alloc_device_lane("queue:" + device().info().name + " transfers");
+  }
+  return static_cast<std::uint32_t>(obs_transfer_lane_);
+}
+
+void Queue::emit_device_span(const Event& e) {
+  // Mirror every command onto this queue's modeled-device lanes (pid 2).
+  // Device timestamps are the virtual timeline in ns, deliberately not
+  // rebased against the host clock — the viewer shows them as a separate
+  // process, so the timebases never visually overlap.  An out-of-order
+  // queue splits link transfers onto a second lane so a transfer drawn
+  // under a kernel is visibly overlapping it.
+  if (!obs::tracing_enabled()) return;
+  std::uint32_t lane = obs_lane();
+  if (mode_ == QueueMode::kOutOfOrder && is_link_transfer(e.kind)) {
+    lane = obs_transfer_lane();
+  }
+  obs::emit_complete_on(
+      obs::kDevicePid, lane, e.label.c_str(), device_trace_cat(e.kind),
+      static_cast<std::uint64_t>(e.modeled_start_s * 1e9),
+      static_cast<std::uint64_t>(e.modeled_seconds() * 1e9), "energy_j",
+      e.energy_j);
+}
+
+bool Queue::has_pending(std::uint64_t id) const noexcept {
+  // pending_ is ordered by ascending id (enqueue order; drains preserve the
+  // relative order of survivors), so membership is a binary search.
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), id,
+      [](const PendingCmd& c, std::uint64_t v) { return c.id < v; });
+  return it != pending_.end() && it->id == id;
+}
+
+void Queue::resolve_wait_list(const std::span<const Event>* wait) {
+  if (wait == nullptr) return;
+  const std::uint64_t next = g_next_event_id.load(std::memory_order_relaxed);
+  for (const Event& w : *wait) {
+    require(w.id != 0, Status::kInvalidEventWaitList,
+            "null event in wait list");
+    require(w.id < next, Status::kInvalidEventWaitList,
+            "wait list references a not-yet-enqueued command");
+    // Cross-queue dependency: the queues' modeled timelines are distinct
+    // devices, so the wait is satisfied on the *host* — drain the foreign
+    // command (and its closure) here, before this command records.
+    if (w.queue != nullptr && w.queue != this && w.queue->has_pending(w.id)) {
+      w.queue->drain(w.id);
+    }
+  }
+}
+
+Event Queue::submit(Event e, double duration_s,
+                    const std::span<const Event>* wait,
+                    std::function<std::uint64_t()> exec) {
+  resolve_wait_list(wait);
+  e.id = g_next_event_id.fetch_add(1, std::memory_order_relaxed);
+  e.enqueue_index = next_enqueue_index_++;
+  e.queue = this;
+
+  // Modeled placement.  In-order: one contiguous chain, exactly the
+  // pre-DAG timeline.  Out-of-order: the command becomes ready when its
+  // dependencies end (implicit chain = the previously enqueued command) and
+  // starts when its lane — kernel-side work vs link transfers — is also
+  // free.  Durations are mode-independent; only placement changes.
+  std::vector<std::uint64_t> deps;
+  double ready_s = 0.0;
+  const bool ooo = mode_ == QueueMode::kOutOfOrder;
+  if (!ooo) {
+    ready_s = chain_end_s_;
+  } else if (wait == nullptr) {
+    // No wait list: the command joins the implicit program-order chain,
+    // which is a barrier over *everything* enqueued before it — code that
+    // never mentions events must observe in-order semantics even after an
+    // explicit-DAG section forked the pending graph.  Modeled readiness is
+    // therefore the furthest end seen so far, and execution must wait on
+    // every still-pending command, not only the previous one.
+    ready_s = now_s_;
+    deps.reserve(pending_.size());
+    for (const PendingCmd& c : pending_) deps.push_back(c.id);
+  } else {
+    for (const Event& w : *wait) {
+      if (w.queue != this) continue;  // foreign: host-synchronised above
+      ready_s = std::max(ready_s, w.modeled_end_s);
+      if (has_pending(w.id)) deps.push_back(w.id);
+    }
+  }
+  double& lane_end = (ooo && is_link_transfer(e.kind)) ? transfer_lane_end_s_
+                                                       : kernel_lane_end_s_;
+  const double start_s = ooo ? std::max(ready_s, lane_end) : chain_end_s_;
+  e.modeled_start_s = start_s;
+  e.modeled_end_s = start_s + duration_s;
+  lane_end = e.modeled_end_s;
+  chain_end_s_ = e.modeled_end_s;
+  now_s_ = std::max(now_s_, e.modeled_end_s);
+
+  events_.push_back(std::move(e));
+  completion_dirty_ = true;
+  Event& recorded = events_.back();
+  emit_device_span(recorded);
+
+  if (eager()) {
+    // A checker session may activate mid-stream; flush anything the queue
+    // deferred before it so execution order stays a DAG linearization.
+    if (!pending_.empty()) drain(0);
+    const ExecutorStats before = executor_stats();
+    if (exec) recorded.host_ns = exec();
+    accumulate_dispatch(dispatch_stats_, before, executor_stats());
+    return recorded;
+  }
+
+  PendingCmd cmd;
+  cmd.id = recorded.id;
+  cmd.event_index = events_.size() - 1;
+  cmd.deps = std::move(deps);
+  cmd.exec = std::move(exec);
+  pending_.push_back(std::move(cmd));
+  return recorded;
+}
+
+void Queue::drain(std::uint64_t target_id) {
+  if (pending_.empty()) return;
+
+  // Select the commands to run: everything (target 0) or the target's
+  // transitive same-queue dependency closure.
+  std::vector<char> selected(pending_.size(), 0);
+  if (target_id == 0) {
+    std::fill(selected.begin(), selected.end(), 1);
+  } else {
+    auto index_of = [this](std::uint64_t id) -> std::ptrdiff_t {
+      auto it = std::lower_bound(
+          pending_.begin(), pending_.end(), id,
+          [](const PendingCmd& c, std::uint64_t v) { return c.id < v; });
+      if (it == pending_.end() || it->id != id) return -1;
+      return it - pending_.begin();
+    };
+    const std::ptrdiff_t root = index_of(target_id);
+    if (root < 0) return;  // already executed
+    std::vector<std::size_t> stack{static_cast<std::size_t>(root)};
+    selected[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      for (std::uint64_t dep : pending_[i].deps) {
+        const std::ptrdiff_t j = index_of(dep);
+        if (j >= 0 && !selected[static_cast<std::size_t>(j)]) {
+          selected[static_cast<std::size_t>(j)] = 1;
+          stack.push_back(static_cast<std::size_t>(j));
+        }
+      }
+    }
+  }
+
+  // Detach the selection from the pending list before running it: commands
+  // being drained are no longer "pending", and any survivor's edge into the
+  // drained set now reads as satisfied.
+  std::vector<PendingCmd> cmds;
+  std::vector<PendingCmd> rest;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    (selected[i] ? cmds : rest).push_back(std::move(pending_[i]));
+  }
+  pending_ = std::move(rest);
+
+  std::unordered_map<std::uint64_t, std::size_t> position;
+  position.reserve(cmds.size());
+  for (std::size_t i = 0; i < cmds.size(); ++i) position.emplace(cmds[i].id, i);
+
+  // Kahn-style wave release: every command whose in-set dependencies have
+  // completed runs in the current wave.  A single-command wave runs on the
+  // calling thread, so the kernel inside keeps the ThreadPool's full
+  // group-level parallelism; a multi-command wave fans the commands out over
+  // the pool and each kernel's nested parallel_for then runs inline — the
+  // pool parallelises across commands instead of within one.
+  const ExecutorStats before = executor_stats();
+  std::vector<char> done(cmds.size(), 0);
+  std::size_t executed = 0;
+  std::vector<std::size_t> wave;
+  while (executed < cmds.size()) {
+    wave.clear();
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      for (std::uint64_t dep : cmds[i].deps) {
+        auto it = position.find(dep);
+        if (it != position.end() && !done[it->second]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) wave.push_back(i);
+    }
+    // Unreachable through the public API (ids only point backwards), but a
+    // corrupted graph must fail loudly rather than spin.
+    require(!wave.empty(), Status::kInvalidOperation,
+            "dependency cycle in command graph");
+    auto run_one = [&](std::size_t k) {
+      PendingCmd& c = cmds[wave[k]];
+      if (c.exec) events_[c.event_index].host_ns = c.exec();
+    };
+    if (wave.size() == 1) {
+      run_one(0);
+    } else {
+      ThreadPool::global().parallel_for(wave.size(), run_one);
+    }
+    for (std::size_t i : wave) done[i] = 1;
+    executed += wave.size();
+  }
+  accumulate_dispatch(dispatch_stats_, before, executor_stats());
+  completion_dirty_ = true;  // host_ns backfills invalidate the sorted view
+}
+
+void Queue::wait(const Event& e) {
+  if (e.id == 0) return;
+  if (e.queue == this) {
+    kernels_since_sync_ = 0;  // clWaitForEvents is a host synchronisation
+    if (has_pending(e.id)) drain(e.id);
+    return;
+  }
+  if (e.queue != nullptr) e.queue->wait(e);
+}
+
+double Queue::finish() {
+  drain(0);
+  kernels_since_sync_ = 0;
+  return now_s_;
+}
+
+void Queue::clear_events() {
+  drain(0);
+  events_.clear();
+  completion_order_.clear();
+  completion_dirty_ = false;
+  launches_.clear();
+  next_enqueue_index_ = 0;
+}
+
+const std::vector<Event>& Queue::events() const {
+  if (completion_dirty_) {
+    completion_order_ = events_;
+    std::stable_sort(completion_order_.begin(), completion_order_.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.modeled_end_s != b.modeled_end_s) {
+                         return a.modeled_end_s < b.modeled_end_s;
+                       }
+                       return a.enqueue_index < b.enqueue_index;
+                     });
+    completion_dirty_ = false;
+  }
+  return completion_order_;
+}
+
 Event Queue::enqueue(const Kernel& kernel, NDRange range,
                      const WorkloadProfile& profile) {
-  range.resolve_local(device().info().max_work_group_size);
+  return launch(kernel, range, profile, nullptr);
+}
 
-  const std::uint64_t t0 = scibench::now_ns();
-  if (functional_) {
-    const ExecutorStats before = executor_stats();
-    execute_ndrange(kernel, range, device());
-    accumulate_dispatch(dispatch_stats_, before, executor_stats());
-  }
-  const std::uint64_t t1 = scibench::now_ns();
+Event Queue::enqueue(const Kernel& kernel, NDRange range,
+                     const WorkloadProfile& profile,
+                     std::span<const Event> wait) {
+  return launch(kernel, range, profile, &wait);
+}
+
+Event Queue::launch(const Kernel& kernel, NDRange range,
+                    const WorkloadProfile& profile,
+                    const std::span<const Event>* wait) {
+  range.resolve_local(device().info().max_work_group_size);
 
   KernelLaunchStats stats{kernel.name(), range, profile,
                           kernels_since_sync_++};
@@ -77,91 +412,130 @@ Event Queue::enqueue(const Kernel& kernel, NDRange range,
   const double watts = model.kernel_power_watts(stats);
 
   g_q_kernels.add(1);
-  if (obs::timed_metrics_enabled()) g_q_kernel_host_ns.record(t1 - t0);
-  if (obs::tracing_enabled()) {
-    obs::emit_complete_arg(kernel.name().c_str(), "queue:kernel", t0, t1 - t0,
-                           "groups",
-                           static_cast<double>(range.num_groups()));
-  }
 
   Event e;
   e.kind = CommandKind::kKernel;
   e.label = kernel.name();
-  e.modeled_start_s = now_s_;
-  e.modeled_end_s = now_s_ + dt;
-  e.host_ns = t1 - t0;
   e.energy_j = watts * dt;
-  return push(e);
+  // Kernel, range and device are captured by value/pointer: execution may
+  // be deferred past the caller's scope in an out-of-order queue.
+  auto exec = [kernel, range, dev = &device(), label = e.label,
+               groups = static_cast<double>(range.num_groups()),
+               functional = functional_]() -> std::uint64_t {
+    const std::uint64_t t0 = scibench::now_ns();
+    if (functional) execute_ndrange(kernel, range, *dev);
+    const std::uint64_t t1 = scibench::now_ns();
+    if (obs::timed_metrics_enabled()) g_q_kernel_host_ns.record(t1 - t0);
+    if (obs::tracing_enabled()) {
+      obs::emit_complete_arg(label.c_str(), "queue:kernel", t0, t1 - t0,
+                             "groups", groups);
+    }
+    return t1 - t0;
+  };
+  return submit(std::move(e), dt, wait, std::move(exec));
 }
 
-Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes) {
+Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes,
+                         const std::span<const Event>* wait) {
   require(bytes <= dst.bytes(), Status::kInvalidBufferSize,
           "write exceeds buffer size");
-  kernels_since_sync_ = 0;  // blocking transfers synchronise the stream
-  const std::uint64_t t0 = scibench::now_ns();
-  std::memcpy(dst.data(), src, bytes);
-  check::on_host_write(dst.data(), 0, bytes);  // transfers initialize
-  const std::uint64_t t1 = scibench::now_ns();
+  const bool blocking = wait == nullptr;
+  if (blocking) kernels_since_sync_ = 0;  // blocking transfers synchronise
 
   g_q_transfers.add(1);
   g_q_bytes_written.add(static_cast<std::int64_t>(bytes));
-  if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+  const double dt =
+      device().model().transfer_seconds(bytes, TransferDir::kHostToDevice);
 
   Event e;
   e.kind = CommandKind::kWrite;
   e.label = transfer_label("write", dst.name(), bytes);
-  e.modeled_start_s = now_s_;
-  e.modeled_end_s =
-      now_s_ + device().model().transfer_seconds(bytes,
-                                                 TransferDir::kHostToDevice);
-  e.host_ns = t1 - t0;
-  if (obs::tracing_enabled()) {
-    obs::emit_complete_arg(e.label.c_str(), "queue:transfer", t0, t1 - t0,
-                           "bytes", static_cast<double>(bytes));
+  auto exec = [dptr = dst.data(), src, bytes,
+               label = e.label]() -> std::uint64_t {
+    const std::uint64_t t0 = scibench::now_ns();
+    std::memcpy(dptr, src, bytes);
+    check::on_host_write(dptr, 0, bytes);  // transfers initialize
+    const std::uint64_t t1 = scibench::now_ns();
+    if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+    if (obs::tracing_enabled()) {
+      obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
+                             "bytes", static_cast<double>(bytes));
+    }
+    return t1 - t0;
+  };
+  Event out = submit(std::move(e), dt, wait, std::move(exec));
+  if (blocking && has_pending(out.id)) {
+    drain(out.id);
+    out = events_.back();  // pick up the backfilled host_ns
   }
-  return push(e);
+  return out;
 }
 
-Event Queue::read_bytes(const Buffer& src, void* dst, std::size_t bytes) {
-  require(bytes <= src.bytes(), Status::kInvalidBufferSize,
+Event Queue::read_bytes(const Buffer& src, void* dst, std::size_t offset,
+                        std::size_t bytes,
+                        const std::span<const Event>* wait) {
+  require(offset + bytes <= src.bytes(), Status::kInvalidBufferSize,
           "read exceeds buffer size");
-  kernels_since_sync_ = 0;  // blocking transfers synchronise the stream
-  const std::uint64_t t0 = scibench::now_ns();
-  std::memcpy(dst, src.data(), bytes);
-  const std::uint64_t t1 = scibench::now_ns();
+  const bool blocking = wait == nullptr;
+  if (blocking) kernels_since_sync_ = 0;  // blocking transfers synchronise
 
   g_q_transfers.add(1);
   g_q_bytes_read.add(static_cast<std::int64_t>(bytes));
-  if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+  const double dt =
+      device().model().transfer_seconds(bytes, TransferDir::kDeviceToHost);
 
   Event e;
   e.kind = CommandKind::kRead;
   e.label = transfer_label("read", src.name(), bytes);
-  e.modeled_start_s = now_s_;
-  e.modeled_end_s =
-      now_s_ + device().model().transfer_seconds(bytes,
-                                                 TransferDir::kDeviceToHost);
-  e.host_ns = t1 - t0;
-  if (obs::tracing_enabled()) {
-    obs::emit_complete_arg(e.label.c_str(), "queue:transfer", t0, t1 - t0,
-                           "bytes", static_cast<double>(bytes));
+  const void* sptr = src.data() + offset;
+  auto exec = [sptr, dst, bytes, label = e.label]() -> std::uint64_t {
+    const std::uint64_t t0 = scibench::now_ns();
+    std::memcpy(dst, sptr, bytes);
+    const std::uint64_t t1 = scibench::now_ns();
+    if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+    if (obs::tracing_enabled()) {
+      obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
+                             "bytes", static_cast<double>(bytes));
+    }
+    return t1 - t0;
+  };
+  Event out = submit(std::move(e), dt, wait, std::move(exec));
+  if (blocking && has_pending(out.id)) {
+    drain(out.id);
+    out = events_.back();
   }
-  return push(e);
+  return out;
 }
 
 Event Queue::enqueue_copy(const Buffer& src, Buffer& dst) {
-  require(src.bytes() <= dst.bytes(), Status::kInvalidBufferSize,
-          "copy exceeds destination buffer");
-  if (functional_) {
-    std::memcpy(dst.data(), src.data(), src.bytes());
-    check::on_host_write(dst.data(), 0, src.bytes());
-  }
-  return push_device_side_op(
-      transfer_label("copy", dst.name(), src.bytes()),
-      2 * src.bytes());  // read + write
+  return copy_impl(src, dst, nullptr);
 }
 
-Event Queue::push_device_side_op(std::string label, std::size_t bytes) {
+Event Queue::enqueue_copy(const Buffer& src, Buffer& dst,
+                          std::span<const Event> wait) {
+  return copy_impl(src, dst, &wait);
+}
+
+Event Queue::copy_impl(const Buffer& src, Buffer& dst,
+                       const std::span<const Event>* wait) {
+  require(src.bytes() <= dst.bytes(), Status::kInvalidBufferSize,
+          "copy exceeds destination buffer");
+  std::function<void()> body;
+  if (functional_) {
+    body = [sptr = src.data(), dptr = dst.data(), bytes = src.bytes()] {
+      std::memcpy(dptr, sptr, bytes);
+      check::on_host_write(dptr, 0, bytes);
+    };
+  }
+  return device_side_op(CommandKind::kCopy,
+                        transfer_label("copy", dst.name(), src.bytes()),
+                        2 * src.bytes(),  // read + write
+                        std::move(body), wait);
+}
+
+Event Queue::device_side_op(CommandKind kind, std::string label,
+                            std::size_t bytes, std::function<void()> body,
+                            const std::span<const Event>* wait) {
   // Device-side moves run at global-memory bandwidth, not over the host
   // interconnect; model them as a streaming launch of the right size.
   WorkloadProfile p;
@@ -173,39 +547,26 @@ Event Queue::push_device_side_op(std::string label, std::size_t bytes) {
                                      1, bytes / sizeof(float))),
                           p, kernels_since_sync_++};
   const double dt = device().model().kernel_seconds(stats);
-  Event e;
-  e.kind = CommandKind::kKernel;
-  e.label = std::move(label);
-  e.modeled_start_s = now_s_;
-  e.modeled_end_s = now_s_ + dt;
-  e.energy_j = device().model().kernel_power_watts(stats) * dt;
-  return push(e);
-}
 
-Event& Queue::push(Event e) {
-  now_s_ = e.modeled_end_s;
-  events_.push_back(std::move(e));
-  Event& back = events_.back();
-  // Mirror every command onto this queue's modeled-device lane (pid 2).
-  // Device timestamps are the virtual timeline in ns, deliberately not
-  // rebased against the host clock — the viewer shows them as a separate
-  // process, so the timebases never visually overlap.
-  if (obs::tracing_enabled()) {
-    obs::emit_complete_on(
-        obs::kDevicePid, obs_lane(), back.label.c_str(),
-        back.kind == CommandKind::kKernel ? "device:kernel"
-                                          : "device:transfer",
-        static_cast<std::uint64_t>(back.modeled_start_s * 1e9),
-        static_cast<std::uint64_t>(back.modeled_seconds() * 1e9), "energy_j",
-        back.energy_j);
-  }
-  return back;
+  (kind == CommandKind::kCopy ? g_q_copies : g_q_fills).add(1);
+
+  Event e;
+  e.kind = kind;
+  e.label = std::move(label);
+  e.energy_j = device().model().kernel_power_watts(stats) * dt;
+  auto exec = [body = std::move(body)]() -> std::uint64_t {
+    if (!body) return 0;
+    const std::uint64_t t0 = scibench::now_ns();
+    body();
+    return scibench::now_ns() - t0;
+  };
+  return submit(std::move(e), dt, wait, std::move(exec));
 }
 
 double Queue::modeled_kernel_seconds() const noexcept {
   double s = 0.0;
   for (const Event& e : events_) {
-    if (e.kind == CommandKind::kKernel) s += e.modeled_seconds();
+    if (is_device_side(e.kind)) s += e.modeled_seconds();
   }
   return s;
 }
@@ -213,7 +574,7 @@ double Queue::modeled_kernel_seconds() const noexcept {
 double Queue::modeled_transfer_seconds() const noexcept {
   double s = 0.0;
   for (const Event& e : events_) {
-    if (e.kind != CommandKind::kKernel) s += e.modeled_seconds();
+    if (is_link_transfer(e.kind)) s += e.modeled_seconds();
   }
   return s;
 }
@@ -221,9 +582,20 @@ double Queue::modeled_transfer_seconds() const noexcept {
 double Queue::modeled_kernel_energy_j() const noexcept {
   double j = 0.0;
   for (const Event& e : events_) {
-    if (e.kind == CommandKind::kKernel) j += e.energy_j;
+    if (is_device_side(e.kind)) j += e.energy_j;
   }
   return j;
+}
+
+double Queue::modeled_span_seconds() const noexcept {
+  if (events_.empty()) return 0.0;
+  double lo = events_.front().modeled_start_s;
+  double hi = events_.front().modeled_end_s;
+  for (const Event& e : events_) {
+    lo = std::min(lo, e.modeled_start_s);
+    hi = std::max(hi, e.modeled_end_s);
+  }
+  return hi - lo;
 }
 
 }  // namespace eod::xcl

@@ -37,6 +37,7 @@ enum class Status : std::int32_t {
   kOutOfResources = -5,
   kMemObjectAllocationFailure = -4,
   kInvalidOperation = -59,
+  kInvalidEventWaitList = -57,
 };
 
 [[nodiscard]] const char* to_string(Status s) noexcept;

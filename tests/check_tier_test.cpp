@@ -281,6 +281,7 @@ TEST(CheckTier, CheckedModeWithoutSessionDegradesToItemPath) {
   });
   const ExecutorStats before = executor_stats();
   q.enqueue(k, NDRange(8, 8), tiny_profile());
+  q.finish();  // deferred under EOD_QUEUE=ooo; must run before the mode resets
   const ExecutorStats after = executor_stats();
   set_dispatch_mode(prev);
 

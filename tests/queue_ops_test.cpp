@@ -18,8 +18,9 @@ TEST(QueueOps, FillWritesEveryElement) {
   Queue q(ctx);
   Buffer b = make_buffer<float>(ctx, 1000);
   const Event e = q.enqueue_fill(b, 2.5f);
+  q.finish();  // fills defer in an out-of-order queue (EOD_QUEUE=ooo runs)
   for (const float v : b.view<const float>()) EXPECT_EQ(v, 2.5f);
-  EXPECT_EQ(e.kind, CommandKind::kKernel);  // device-side op
+  EXPECT_EQ(e.kind, CommandKind::kFill);
   EXPECT_GT(e.modeled_seconds(), 0.0);
   EXPECT_GT(e.energy_j, 0.0);
 }
@@ -37,7 +38,9 @@ TEST(QueueOps, CopyMovesDataAndModelsBandwidth) {
   Buffer src = make_buffer<int>(ctx, 4096);
   Buffer dst = make_buffer<int>(ctx, 4096);
   q.enqueue_fill(src, 7);
-  q.enqueue_copy(src, dst);
+  const Event copy = q.enqueue_copy(src, dst);
+  EXPECT_EQ(copy.kind, CommandKind::kCopy);
+  q.finish();  // device-side ops defer in an out-of-order queue
   for (const int v : dst.view<const int>()) EXPECT_EQ(v, 7);
   // A device-side copy must be far faster than a PCIe round trip of the
   // same bytes on a discrete GPU.
@@ -97,6 +100,7 @@ TEST(QueueOps, DispatchStatsAreDeltaBasedPerQueue) {
     scratch[0] = static_cast<int>(it.global_id(0));
   });
   qa.enqueue(scratch_k, NDRange(64, 8), p);
+  qa.finish();  // deferred under EOD_QUEUE=ooo; stats land at the sync
   EXPECT_EQ(qa.dispatch_stats().launches, 1u);
   EXPECT_EQ(qa.dispatch_stats().groups_loop, 8u);
   EXPECT_GE(qa.dispatch_stats().arena_bytes_hwm, 64 * sizeof(int));
@@ -104,6 +108,7 @@ TEST(QueueOps, DispatchStatsAreDeltaBasedPerQueue) {
   Queue qb(ctx);
   Kernel plain_k("plain", [](WorkItem&) {});
   qb.enqueue(plain_k, NDRange(64, 8), p);
+  qb.finish();
   EXPECT_EQ(qb.dispatch_stats().launches, 1u);
   EXPECT_EQ(qb.dispatch_stats().groups_loop, 8u);
   // Regression: the global gauge still holds A's high-water mark, but B's

@@ -59,10 +59,13 @@ RunOutcome run_once(const char* name, ProblemSize size,
   eod::xcl::Queue q(ctx);
   dwarf->bind(ctx, q);
 
+  // The delta brackets run() AND finish(): an out-of-order queue
+  // (EOD_QUEUE=ooo) defers kernel execution to the sync point inside
+  // finish(), so snapshotting after run() alone would miss every group.
   const eod::xcl::ExecutorStats before = eod::xcl::executor_stats();
   dwarf->run();
-  const eod::xcl::ExecutorStats after = eod::xcl::executor_stats();
   dwarf->finish();
+  const eod::xcl::ExecutorStats after = eod::xcl::executor_stats();
 
   RunOutcome out;
   out.ok = dwarf->validate().ok;

@@ -42,6 +42,7 @@ TEST(Kernel2D, IdsCoverTheFullGrid) {
         it.local_id(1) * 100 + it.local_id(0));
   });
   q.enqueue(k, NDRange(kW, kH, 16, 8), p());
+  q.finish();  // kernels defer in an out-of-order queue (EOD_QUEUE=ooo runs)
   for (std::size_t y = 0; y < kH; ++y) {
     for (std::size_t x = 0; x < kW; ++x) {
       const int want = static_cast<int>((y / 8) * 1000000 +
@@ -63,6 +64,7 @@ TEST(Kernel3D, GlobalSizesDecodeCorrectly) {
     EXPECT_EQ(it.num_groups(2), 2u);
   });
   q.enqueue(k, NDRange(8, 4, 2, 4, 2, 1), p());
+  q.finish();
   // sum over x<8, y<4, z<2 of x + 10y + 100z.
   long want = 0;
   for (int z = 0; z < 2; ++z) {
@@ -88,6 +90,7 @@ TEST(LocalArena, SlotsAreStableAndSizeChecked) {
   });
   k.uses_barriers();
   q.enqueue(k, NDRange(16, 16), p());
+  q.finish();
 }
 
 TEST(LocalArena, InconsistentSizeRejected) {
@@ -97,7 +100,12 @@ TEST(LocalArena, InconsistentSizeRejected) {
     // Different items request different sizes for the same slot.
     (void)it.local<float>(0, 8 + it.local_id(0));
   });
-  EXPECT_THROW(q.enqueue(k, NDRange(4, 4), p()), Error);
+  EXPECT_THROW(
+      {
+        q.enqueue(k, NDRange(4, 4), p());
+        q.finish();
+      },
+      Error);
 }
 
 TEST(LocalArena, SlotIndexBounds) {
@@ -106,7 +114,12 @@ TEST(LocalArena, SlotIndexBounds) {
   Kernel k("slot_oob", [](WorkItem& it) {
     (void)it.local<float>(LocalArena::kMaxSlots, 4);
   });
-  EXPECT_THROW(q.enqueue(k, NDRange(1, 1), p()), Error);
+  EXPECT_THROW(
+      {
+        q.enqueue(k, NDRange(1, 1), p());
+        q.finish();
+      },
+      Error);
 }
 
 TEST(QueueDepth, GrowsWithKernelsAndResetsOnSync) {
@@ -208,6 +221,7 @@ TEST(SpanTier, GroupsArriveAsContiguousRuns) {
     }
   });
   q.enqueue(k, NDRange(1024, 64), p());
+  q.finish();
   EXPECT_EQ(calls.load(), 16);
   for (std::size_t i = 0; i < kN; ++i) {
     EXPECT_EQ(view[i], static_cast<int>(i));
@@ -225,6 +239,7 @@ TEST(SpanTier, ItemOverridePinsTheReferencePath) {
   k.span([&](std::size_t, std::size_t) { FAIL() << "span under kItem"; });
   const ExecutorStats before = executor_stats();
   q.enqueue(k, NDRange(128, 64), p());
+  q.finish();
   EXPECT_EQ(item_calls.load(), 128);
   const ExecutorStats after = executor_stats();
   EXPECT_EQ(after.groups_span - before.groups_span, 0u);
@@ -239,6 +254,7 @@ TEST(SpanTier, MultiDimensionalRangesFallBackToPerItem) {
   k.span([&](std::size_t, std::size_t) { FAIL() << "span on a 2-D range"; });
   const ExecutorStats before = executor_stats();
   q.enqueue(k, NDRange(16, 4, 8, 4), p());
+  q.finish();
   EXPECT_EQ(item_calls.load(), 64);
   EXPECT_EQ(executor_stats().groups_span - before.groups_span, 0u);
 }
@@ -252,6 +268,7 @@ TEST(SpanTier, BarrierKernelWithSpanBodySkipsFibers) {
   k.span([&](std::size_t, std::size_t) { span_calls++; });
   const ExecutorStats before = executor_stats();
   q.enqueue(k, NDRange(64, 16), p());
+  q.finish();
   EXPECT_EQ(span_calls.load(), 4);
   const ExecutorStats after = executor_stats();
   EXPECT_EQ(after.groups_span - before.groups_span, 4u);

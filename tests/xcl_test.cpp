@@ -106,6 +106,7 @@ TEST(Queue, KernelExecutesAllWorkItems) {
     view[it.global_id(0)] = static_cast<int>(it.global_id(0)) * 2;
   });
   q.enqueue(k, NDRange(1024, 64), trivial_profile());
+  q.finish();  // kernels defer in an out-of-order queue (EOD_QUEUE=ooo runs)
   for (int i = 0; i < 1024; ++i) EXPECT_EQ(view[i], 2 * i);
 }
 
@@ -174,6 +175,7 @@ TEST(Executor, LocalMemorySharedWithinGroup) {
   });
   k.uses_barriers();
   q.enqueue(k, NDRange(128, 32), trivial_profile());
+  q.finish();
   for (std::size_t g = 0; g < 4; ++g) {
     for (std::size_t l = 0; l < 32; ++l) {
       EXPECT_EQ(view[g * 32 + l], static_cast<int>(g * 32 + (31 - l)));
@@ -186,7 +188,13 @@ TEST(Executor, BarrierOutsideBarrierKernelThrows) {
   Queue q(ctx);
   Kernel k("bad_barrier", [](WorkItem& it) { it.barrier(); });
   // uses_barriers() not set -> loop mode -> barrier() must be rejected.
-  EXPECT_THROW(q.enqueue(k, NDRange(64, 64), trivial_profile()), Error);
+  // An out-of-order queue surfaces the execution error at the sync point.
+  EXPECT_THROW(
+      {
+        q.enqueue(k, NDRange(64, 64), trivial_profile());
+        q.finish();
+      },
+      Error);
 }
 
 TEST(Executor, LocalAllocationOverflowDetected) {
@@ -196,7 +204,12 @@ TEST(Executor, LocalAllocationOverflowDetected) {
   Kernel k("local_overflow", [=](WorkItem& it) {
     (void)it.local<float>(0, local_mem);  // 4x the capacity in bytes
   });
-  EXPECT_THROW(q.enqueue(k, NDRange(8, 8), trivial_profile()), Error);
+  EXPECT_THROW(
+      {
+        q.enqueue(k, NDRange(8, 8), trivial_profile());
+        q.finish();
+      },
+      Error);
 }
 
 TEST(Executor, ExceptionsPropagateFromWorkItems) {
@@ -205,8 +218,13 @@ TEST(Executor, ExceptionsPropagateFromWorkItems) {
   Kernel k("thrower", [](WorkItem& it) {
     if (it.global_id(0) == 37) throw std::runtime_error("work-item 37");
   });
-  EXPECT_THROW(q.enqueue(k, NDRange(64, 8), trivial_profile()),
-               std::runtime_error);
+  // An out-of-order queue surfaces the execution error at the sync point.
+  EXPECT_THROW(
+      {
+        q.enqueue(k, NDRange(64, 8), trivial_profile());
+        q.finish();
+      },
+      std::runtime_error);
 }
 
 }  // namespace
