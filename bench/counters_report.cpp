@@ -25,11 +25,12 @@ int main(int argc, char** argv) {
 
   // --max-accesses N skips any trace whose size hint exceeds N (0, the
   // default, replays everything -- gem medium/large included).
-  // --dispatch=auto|item|span|checked pins the kernel tier for the
+  // --dispatch=auto|item|span|simd|checked pins the kernel tier for the
   // functional passes below (A/B dispatch measurement; counters are
-  // tier-invariant; checked adds the §10 shadow-memory report).
+  // tier-invariant; checked adds the §10 shadow-memory report).  The
+  // default honors the EOD_DISPATCH env hatch.
   std::size_t max_accesses = 0;
-  xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  xcl::DispatchMode dispatch = xcl::default_dispatch_mode();
   // --trace=FILE / --metrics=FILE record the whole report run (every
   // measure() call below) into one Chrome trace / metrics snapshot.
   std::string trace_path;
@@ -40,8 +41,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--dispatch=", 11) == 0) {
       const auto mode = xcl::parse_dispatch_mode(argv[i] + 11);
       if (!mode.has_value()) {
-        std::cerr << "bad --dispatch (auto|item|span|checked): "
-                  << argv[i] + 11 << '\n';
+        std::cerr << "bad --dispatch (" << xcl::dispatch_mode_names()
+                  << "): " << argv[i] + 11 << '\n';
         return 2;
       }
       dispatch = *mode;

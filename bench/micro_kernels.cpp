@@ -23,6 +23,7 @@
 #include "sim/testbed.hpp"
 #include "xcl/executor.hpp"
 #include "xcl/kernel.hpp"
+#include "xcl/simd.hpp"
 
 namespace {
 
@@ -91,6 +92,18 @@ KernelSet memory_bound(const float* x, float* y) {
     float* EOD_RESTRICT yp = y;
     for (std::size_t i = begin; i < end; ++i) yp[i] = a * xp[i] + yp[i];
   });
+  set.plain.simd([=](std::size_t begin, std::size_t end) {
+    namespace sv = eod::xcl::simd;
+    constexpr std::size_t W = sv::kLanes;
+    const float* EOD_RESTRICT xp = x;
+    float* EOD_RESTRICT yp = y;
+    const sv::vfloat av = sv::vbroadcast(a);
+    std::size_t i = begin;
+    for (; i + W <= end; i += W) {
+      sv::vstore(yp + i, av * sv::vload(xp + i) + sv::vload(yp + i));
+    }
+    for (; i < end; ++i) yp[i] = a * xp[i] + yp[i];
+  });
   return set;
 }
 
@@ -116,6 +129,25 @@ KernelSet compute_bound(const float* x, float* y) {
     float* EOD_RESTRICT yp = y;
     for (std::size_t i = begin; i < end; ++i) yp[i] = chain(xp[i]);
   });
+  // Explicit vectors break the per-item latency chain across lanes: each
+  // lane still runs its own dependent 64-FMA chain, but W of them advance
+  // per instruction -- unlike the memory-bound kernel, the simd win here is
+  // arithmetic throughput, not dispatch overhead.
+  set.plain.simd([=](std::size_t begin, std::size_t end) {
+    namespace sv = eod::xcl::simd;
+    constexpr std::size_t W = sv::kLanes;
+    const float* EOD_RESTRICT xp = x;
+    float* EOD_RESTRICT yp = y;
+    const sv::vfloat m = sv::vbroadcast(1.000001f);
+    const sv::vfloat c = sv::vbroadcast(0.5f);
+    std::size_t i = begin;
+    for (; i + W <= end; i += W) {
+      sv::vfloat v = sv::vload(xp + i);
+      for (int j = 0; j < kFmaDepth; ++j) v = v * m + c;
+      sv::vstore(yp + i, v);
+    }
+    for (; i < end; ++i) yp[i] = chain(xp[i]);
+  });
   return set;
 }
 
@@ -123,9 +155,11 @@ struct TierRates {
   double fiber = 0.0;
   double loop = 0.0;
   double span = 0.0;
+  double simd = 0.0;
   std::vector<double> fiber_ns;
   std::vector<double> loop_ns;
   std::vector<double> span_ns;
+  std::vector<double> simd_ns;
 };
 
 TierRates measure(const KernelSet& set, const xcl::Device& device) {
@@ -152,14 +186,22 @@ TierRates measure(const KernelSet& set, const xcl::Device& device) {
         kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); },
         &r.span_ns);
   }
+  {
+    ScopedDispatchMode mode(xcl::DispatchMode::kSimd);
+    r.simd = mitems_per_second(
+        kMemItems, [&] { xcl::execute_ndrange(set.plain, range, device); },
+        &r.simd_ns);
+  }
   return r;
 }
 
 void report(const char* name, const TierRates& r) {
   std::printf(
       "%-14s fiber %8.1f Mitems/s   loop %8.1f Mitems/s   span %8.1f "
-      "Mitems/s   span/loop %6.2fx   span/fiber %7.2fx\n",
-      name, r.fiber, r.loop, r.span, r.span / r.loop, r.span / r.fiber);
+      "Mitems/s   simd %8.1f Mitems/s   span/loop %6.2fx   simd/span "
+      "%6.2fx\n",
+      name, r.fiber, r.loop, r.span, r.simd, r.span / r.loop,
+      r.simd / r.span);
 }
 
 }  // namespace
@@ -199,6 +241,13 @@ int main() {
         kComputeItems, [&] { xcl::execute_ndrange(fma.plain, range, device); },
         &fma_rates.span_ns);
   }
+  {
+    ScopedDispatchMode mode(xcl::DispatchMode::kSimd);
+    const xcl::NDRange range(kComputeItems, kLocal);
+    fma_rates.simd = mitems_per_second(
+        kComputeItems, [&] { xcl::execute_ndrange(fma.plain, range, device); },
+        &fma_rates.simd_ns);
+  }
   report("compute-bound", fma_rates);
 
   const double target = mem_rates.span / mem_rates.loop;
@@ -212,15 +261,21 @@ int main() {
   json.config("local", static_cast<double>(kLocal));
   json.config("mem_items", static_cast<double>(kMemItems));
   json.config("compute_items", static_cast<double>(kComputeItems));
+  json.config("simd_lanes", static_cast<double>(xcl::simd::kLanes));
   json.metric("mem_fiber", mem_rates.fiber_ns);
   json.metric("mem_loop", mem_rates.loop_ns);
   json.metric("mem_span", mem_rates.span_ns);
+  json.metric("mem_simd", mem_rates.simd_ns);
   json.metric("fma_fiber", fma_rates.fiber_ns);
   json.metric("fma_loop", fma_rates.loop_ns);
   json.metric("fma_span", fma_rates.span_ns);
+  json.metric("fma_simd", fma_rates.simd_ns);
   json.value("mem_span_mitems_per_s", mem_rates.span);
   json.value("mem_loop_mitems_per_s", mem_rates.loop);
+  json.value("mem_simd_mitems_per_s", mem_rates.simd);
   json.value("fma_span_over_loop", fma_rates.span / fma_rates.loop);
+  json.value("fma_simd_over_span", fma_rates.simd / fma_rates.span);
+  json.value("mem_simd_over_span", mem_rates.simd / mem_rates.span);
   json.speedup(target);
   if (!json.write()) std::printf("warning: BENCH_kernels.json not written\n");
 

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "obs/trace.hpp"
 #include "scibench/timer.hpp"
 #include "sim/testbed.hpp"
@@ -101,6 +102,21 @@ int main() {
       "\ndisabled A/B delta: %.1f ns/group (noise bound %.1f)\n"
       "enabled tracing cost: %+.1f ns/group (%+.1f%%)\n",
       diff, bound, enabled_cost, 100.0 * enabled_cost / mean_off);
+
+  bench::BenchReport json("obs");
+  json.config("device", device.info().name);
+  json.config("groups", static_cast<double>(kGroups));
+  json.config("reps", static_cast<double>(kReps));
+  json.value("disabled_a_ns_per_group", off_a.ns_per_group);
+  json.value("disabled_b_ns_per_group", off_b.ns_per_group);
+  json.value("enabled_ns_per_group", on.ns_per_group);
+  json.value("disabled_ab_delta_ns", diff);
+  json.value("noise_bound_ns", bound);
+  json.value("enabled_cost_ns_per_group", enabled_cost);
+  // No timing speedup to report here; the headline is the enabled/disabled
+  // cost ratio so trajectory tooling sees tracing cost drift.
+  json.speedup(on.ns_per_group / mean_off);
+  if (!json.write()) std::printf("warning: BENCH_obs.json not written\n");
 
   const bool ok = diff <= bound;
   std::printf("%s\n", ok ? "PASS: disabled-mode tracing is free"

@@ -28,6 +28,29 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
+// Slice-by-8 tables (the simd tier's formulation, DESIGN.md §13): table k
+// advances a byte's contribution through k additional zero bytes, so eight
+// single-byte chain steps collapse into eight independent lookups XORed
+// together.  Pure GF(2) algebra over the same polynomial -- the resulting
+// CRC is the identical integer, not merely close, which is what lets the
+// simd body keep the bit-exactness contract without lane vectors.
+std::array<std::array<std::uint32_t, 256>, 8> build_slice_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  t[0] = build_table();
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = t[k - 1][i];
+      t[k][i] = (prev >> 8) ^ t[0][prev & 0xFFu];
+    }
+  }
+  return t;
+}
+
+const std::array<std::array<std::uint32_t, 256>, 8>& slice_tables() {
+  static const auto tables = build_slice_tables();
+  return tables;
+}
+
 }  // namespace
 
 std::size_t Crc::buffer_bytes_for(ProblemSize s) {
@@ -114,6 +137,44 @@ void Crc::run() {
       std::uint32_t c = 0xFFFFFFFFu;
       for (std::size_t i = begin; i < end; ++i) {
         c = tab[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+      }
+      crcs[page] = c ^ 0xFFFFFFFFu;
+    }
+  });
+
+  // Simd tier: slice-by-8.  The scalar chain serializes one table lookup
+  // per byte; slicing processes 8 bytes per step as eight independent
+  // lookups the core can issue in parallel.  Byte assembly into the two
+  // 32-bit words goes through explicit shifts, so the result is
+  // endian-independent and equal to the byte-at-a-time chain bit for bit.
+  kernel.simd([=](std::size_t page_begin, std::size_t page_end) {
+    const std::uint8_t* EOD_RESTRICT data = bytes.data();
+    const auto& t = slice_tables();
+    std::uint32_t* EOD_RESTRICT crcs = out.data();
+    for (std::size_t page = page_begin, last = std::min(page_end, n_pages);
+         page < last; ++page) {
+      const std::size_t begin = page * kPageBytes;
+      const std::size_t end = std::min(total, begin + kPageBytes);
+      std::uint32_t c = 0xFFFFFFFFu;
+      std::size_t i = begin;
+      for (; i + 8 <= end; i += 8) {
+        const std::uint32_t lo =
+            c ^ (static_cast<std::uint32_t>(data[i]) |
+                 static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                 static_cast<std::uint32_t>(data[i + 2]) << 16 |
+                 static_cast<std::uint32_t>(data[i + 3]) << 24);
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(data[i + 4]) |
+            static_cast<std::uint32_t>(data[i + 5]) << 8 |
+            static_cast<std::uint32_t>(data[i + 6]) << 16 |
+            static_cast<std::uint32_t>(data[i + 7]) << 24;
+        c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+            t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+            t[0][hi >> 24];
+      }
+      for (; i < end; ++i) {
+        c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
       }
       crcs[page] = c ^ 0xFFFFFFFFu;
     }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "xcl/kernel.hpp"
+#include "xcl/simd.hpp"
 
 namespace eod::dwarfs {
 
@@ -114,6 +115,67 @@ xcl::Event KMeans::enqueue_assign(std::size_t begin, std::size_t end,
     std::int32_t* EOD_RESTRICT member_out = member.data();
     for (std::size_t i = begin + lo, last = std::min(begin + hi, end);
          i < last; ++i) {
+      float best = HUGE_VALF;
+      std::int32_t best_c = 0;
+      for (unsigned c = 0; c < cn; ++c) {
+        float dist = 0.0f;
+        for (unsigned f = 0; f < fn; ++f) {
+          const float d = feat[i * fn + f] - cent[c * fn + f];
+          dist += d * d;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<std::int32_t>(c);
+        }
+      }
+      member_out[i] = best_c;
+    }
+  });
+
+  // Simd tier (DESIGN.md §13): W points per step.  The feature rows of the
+  // W points are transposed into per-feature lane vectors once, then every
+  // centroid is scanned with the same subtract/square/accumulate sequence
+  // the scalar body performs -- per lane the operation order is identical,
+  // so the distances (and the < comparisons deciding membership) are
+  // bit-exact.  The best/best_c running minimum uses mask selects, and the
+  // sub-W tail runs the scalar loop verbatim.
+  assign.simd([=](std::size_t lo, std::size_t hi) {
+    namespace sv = xcl::simd;
+    constexpr std::size_t W = sv::kLanes;
+    constexpr unsigned kMaxFeatures = 32;
+    const float* EOD_RESTRICT feat = feats.data();
+    const float* EOD_RESTRICT cent = clus.data();
+    std::int32_t* EOD_RESTRICT member_out = member.data();
+    std::size_t i = begin + lo;
+    const std::size_t last = std::min(begin + hi, end);
+    if (fn <= kMaxFeatures) {
+      sv::vfloat cols[kMaxFeatures];
+      for (; i + W <= last; i += W) {
+        for (unsigned f = 0; f < fn; ++f) {
+          for (std::size_t l = 0; l < W; ++l) {
+            cols[f][l] = feat[(i + l) * fn + f];
+          }
+        }
+        sv::vfloat best = sv::vbroadcast(HUGE_VALF);
+        sv::vint32 best_c = sv::vbroadcast_i32(0);
+        for (unsigned c = 0; c < cn; ++c) {
+          sv::vfloat dist = sv::vbroadcast(0.0f);
+          for (unsigned f = 0; f < fn; ++f) {
+            const sv::vfloat d = cols[f] - sv::vbroadcast(cent[c * fn + f]);
+            dist += d * d;
+          }
+          const sv::vint32 closer = sv::vlt(dist, best);
+          best = sv::vselect(closer, dist, best);
+          best_c = sv::vselect_i32(
+              closer, sv::vbroadcast_i32(static_cast<std::int32_t>(c)),
+              best_c);
+        }
+        for (std::size_t l = 0; l < W; ++l) {
+          member_out[i + l] = best_c[l];
+        }
+      }
+    }
+    for (; i < last; ++i) {
       float best = HUGE_VALF;
       std::int32_t best_c = 0;
       for (unsigned c = 0; c < cn; ++c) {

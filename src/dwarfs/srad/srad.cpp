@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "xcl/kernel.hpp"
+#include "xcl/simd.hpp"
 
 namespace eod::dwarfs {
 
@@ -163,6 +164,88 @@ void Srad::run() {
       cp[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
     }
     });
+
+    // Simd tier (DESIGN.md §13): W contiguous cells of one row at a time.
+    // A block is vectorized only when every lane is an interior column
+    // (the west/east clamps are no-ops) and the block does not cross a row
+    // boundary; edge cells take the scalar path below, which is the span
+    // body's loop verbatim.  Row clamps rn/rs are uniform across the
+    // block, so the north/south neighbours are plain shifted loads.  Every
+    // vector expression mirrors the scalar parse order, and the clamp is
+    // two mask selects with std::clamp's exact comparison semantics
+    // (including NaN and -0.0 pass-through).
+    k.simd([=](std::size_t lo, std::size_t hi) {
+      namespace sv = xcl::simd;
+      constexpr std::size_t W = sv::kLanes;
+      const float* EOD_RESTRICT jp = j.data();
+      float* EOD_RESTRICT cp = c.data();
+      float* EOD_RESTRICT dnp = dn.data();
+      float* EOD_RESTRICT dsp = ds.data();
+      float* EOD_RESTRICT dwp = dw.data();
+      float* EOD_RESTRICT dep = de.data();
+      const float den0 = q0 * (1.0f + q0);
+      const sv::vfloat half = sv::vbroadcast(0.5f);
+      const sv::vfloat sixteenth = sv::vbroadcast(1.0f / 16.0f);
+      const sv::vfloat quarter = sv::vbroadcast(0.25f);
+      const sv::vfloat one = sv::vbroadcast(1.0f);
+      const sv::vfloat zero = sv::vbroadcast(0.0f);
+      const sv::vfloat q0v = sv::vbroadcast(q0);
+      const sv::vfloat den0v = sv::vbroadcast(den0);
+      std::size_t idx = base + lo;
+      const std::size_t last = std::min(base + hi, limit);
+      while (idx < last) {
+        const std::size_t r = idx / cols;
+        const std::size_t col = idx % cols;
+        if (W > 1 && col >= 1 && col + W <= cols - 1 && idx + W <= last) {
+          const std::size_t rn = r == 0 ? 0 : r - 1;
+          const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+          const sv::vfloat jc = sv::vload(jp + idx);
+          const sv::vfloat n = sv::vload(jp + rn * cols + col) - jc;
+          const sv::vfloat s = sv::vload(jp + rs * cols + col) - jc;
+          const sv::vfloat w = sv::vload(jp + idx - 1) - jc;
+          const sv::vfloat e = sv::vload(jp + idx + 1) - jc;
+          sv::vstore(dnp + idx, n);
+          sv::vstore(dsp + idx, s);
+          sv::vstore(dwp + idx, w);
+          sv::vstore(dep + idx, e);
+          const sv::vfloat g2 =
+              (n * n + s * s + w * w + e * e) / (jc * jc);
+          const sv::vfloat l = (n + s + w + e) / jc;
+          const sv::vfloat num = half * g2 - sixteenth * l * l;
+          const sv::vfloat den1 = one + quarter * l;
+          const sv::vfloat qsqr = num / (den1 * den1);
+          const sv::vfloat den2 = (qsqr - q0v) / den0v;
+          const sv::vfloat raw = one / (one + den2);
+          const sv::vfloat lo_clamped =
+              sv::vselect(sv::vlt(raw, zero), zero, raw);
+          sv::vstore(cp + idx,
+                     sv::vselect(sv::vlt(one, lo_clamped), one, lo_clamped));
+          idx += W;
+          continue;
+        }
+        const std::size_t rn = r == 0 ? 0 : r - 1;
+        const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+        const std::size_t cw = col == 0 ? 0 : col - 1;
+        const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+        const float jc = jp[idx];
+        const float n = jp[rn * cols + col] - jc;
+        const float s = jp[rs * cols + col] - jc;
+        const float w = jp[r * cols + cw] - jc;
+        const float e = jp[r * cols + ce] - jc;
+        dnp[idx] = n;
+        dsp[idx] = s;
+        dwp[idx] = w;
+        dep[idx] = e;
+        const float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+        const float l = (n + s + w + e) / jc;
+        const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+        const float den1 = 1.0f + 0.25f * l;
+        const float qsqr = num / (den1 * den1);
+        const float den2 = (qsqr - q0) / den0;
+        cp[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
+        ++idx;
+      }
+    });
     return k;
   };
 
@@ -202,6 +285,50 @@ void Srad::run() {
           cc * dnp[idx] + cs * dsp[idx] + cc * dwp[idx] + cev * dep[idx];
       jp[idx] += 0.25f * lam * d;
     }
+    });
+
+    // Simd tier: same blocking rule as srad_cuda_1 -- W interior cells of
+    // one row per step, scalar elsewhere.  Only the east/south neighbours
+    // matter here, so the column guard is one-sided.
+    k.simd([=](std::size_t lo, std::size_t hi) {
+      namespace sv = xcl::simd;
+      constexpr std::size_t W = sv::kLanes;
+      float* EOD_RESTRICT jp = j.data();
+      const float* EOD_RESTRICT cp = c.data();
+      const float* EOD_RESTRICT dnp = dn.data();
+      const float* EOD_RESTRICT dsp = ds.data();
+      const float* EOD_RESTRICT dwp = dw.data();
+      const float* EOD_RESTRICT dep = de.data();
+      const float scale = 0.25f * lam;
+      const sv::vfloat scalev = sv::vbroadcast(scale);
+      std::size_t idx = base + lo;
+      const std::size_t last = std::min(base + hi, limit);
+      while (idx < last) {
+        const std::size_t r = idx / cols;
+        const std::size_t col = idx % cols;
+        if (W > 1 && col + W <= cols - 1 && idx + W <= last) {
+          const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+          const sv::vfloat cc = sv::vload(cp + idx);
+          const sv::vfloat cs = sv::vload(cp + rs * cols + col);
+          const sv::vfloat cev = sv::vload(cp + idx + 1);
+          const sv::vfloat d = cc * sv::vload(dnp + idx) +
+                               cs * sv::vload(dsp + idx) +
+                               cc * sv::vload(dwp + idx) +
+                               cev * sv::vload(dep + idx);
+          sv::vstore(jp + idx, sv::vload(jp + idx) + scalev * d);
+          idx += W;
+          continue;
+        }
+        const std::size_t rs = r == rows - 1 ? rows - 1 : r + 1;
+        const std::size_t ce = col == cols - 1 ? cols - 1 : col + 1;
+        const float cc = cp[idx];
+        const float cs = cp[rs * cols + col];
+        const float cev = cp[r * cols + ce];
+        const float d =
+            cc * dnp[idx] + cs * dsp[idx] + cc * dwp[idx] + cev * dep[idx];
+        jp[idx] += scale * d;
+        ++idx;
+      }
     });
     return k;
   };

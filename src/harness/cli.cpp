@@ -81,8 +81,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       const std::string v = next(arg);
       const auto mode = xcl::parse_dispatch_mode(v);
       if (!mode.has_value()) {
+        // Hard failure, never a silent fallback to auto: a run that quietly
+        // measured the wrong tier is worse than no run.  The valid-mode
+        // list comes from the executor so it cannot drift.
         throw std::invalid_argument(
-            "bad --dispatch (auto|item|span|checked): " + v);
+            std::string("bad --dispatch (") + xcl::dispatch_mode_names() +
+            "): " + v);
       }
       o.dispatch = *mode;
     } else if (arg == "--queue") {
@@ -108,7 +112,9 @@ std::string usage(const std::string& program) {
          " [-p P] [-d D] [-t 0|1|2] [--device-name NAME]\n"
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
-         "          [--long-table] [--dispatch auto|item|span|checked]\n"
+         "          [--long-table] [--dispatch " +
+         std::string(xcl::dispatch_mode_names()) +
+         "]\n"
          "          [--queue inorder|ooo] [--trace FILE] [--metrics FILE]\n"
          "device selection follows the paper's notation: -p <platform>\n"
          "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n"
@@ -116,7 +122,9 @@ std::string usage(const std::string& program) {
          "metrics snapshot (.tsv for TSV); either also writes manifest.json\n"
          "(EOD_TRACE=1 enables tracing without the flag)\n"
          "--queue ooo lets dependency-expressed dwarfs overlap transfers\n"
-         "with compute (EOD_QUEUE=ooo sets the default without the flag)\n";
+         "with compute (EOD_QUEUE=ooo sets the default without the flag)\n"
+         "--dispatch simd runs hand-vectorized kernel bodies where a dwarf\n"
+         "provides one (EOD_DISPATCH pins the tier without the flag)\n";
 }
 
 }  // namespace eod::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <optional>
 #include <random>
@@ -74,18 +75,22 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   }
 
   // Tier override for the functional pass, restored on every exit path.
+  // An unset option defers to default_dispatch_mode(), so `EOD_DISPATCH=simd
+  // ctest` steers every measurement in the suite without the runner
+  // stomping the hatch with kAuto.
+  const xcl::DispatchMode dispatch =
+      options.dispatch.value_or(xcl::default_dispatch_mode());
   struct DispatchModeGuard {
     xcl::DispatchMode prev = xcl::dispatch_mode();
     ~DispatchModeGuard() { xcl::set_dispatch_mode(prev); }
   } dispatch_guard;
-  xcl::set_dispatch_mode(options.dispatch);
+  xcl::set_dispatch_mode(dispatch);
 
   // --dispatch=checked: the whole functional pass (bind-time allocations
   // included, so the shadow sees every buffer from birth) runs under a
   // CheckSession; the report lands on the Measurement.
   std::optional<xcl::check::CheckSession> check_session;
-  if (options.dispatch == xcl::DispatchMode::kChecked &&
-      options.functional) {
+  if (dispatch == xcl::DispatchMode::kChecked && options.functional) {
     check_session.emplace();
   }
 
@@ -242,7 +247,10 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
       manifest.benchmark = m.benchmark;
       manifest.size = dwarfs::to_string(size);
       manifest.device = m.device;
-      manifest.dispatch = xcl::to_string(options.dispatch);
+      manifest.dispatch = xcl::to_string(dispatch);
+      if (const char* env = std::getenv("EOD_DISPATCH")) {
+        manifest.dispatch_env = env;
+      }
       manifest.queue = xcl::to_string(queue.mode());
       manifest.seed = options.seed;
       manifest.git_describe = obs::git_describe();

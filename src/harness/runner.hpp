@@ -50,10 +50,13 @@ struct MeasureOptions {
   std::size_t max_trace_accesses = 0;
   /// Kernel-tier override for this group's functional execution (the
   /// --dispatch= flag): kAuto/kSpan take the span tier where legal, kItem
-  /// pins the per-item reference path for A/B runs, kChecked runs the
-  /// functional pass under a CheckSession (DESIGN.md §10) and attaches the
-  /// resulting CheckReport to the Measurement.  Restored afterwards.
-  xcl::DispatchMode dispatch = xcl::DispatchMode::kAuto;
+  /// pins the per-item reference path for A/B runs, kSimd selects
+  /// hand-vectorized bodies (DESIGN.md §13), kChecked runs the functional
+  /// pass under a CheckSession (DESIGN.md §10) and attaches the resulting
+  /// CheckReport to the Measurement.  Restored afterwards.  nullopt defers
+  /// to default_dispatch_mode() (kAuto unless the EOD_DISPATCH env hatch
+  /// says otherwise), mirroring queue_mode.
+  std::optional<xcl::DispatchMode> dispatch;
   /// Queue execution mode for the measurement queue (the --queue= flag):
   /// kInOrder serialises commands exactly as the paper's testbed drivers
   /// did; kOutOfOrder lets dependency-expressed dwarfs overlap transfers

@@ -18,7 +18,11 @@ struct RunManifest {
   std::string size;
   std::string device;
   std::string dispatch;  ///< kernel tier the functional pass ran under
-  std::string queue;     ///< queue mode ("inorder" | "ooo")
+  /// Value of the EOD_DISPATCH env hatch at measurement time (empty when
+  /// unset); recorded so a manifest can distinguish "tier chosen by flag"
+  /// from "tier pinned by the environment".
+  std::string dispatch_env;
+  std::string queue;  ///< queue mode ("inorder" | "ooo")
   std::uint64_t seed = 0;
 
   // Provenance.

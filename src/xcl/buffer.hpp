@@ -14,11 +14,11 @@
 #pragma once
 
 #include <cstring>
+#include <new>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
-#include <vector>
 
 #include "xcl/check/checked_view.hpp"
 #include "xcl/check/session.hpp"
@@ -29,29 +29,43 @@ namespace eod::xcl {
 
 class Buffer {
  public:
+  /// Host storage alignment: one cache line, so simd-tier vector loads and
+  /// stores (xcl/simd.hpp) starting at the buffer base never straddle a
+  /// line.  clCreateBuffer makes the same guarantee on real runtimes.
+  static constexpr std::size_t kHostAlignment = 64;
+
   Buffer(Context& ctx, std::size_t bytes) : ctx_(&ctx) {
     require(bytes > 0, Status::kInvalidBufferSize, "zero-sized buffer");
     // Account against the device capacity before touching host memory, so
     // an oversized request fails with a device error, not a host OOM.
     ctx.on_alloc(bytes);
     try {
-      store_.resize(bytes);
+      data_ = static_cast<std::byte*>(
+          ::operator new(bytes, std::align_val_t{kHostAlignment}));
     } catch (...) {
       ctx.on_free(bytes);
       throw;
     }
-    check::on_buffer_alloc(store_.data(), store_.size());
+    bytes_ = bytes;
+    // cl_mem contents are undefined at creation on a real runtime; this
+    // buffer has always zero-filled (the old std::vector storage did), and
+    // dwarf setup code relies on it.
+    std::memset(data_, 0, bytes_);
+    check::on_buffer_alloc(data_, bytes_);
   }
 
   ~Buffer() { release(); }
 
   Buffer(Buffer&& other) noexcept
       : ctx_(other.ctx_),
-        store_(std::move(other.store_)),
+        data_(other.data_),
+        bytes_(other.bytes_),
         name_(std::move(other.name_)) {
-    // The vector's heap block (the shadow-map key) moves with it; no
-    // checker notification needed.
+    // The heap block (the shadow-map key) moves with it; no checker
+    // notification needed.
     other.ctx_ = nullptr;
+    other.data_ = nullptr;
+    other.bytes_ = 0;
   }
   Buffer& operator=(Buffer&& other) noexcept {
     if (this != &other) {
@@ -61,16 +75,19 @@ class Buffer {
       // swap one large buffer for another.
       release();
       ctx_ = other.ctx_;
-      store_ = std::move(other.store_);
+      data_ = other.data_;
+      bytes_ = other.bytes_;
       name_ = std::move(other.name_);
       other.ctx_ = nullptr;
+      other.data_ = nullptr;
+      other.bytes_ = 0;
     }
     return *this;
   }
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
 
-  [[nodiscard]] std::size_t bytes() const noexcept { return store_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] Context& context() const noexcept { return *ctx_; }
 
   /// Optional human-readable name used in transfer-event labels and traces
@@ -86,19 +103,18 @@ class Buffer {
   /// count is bytes()/sizeof(T); misaligned sizes are rejected.
   template <typename T>
   [[nodiscard]] std::span<T> view() {
-    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+    require(bytes_ % sizeof(T) == 0, Status::kInvalidValue,
             "buffer size is not a multiple of element size");
     // A mutable raw view is a host-write escape hatch the checker cannot
     // see through; treat it as initializing the whole buffer.
-    check::on_host_write(store_.data(), 0, store_.size());
-    return {reinterpret_cast<T*>(store_.data()), store_.size() / sizeof(T)};
+    check::on_host_write(data_, 0, bytes_);
+    return {reinterpret_cast<T*>(data_), bytes_ / sizeof(T)};
   }
   template <typename T>
   [[nodiscard]] std::span<const T> view() const {
-    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+    require(bytes_ % sizeof(T) == 0, Status::kInvalidValue,
             "buffer size is not a multiple of element size");
-    return {reinterpret_cast<const T*>(store_.data()),
-            store_.size() / sizeof(T)};
+    return {reinterpret_cast<const T*>(data_), bytes_ / sizeof(T)};
   }
 
   /// Checked accessor for kernel bodies: loads/stores route through the
@@ -108,37 +124,41 @@ class Buffer {
   /// anything initialized, which is what keeps uninit-read detection alive.
   template <typename T>
   [[nodiscard]] check::CheckedView<T> access(std::string_view label = {}) {
-    require(store_.size() % sizeof(T) == 0, Status::kInvalidValue,
+    require(bytes_ % sizeof(T) == 0, Status::kInvalidValue,
             "buffer size is not a multiple of element size");
     check::BufferShadow* shadow = nullptr;
     if (check::CheckSession* s = check::active_session()) {
-      shadow = s->shadow_for(store_.data(), store_.size(), label);
+      shadow = s->shadow_for(data_, bytes_, label);
     }
-    return {reinterpret_cast<T*>(store_.data()), store_.size() / sizeof(T),
-            shadow};
+    return {reinterpret_cast<T*>(data_), bytes_ / sizeof(T), shadow};
   }
 
   // Internal raw access used by Queue transfers.
-  [[nodiscard]] std::byte* data() noexcept { return store_.data(); }
-  [[nodiscard]] const std::byte* data() const noexcept { return store_.data(); }
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
 
  private:
-  /// Returns context accounting and drops the checker shadow for the
-  /// current allocation (no-op for a moved-from shell).
+  /// Returns context accounting, drops the checker shadow and frees the
+  /// aligned block for the current allocation (no-op for a moved-from
+  /// shell).
   void release() noexcept {
-    if (ctx_ != nullptr && !store_.empty()) {
+    if (ctx_ != nullptr && data_ != nullptr) {
       // clReleaseMemObject semantics under deferred execution (DESIGN.md
       // §12): commands still pending on the context's queues may reference
       // this storage; run them before the memory goes away.
       ctx_->drain_queues_for_buffer_release();
     }
-    if (!store_.empty()) check::on_buffer_release(store_.data());
-    if (ctx_ != nullptr) ctx_->on_free(store_.size());
+    if (data_ != nullptr) check::on_buffer_release(data_);
+    if (ctx_ != nullptr) ctx_->on_free(bytes_);
+    ::operator delete(data_, std::align_val_t{kHostAlignment});
+    data_ = nullptr;
+    bytes_ = 0;
     ctx_ = nullptr;
   }
 
   Context* ctx_;
-  std::vector<std::byte> store_;
+  std::byte* data_ = nullptr;
+  std::size_t bytes_ = 0;
   std::string name_;
 };
 

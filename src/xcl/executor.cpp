@@ -2,6 +2,8 @@
 
 #include <array>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "obs/metrics.hpp"
@@ -16,8 +18,11 @@ namespace eod::xcl {
 namespace {
 
 // Tier-selection override; relaxed is enough -- callers set it between
-// launches, never concurrently with one.
-std::atomic<DispatchMode> g_dispatch_mode{DispatchMode::kAuto};
+// launches, never concurrently with one.  -1 means "never set": the first
+// dispatch_mode() read then resolves the EOD_DISPATCH environment hatch via
+// default_dispatch_mode(), so a process that never calls set_dispatch_mode
+// still honors the env without an init-order dependency.
+std::atomic<int> g_dispatch_mode{-1};
 
 // Tier observability now lives in the process metrics registry
 // (DESIGN.md §11); ExecutorStats is a typed view over these instruments.
@@ -26,6 +31,7 @@ std::atomic<DispatchMode> g_dispatch_mode{DispatchMode::kAuto};
 obs::Counter& g_groups_loop = obs::counter("executor.groups_loop");
 obs::Counter& g_groups_fiber = obs::counter("executor.groups_fiber");
 obs::Counter& g_groups_span = obs::counter("executor.groups_span");
+obs::Counter& g_groups_simd = obs::counter("executor.groups_simd");
 obs::Counter& g_groups_checked = obs::counter("executor.groups_checked");
 obs::Counter& g_launches = obs::counter("executor.ndrange_launches");
 obs::Gauge& g_arena_hwm = obs::gauge("executor.arena_bytes_hwm");
@@ -127,14 +133,27 @@ bool span_legal(const Kernel& kernel, const NDRange& range,
          range.global(2) == 1;
 }
 
+// The simd tier is never auto-selected: only an explicit kSimd (CLI flag or
+// EOD_DISPATCH) engages the hand-vectorized body.  Same 1-D contiguity
+// requirement as span; kernels without a simd body fall through to the
+// span-legality check above, so `--dispatch=simd` on a mixed workload runs
+// each kernel on the best tier it offers.
+bool simd_legal(const Kernel& kernel, const NDRange& range,
+                DispatchMode mode) {
+  return kernel.has_simd() && mode == DispatchMode::kSimd &&
+         range.global(1) == 1 && range.global(2) == 1;
+}
+
 }  // namespace
 
 DispatchMode dispatch_mode() noexcept {
-  return g_dispatch_mode.load(std::memory_order_relaxed);
+  const int raw = g_dispatch_mode.load(std::memory_order_relaxed);
+  if (raw < 0) return default_dispatch_mode();
+  return static_cast<DispatchMode>(raw);
 }
 
 void set_dispatch_mode(DispatchMode mode) noexcept {
-  g_dispatch_mode.store(mode, std::memory_order_relaxed);
+  g_dispatch_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
 }
 
 std::optional<DispatchMode> parse_dispatch_mode(
@@ -142,6 +161,7 @@ std::optional<DispatchMode> parse_dispatch_mode(
   if (name == "auto") return DispatchMode::kAuto;
   if (name == "item") return DispatchMode::kItem;
   if (name == "span") return DispatchMode::kSpan;
+  if (name == "simd") return DispatchMode::kSimd;
   if (name == "checked") return DispatchMode::kChecked;
   return std::nullopt;
 }
@@ -152,12 +172,31 @@ const char* to_string(DispatchMode mode) noexcept {
       return "item";
     case DispatchMode::kSpan:
       return "span";
+    case DispatchMode::kSimd:
+      return "simd";
     case DispatchMode::kChecked:
       return "checked";
     case DispatchMode::kAuto:
       break;
   }
   return "auto";
+}
+
+const char* dispatch_mode_names() noexcept {
+  return "auto|item|span|simd|checked";
+}
+
+DispatchMode default_dispatch_mode() {
+  static const DispatchMode mode = [] {
+    if (const char* v = std::getenv("EOD_DISPATCH")) {
+      if (auto parsed = parse_dispatch_mode(v)) return *parsed;
+      std::fprintf(stderr, "EOD_DISPATCH=%s is not a dispatch mode (%s)\n", v,
+                   dispatch_mode_names());
+      std::exit(2);
+    }
+    return DispatchMode::kAuto;
+  }();
+  return mode;
 }
 
 void execute_ndrange(const Kernel& kernel, const NDRange& range,
@@ -181,7 +220,25 @@ void execute_ndrange(const Kernel& kernel, const NDRange& range,
     return;
   }
 
-  if (span_legal(kernel, range, dispatch_mode())) {
+  const DispatchMode mode = dispatch_mode();
+  if (simd_legal(kernel, range, mode)) {
+    // Same shape as the span fast path below: one RangeKernelRef call per
+    // group, no std::function on the hot path -- only the body differs
+    // (explicit vectors instead of an autovectorizable loop).
+    const Kernel::SpanBody& body = kernel.simd_body();
+    const RangeKernelRef simd = body;
+    const std::size_t lx = range.local(0);
+    obs::TraceSpan launch_span(kernel.name().c_str(), "launch:simd",
+                               "groups", static_cast<double>(groups));
+    tp.parallel_for(groups, [simd, lx](std::size_t flat) {
+      obs::TraceSpan group_span("group:simd", "executor");
+      simd(flat * lx, (flat + 1) * lx);
+      g_groups_simd.add(1);
+    });
+    return;
+  }
+
+  if (span_legal(kernel, range, mode)) {
     // Hoist the std::function indirection out of the per-group path: the
     // workers call through a two-pointer RangeKernelRef only.
     const Kernel::SpanBody& body = kernel.span_body();
@@ -233,6 +290,7 @@ ExecutorStats executor_stats() {
   s.groups_loop = g_groups_loop.value();
   s.groups_fiber = g_groups_fiber.value();
   s.groups_span = g_groups_span.value();
+  s.groups_simd = g_groups_simd.value();
   s.groups_checked = g_groups_checked.value();
   s.arena_bytes_hwm = static_cast<std::uint64_t>(g_arena_hwm.value());
   s.fiber_stacks_created = fiber_stacks_created();
@@ -245,6 +303,7 @@ void reset_executor_stats() {
   g_groups_loop.reset();
   g_groups_fiber.reset();
   g_groups_span.reset();
+  g_groups_simd.reset();
   g_groups_checked.reset();
   g_launches.reset();
   g_arena_hwm.reset();

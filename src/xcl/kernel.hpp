@@ -87,6 +87,17 @@ class Kernel {
     return *this;
   }
 
+  /// Registers the explicit-SIMD formulation (DESIGN.md §13): same
+  /// whole-group [begin, end) contract as span(), but the body is written
+  /// with the portable vectors of xcl/simd.hpp rather than relying on the
+  /// autovectorizer.  Same determinism promise as span(): bit-identical
+  /// results to the per-item reference body, including the scalar tail.
+  /// Only the kSimd dispatch mode selects this body.
+  Kernel& simd(SpanBody body) {
+    simd_body_ = std::move(body);
+    return *this;
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const Body& body() const noexcept { return body_; }
   [[nodiscard]] bool barriers() const noexcept { return uses_barriers_; }
@@ -96,11 +107,18 @@ class Kernel {
   [[nodiscard]] const SpanBody& span_body() const noexcept {
     return span_body_;
   }
+  [[nodiscard]] bool has_simd() const noexcept {
+    return static_cast<bool>(simd_body_);
+  }
+  [[nodiscard]] const SpanBody& simd_body() const noexcept {
+    return simd_body_;
+  }
 
  private:
   std::string name_;
   Body body_;
   SpanBody span_body_;
+  SpanBody simd_body_;
   bool uses_barriers_ = false;
 };
 

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 
 #include "sim/device_spec.hpp"
@@ -279,12 +280,33 @@ TEST(SpanTier, ParseAndPrintModeNames) {
   EXPECT_EQ(parse_dispatch_mode("auto"), DispatchMode::kAuto);
   EXPECT_EQ(parse_dispatch_mode("item"), DispatchMode::kItem);
   EXPECT_EQ(parse_dispatch_mode("span"), DispatchMode::kSpan);
+  EXPECT_EQ(parse_dispatch_mode("simd"), DispatchMode::kSimd);
   EXPECT_EQ(parse_dispatch_mode("checked"), DispatchMode::kChecked);
   EXPECT_FALSE(parse_dispatch_mode("fibers").has_value());
   EXPECT_STREQ(to_string(DispatchMode::kAuto), "auto");
   EXPECT_STREQ(to_string(DispatchMode::kItem), "item");
   EXPECT_STREQ(to_string(DispatchMode::kSpan), "span");
+  EXPECT_STREQ(to_string(DispatchMode::kSimd), "simd");
   EXPECT_STREQ(to_string(DispatchMode::kChecked), "checked");
+  // The CLI error message and --help text are built from this list; every
+  // parseable mode must appear in it.
+  EXPECT_STREQ(dispatch_mode_names(), "auto|item|span|simd|checked");
+}
+
+// Host allocations back the explicit-vector loads/stores of the simd tier;
+// every Buffer must hand out 64-byte-aligned storage (a cache line, and
+// enough for any EOD_SIMD_WIDTH up to 16 floats) regardless of size.
+TEST(BufferAlignment, HostStorageIsCacheLineAligned) {
+  Context ctx(dev());
+  for (const std::size_t bytes : {1ul, 4ul, 60ul, 64ul, 100ul, 4096ul,
+                                  (1ul << 20) + 4ul}) {
+    Buffer b(ctx, bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) %
+                  Buffer::kHostAlignment,
+              0u)
+        << "size " << bytes;
+    EXPECT_EQ(b.bytes(), bytes);
+  }
 }
 
 TEST(BufferMove, MoveAssignReleasesOldAllocationFirst) {
