@@ -14,7 +14,10 @@
 
 #include "dwarfs/common.hpp"
 #include "harness/cli.hpp"
+#include "harness/partition.hpp"
 #include "harness/runner.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace eod::apps {
@@ -110,6 +113,56 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   const bool check_failed =
       m.check_performed && m.check_report.error_count() > 0;
   return (m.validation.ok && !check_failed) ? 0 : 1;
+}
+
+/// Prints the standard report for a partitioned multi-device run
+/// (DESIGN.md §14) and writes the run manifest (with the full --devices
+/// set) when an observability flag asked for artifacts.  Returns the
+/// process exit code.
+inline int report_partitioned(const dwarfs::Dwarf& dwarf,
+                              const harness::PartitionedResult& r,
+                              const harness::CliOptions& cli) {
+  std::cout << dwarf.name() << " (" << dwarf.berkeley_dwarf()
+            << ") partitioned across " << r.shards.size() << " device(s)\n";
+  for (const harness::Shard& s : r.shards) {
+    std::cout << "  " << s.device->name() << ": block rows ["
+              << s.block_begin << ", " << s.block_end << ")\n";
+  }
+  std::cout << "validation: " << (r.validation.ok ? "PASS" : "FAIL") << " ("
+            << r.validation.detail << ")\n";
+  std::cout << "modeled makespan: " << r.makespan_s * 1e3 << " ms ("
+            << r.compute_makespan_s * 1e3 << " ms after uploads)\n";
+  std::cout << "halo exchange: " << r.halo_transfers << " peer copies, "
+            << r.halo_bytes << " bytes, " << r.halo_seconds * 1e3
+            << " ms modeled link time\n";
+  const std::string trace_path =
+      !cli.trace_path.empty() ? cli.trace_path : obs::env_trace_path();
+  if (!trace_path.empty() || !cli.metrics_path.empty()) {
+    obs::RunManifest man;
+    man.benchmark = dwarf.name();
+    man.size = dwarfs::to_string(
+        cli.size.value_or(dwarfs::ProblemSize::kTiny));
+    man.device = r.shards.front().device->name();
+    for (const harness::Shard& s : r.shards) {
+      man.devices.push_back(s.device->name());
+    }
+    man.dispatch = xcl::to_string(
+        cli.dispatch.value_or(xcl::default_dispatch_mode()));
+    man.queue = xcl::to_string(xcl::QueueMode::kOutOfOrder);
+    man.git_describe = obs::git_describe();
+    man.timestamp = obs::utc_timestamp();
+    man.samples = 1;
+    man.loop_iterations = 1;
+    man.time_mean_ms = r.makespan_s * 1e3;
+    man.time_median_ms = r.makespan_s * 1e3;
+    man.validated = true;
+    man.validation_ok = r.validation.ok;
+    man.trace_path = trace_path;
+    man.metrics_path = cli.metrics_path;
+    (void)man.write_json("manifest.json", obs::snapshot_metrics());
+    std::cout << "manifest: manifest.json\n";
+  }
+  return r.validation.ok ? 0 : 1;
 }
 
 /// Fetches argument i (0-based) from a Table 3 argument list or returns

@@ -1,7 +1,10 @@
 // Standalone lud benchmark (Table 3: lud -s Phi).
 //   lud_app [device options] -- -s <matrix dimension>
+// With --devices "A,B,..." the factorization is partitioned across several
+// simulated devices over the modeled interconnect (DESIGN.md §14).
 #include "app_common.hpp"
 #include "dwarfs/lud/lud.hpp"
+#include "harness/partition.hpp"
 
 int main(int argc, const char** argv) {
   using namespace eod;
@@ -14,6 +17,15 @@ int main(int argc, const char** argv) {
             a.cli.size.value_or(dwarfs::ProblemSize::kTiny)))));
     dwarf.configure(n);
     std::cout << "lud -s " << n << '\n';
+    const std::vector<xcl::Device*> devices = a.cli.resolve_devices();
+    if (devices.size() > 1) {
+      harness::PartitionOptions popts;
+      popts.validate = true;
+      popts.dispatch = a.cli.dispatch;
+      const harness::PartitionedResult r =
+          harness::run_partitioned_lud(dwarf, devices, popts);
+      return apps::report_partitioned(dwarf, r, a.cli);
+    }
     return apps::run_configured(dwarf, a.cli);
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n'

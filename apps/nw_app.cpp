@@ -1,7 +1,10 @@
 // Standalone nw benchmark (Table 3: nw Phi 10).
 //   nw_app [device options] -- <length> <penalty>
+// With --devices "A,B,..." the wavefront is partitioned across several
+// simulated devices over the modeled interconnect (DESIGN.md §14).
 #include "app_common.hpp"
 #include "dwarfs/nw/nw.hpp"
+#include "harness/partition.hpp"
 
 int main(int argc, const char** argv) {
   using namespace eod;
@@ -16,6 +19,15 @@ int main(int argc, const char** argv) {
         std::stol(apps::arg_or(a.benchmark_args, 1, "10")));
     dwarf.configure(n, penalty);
     std::cout << "nw " << n << ' ' << penalty << '\n';
+    const std::vector<xcl::Device*> devices = a.cli.resolve_devices();
+    if (devices.size() > 1) {
+      harness::PartitionOptions popts;
+      popts.validate = true;
+      popts.dispatch = a.cli.dispatch;
+      const harness::PartitionedResult r =
+          harness::run_partitioned_nw(dwarf, devices, popts);
+      return apps::report_partitioned(dwarf, r, a.cli);
+    }
     return apps::run_configured(dwarf, a.cli);
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n'

@@ -45,9 +45,9 @@ void Lud::bind(xcl::Context& ctx, xcl::Queue& q) {
   matrix_buf_.emplace(ctx, input_.size() * sizeof(float));
 }
 
-void Lud::enqueue_diagonal(std::size_t k) {
-  const std::size_t n = n_;
-  auto a = matrix_buf_->access<float>("matrix");
+xcl::Kernel Lud::make_diagonal_kernel(xcl::Buffer& matrix, std::size_t n,
+                                      std::size_t k) {
+  auto a = matrix.access<float>("matrix");
   const std::size_t base = k * B * n + k * B;
 
   xcl::Kernel diag("lud_diagonal", [=](xcl::WorkItem& it) {
@@ -67,22 +67,29 @@ void Lud::enqueue_diagonal(std::size_t k) {
   });
   diag.uses_barriers();
 
-  xcl::WorkloadProfile prof;
-  prof.flops = 2.0 / 3.0 * B * B * B;
-  prof.int_ops = static_cast<double>(B) * B * 2;
-  prof.bytes_read = static_cast<double>(B) * B * sizeof(float) * 2;
-  prof.bytes_written = static_cast<double>(B) * B * sizeof(float);
-  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
-  prof.pattern = xcl::AccessPattern::kTiled;
-  queue_->enqueue(diag, xcl::NDRange(B, B), prof);
+  // Span tier (DESIGN.md §9): the sequential unblocked elimination.  The
+  // barriers only ordered the i iterations; within one i the rows j > i
+  // never read each other, so the j-then-l loops replay each element's
+  // exact operation sequence and the factor is bit-identical.
+  diag.span([=](std::size_t, std::size_t) {
+    float* EOD_RESTRICT p = a.data();
+    for (std::size_t i = 0; i + 1 < B; ++i) {
+      const float pivot = p[base + i * n + i];
+      for (std::size_t j = i + 1; j < B; ++j) {
+        const float lji = p[base + j * n + i] / pivot;
+        p[base + j * n + i] = lji;
+        for (std::size_t l = i + 1; l < B; ++l) {
+          p[base + j * n + l] -= lji * p[base + i * n + l];
+        }
+      }
+    }
+  });
+  return diag;
 }
 
-void Lud::enqueue_perimeter(std::size_t k) {
-  const std::size_t n = n_;
-  const std::size_t nb = n / B;
-  const std::size_t rem = nb - k - 1;
-  if (rem == 0) return;
-  auto a = matrix_buf_->access<float>("matrix");
+xcl::Kernel Lud::make_perimeter_row_kernel(xcl::Buffer& matrix, std::size_t n,
+                                           std::size_t k) {
+  auto a = matrix.access<float>("matrix");
   const std::size_t diag_base = k * B * n + k * B;
 
   // Row blocks (k, m): U := L_kk^-1 A.  One work-item owns one column of
@@ -101,9 +108,34 @@ void Lud::enqueue_perimeter(std::size_t k) {
     }
   });
 
+  // Span tier: same triangular solve with the row loop outermost and the
+  // B independent columns innermost (vectorizable); each element's
+  // accumulation order is unchanged, so the panel is bit-identical.
+  row.span([=](std::size_t begin, std::size_t /*end*/) {
+    const std::size_t m = k + 1 + begin / B;
+    const std::size_t blk = k * B * n + m * B;
+    float* EOD_RESTRICT p = a.data();
+    for (std::size_t i = 1; i < B; ++i) {
+      for (std::size_t c = 0; c < B; ++c) {
+        float acc = p[blk + i * n + c];
+        for (std::size_t t = 0; t < i; ++t) {
+          acc -= p[diag_base + i * n + t] * p[blk + t * n + c];
+        }
+        p[blk + i * n + c] = acc;
+      }
+    }
+  });
+  return row;
+}
+
+xcl::Kernel Lud::make_perimeter_col_kernel(xcl::Buffer& matrix, std::size_t n,
+                                           std::size_t k, std::size_t m_lo) {
+  auto a = matrix.access<float>("matrix");
+  const std::size_t diag_base = k * B * n + k * B;
+
   // Column blocks (m, k): L := A U_kk^-1.  One work-item owns one row.
   xcl::Kernel col("lud_perimeter_col", [=](xcl::WorkItem& it) {
-    const std::size_t m = k + 1 + it.group_id(0);
+    const std::size_t m = m_lo + it.group_id(0);
     const std::size_t r = it.local_id(0);
     const std::size_t blk = m * B * n + k * B;
     for (std::size_t j = 0; j < B; ++j) {
@@ -115,30 +147,41 @@ void Lud::enqueue_perimeter(std::size_t k) {
     }
   });
 
-  xcl::WorkloadProfile prof;
-  prof.flops = static_cast<double>(rem) * B * B * B;
-  prof.int_ops = static_cast<double>(rem) * B * B * 2;
-  prof.bytes_read = static_cast<double>(rem) * 2 * B * B * sizeof(float);
-  prof.bytes_written = static_cast<double>(rem) * B * B * sizeof(float);
-  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
-  prof.pattern = xcl::AccessPattern::kTiled;
-  queue_->enqueue(row, xcl::NDRange(rem * B, B), prof);
-  queue_->enqueue(col, xcl::NDRange(rem * B, B), prof);
+  // Span tier: rows of the block are independent; replaying each row's
+  // j loop in item order keeps the solve bit-identical.
+  col.span([=](std::size_t begin, std::size_t /*end*/) {
+    const std::size_t m = m_lo + begin / B;
+    const std::size_t blk = m * B * n + k * B;
+    float* EOD_RESTRICT p = a.data();
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t j = 0; j < B; ++j) {
+        float acc = p[blk + r * n + j];
+        for (std::size_t t = 0; t < j; ++t) {
+          acc -= p[blk + r * n + t] * p[diag_base + t * n + j];
+        }
+        p[blk + r * n + j] = acc / p[diag_base + j * n + j];
+      }
+    }
+  });
+  return col;
 }
 
-void Lud::enqueue_internal(std::size_t k) {
-  const std::size_t n = n_;
-  const std::size_t nb = n / B;
-  const std::size_t rem = nb - k - 1;
-  if (rem == 0) return;
-  auto a = matrix_buf_->access<float>("matrix");
+xcl::Kernel Lud::make_internal_kernel(xcl::Buffer& matrix, std::size_t n,
+                                      std::size_t k, std::size_t bi_lo) {
+  auto a = matrix.access<float>("matrix");
+  const std::size_t rem = n / B - k - 1;  // trailing block columns
 
   // Tiled GEMM update A_ij -= L_ik * U_kj staged through __local memory.
+  // The (bi, bj) block grid is flattened bi-major onto a 1-D range of
+  // B*B-item groups so the span tier below is reachable (span bodies only
+  // dispatch for 1-D ranges); the work-item set and its math are the same
+  // as the historical 2-D launch.
   xcl::Kernel internal("lud_internal", [=](xcl::WorkItem& it) {
-    const std::size_t bi = k + 1 + it.group_id(1);
-    const std::size_t bj = k + 1 + it.group_id(0);
-    const std::size_t r = it.local_id(1);
-    const std::size_t c = it.local_id(0);
+    const std::size_t g = it.group_id(0);
+    const std::size_t bi = bi_lo + g / rem;
+    const std::size_t bj = k + 1 + g % rem;
+    const std::size_t r = it.local_id(0) / B;
+    const std::size_t c = it.local_id(0) % B;
     auto l_tile = it.local<float>(0, B * B);
     auto u_tile = it.local<float>(1, B * B);
     l_tile[r * B + c] = a[(bi * B + r) * n + k * B + c];
@@ -153,17 +196,89 @@ void Lud::enqueue_internal(std::size_t k) {
   });
   internal.uses_barriers();
 
+  // Span tier: one call per block.  The __local tiles were pure copies, so
+  // reading the panels in place accumulates the same products in the same
+  // t order per element -- bit-identical -- while the c-indexed
+  // accumulator row vectorizes.
+  internal.span([=](std::size_t begin, std::size_t /*end*/) {
+    const std::size_t g = begin / (B * B);
+    const std::size_t bi = bi_lo + g / rem;
+    const std::size_t bj = k + 1 + g % rem;
+    float* EOD_RESTRICT p = a.data();
+    for (std::size_t r = 0; r < B; ++r) {
+      float acc[B] = {};
+      for (std::size_t t = 0; t < B; ++t) {
+        const float l = p[(bi * B + r) * n + k * B + t];
+        const float* EOD_RESTRICT u = p + (k * B + t) * n + bj * B;
+        for (std::size_t c = 0; c < B; ++c) acc[c] += l * u[c];
+      }
+      float* EOD_RESTRICT out = p + (bi * B + r) * n + bj * B;
+      for (std::size_t c = 0; c < B; ++c) out[c] -= acc[c];
+    }
+  });
+  return internal;
+}
+
+xcl::WorkloadProfile Lud::diagonal_profile(std::size_t n) {
   xcl::WorkloadProfile prof;
-  prof.flops = static_cast<double>(rem) * rem * 2.0 * B * B * B;
-  prof.int_ops = static_cast<double>(rem) * rem * B * B * 3;
-  prof.bytes_read =
-      static_cast<double>(rem) * rem * 3 * B * B * sizeof(float);
-  prof.bytes_written =
-      static_cast<double>(rem) * rem * B * B * sizeof(float);
+  prof.flops = 2.0 / 3.0 * B * B * B;
+  prof.int_ops = static_cast<double>(B) * B * 2;
+  prof.bytes_read = static_cast<double>(B) * B * sizeof(float) * 2;
+  prof.bytes_written = static_cast<double>(B) * B * sizeof(float);
   prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
   prof.pattern = xcl::AccessPattern::kTiled;
-  queue_->enqueue(internal,
-                  xcl::NDRange(rem * B, rem * B, B, B), prof);
+  return prof;
+}
+
+xcl::WorkloadProfile Lud::perimeter_profile(std::size_t n,
+                                            std::size_t blocks) {
+  xcl::WorkloadProfile prof;
+  prof.flops = static_cast<double>(blocks) * B * B * B;
+  prof.int_ops = static_cast<double>(blocks) * B * B * 2;
+  prof.bytes_read = static_cast<double>(blocks) * 2 * B * B * sizeof(float);
+  prof.bytes_written = static_cast<double>(blocks) * B * B * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
+  prof.pattern = xcl::AccessPattern::kTiled;
+  return prof;
+}
+
+xcl::WorkloadProfile Lud::internal_profile(std::size_t n,
+                                           std::size_t bi_blocks,
+                                           std::size_t bj_blocks) {
+  const double blocks = static_cast<double>(bi_blocks) * bj_blocks;
+  xcl::WorkloadProfile prof;
+  prof.flops = blocks * 2.0 * B * B * B;
+  prof.int_ops = blocks * B * B * 3;
+  prof.bytes_read = blocks * 3 * B * B * sizeof(float);
+  prof.bytes_written = blocks * B * B * sizeof(float);
+  prof.working_set_bytes = static_cast<double>(n) * n * sizeof(float);
+  prof.pattern = xcl::AccessPattern::kTiled;
+  return prof;
+}
+
+void Lud::enqueue_diagonal(std::size_t k) {
+  queue_->enqueue(make_diagonal_kernel(*matrix_buf_, n_, k),
+                  xcl::NDRange(B, B), diagonal_profile(n_));
+}
+
+void Lud::enqueue_perimeter(std::size_t k) {
+  const std::size_t nb = n_ / B;
+  const std::size_t rem = nb - k - 1;
+  if (rem == 0) return;
+  const xcl::WorkloadProfile prof = perimeter_profile(n_, rem);
+  queue_->enqueue(make_perimeter_row_kernel(*matrix_buf_, n_, k),
+                  xcl::NDRange(rem * B, B), prof);
+  queue_->enqueue(make_perimeter_col_kernel(*matrix_buf_, n_, k, k + 1),
+                  xcl::NDRange(rem * B, B), prof);
+}
+
+void Lud::enqueue_internal(std::size_t k) {
+  const std::size_t nb = n_ / B;
+  const std::size_t rem = nb - k - 1;
+  if (rem == 0) return;
+  queue_->enqueue(make_internal_kernel(*matrix_buf_, n_, k, k + 1),
+                  xcl::NDRange(rem * rem * B * B, B * B),
+                  internal_profile(n_, rem, rem));
 }
 
 void Lud::run() {

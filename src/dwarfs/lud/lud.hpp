@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "dwarfs/common.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/modeling.hpp"
 
 namespace eod::dwarfs {
 
@@ -50,6 +53,53 @@ class Lud final : public Dwarf {
   void finish() override;
   [[nodiscard]] Validation validate() override;
   void unbind() override;
+
+  /// Packed L\U factor after the sweep, byte-exact.  The factorization is
+  /// pivot-free and every kernel body evaluates in a fixed order, so the
+  /// signature is reproducible across dispatch tiers and device counts.
+  [[nodiscard]] std::uint64_t result_signature() const override {
+    return hash_result<float>(result_);
+  }
+
+  // ---- shared kernel construction (harness/partition reuses it) ----
+  //
+  // Each factory builds one of the three Rodinia kernels over an (n x n)
+  // matrix buffer for factorization step `k`.  The perimeter-column and
+  // internal factories take the first block-row they should cover
+  // (`m_lo` / `bi_lo`) so the partitioned runner can restrict a launch to
+  // one device's block-row stripe; the single-device path passes k + 1 and
+  // recovers the historical full-range launches bit for bit.
+  [[nodiscard]] static xcl::Kernel make_diagonal_kernel(xcl::Buffer& matrix,
+                                                        std::size_t n,
+                                                        std::size_t k);
+  [[nodiscard]] static xcl::Kernel make_perimeter_row_kernel(
+      xcl::Buffer& matrix, std::size_t n, std::size_t k);
+  [[nodiscard]] static xcl::Kernel make_perimeter_col_kernel(
+      xcl::Buffer& matrix, std::size_t n, std::size_t k, std::size_t m_lo);
+  [[nodiscard]] static xcl::Kernel make_internal_kernel(xcl::Buffer& matrix,
+                                                        std::size_t n,
+                                                        std::size_t k,
+                                                        std::size_t bi_lo);
+  [[nodiscard]] static xcl::WorkloadProfile diagonal_profile(std::size_t n);
+  /// Profile for `blocks` perimeter panel blocks.
+  [[nodiscard]] static xcl::WorkloadProfile perimeter_profile(
+      std::size_t n, std::size_t blocks);
+  /// Profile for a `bi_blocks` x `bj_blocks` trailing-submatrix update.
+  [[nodiscard]] static xcl::WorkloadProfile internal_profile(
+      std::size_t n, std::size_t bi_blocks, std::size_t bj_blocks);
+
+  // ---- partitioned-runner access (harness/partition) ----
+  [[nodiscard]] std::size_t dim() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<float>& input() const noexcept {
+    return input_;
+  }
+  /// Installs an externally computed factor (the partitioned runner's
+  /// assembled panels) so validate()/result_signature() work unchanged.
+  void adopt_result(std::vector<float> result) {
+    require(result.size() == input_.size(), xcl::Status::kInvalidValue,
+            "lud adopted result has the wrong shape");
+    result_ = std::move(result);
+  }
 
  private:
   void enqueue_diagonal(std::size_t k);

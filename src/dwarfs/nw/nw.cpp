@@ -96,17 +96,11 @@ void Nw::bind(xcl::Context& ctx, xcl::Queue& q) {
   q.enqueue_write<std::int32_t>(*sim_buf_, similarity_);
 }
 
-void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
-  const std::size_t m = n_ + 1;
-  // Blocks (bi, bj) with bi + bj == d, both < nb; the cell grid starts at
-  // (1,1) so block (bi,bj) covers rows 1+bi*B .. and cols 1+bj*B ..
-  const std::size_t lo = d >= nb ? d - nb + 1 : 0;
-  const std::size_t hi = std::min(d, nb - 1);
-  const std::size_t groups = hi - lo + 1;
-
-  auto score = score_buf_->access<std::int32_t>("score");
-  auto sim = sim_buf_->access<const std::int32_t>("similarity");
-  const std::int32_t penalty = penalty_;
+xcl::Kernel Nw::make_block_kernel(xcl::Buffer& score_buf, xcl::Buffer& sim_buf,
+                                  std::size_t m, std::int32_t penalty,
+                                  std::size_t d, std::size_t lo) {
+  auto score = score_buf.access<std::int32_t>("score");
+  auto sim = sim_buf.access<const std::int32_t>("similarity");
 
   xcl::Kernel kernel("nw_block", [=](xcl::WorkItem& it) {
     const std::size_t bi = lo + it.group_id(0);
@@ -156,7 +150,10 @@ void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
       }
     }
   });
+  return kernel;
+}
 
+xcl::WorkloadProfile Nw::block_profile(std::size_t m, std::size_t groups) {
   const double cells = static_cast<double>(groups) * B * B;
   xcl::WorkloadProfile prof;
   prof.int_ops = cells * 10.0;
@@ -165,7 +162,20 @@ void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
   prof.working_set_bytes =
       static_cast<double>(2 * m) * m * sizeof(std::int32_t);
   prof.pattern = xcl::AccessPattern::kTiled;
-  queue_->enqueue(kernel, xcl::NDRange(groups * B, B), prof);
+  return prof;
+}
+
+void Nw::enqueue_diagonal(std::size_t d, std::size_t nb) {
+  const std::size_t m = n_ + 1;
+  // Blocks (bi, bj) with bi + bj == d, both < nb; the cell grid starts at
+  // (1,1) so block (bi,bj) covers rows 1+bi*B .. and cols 1+bj*B ..
+  const std::size_t lo = d >= nb ? d - nb + 1 : 0;
+  const std::size_t hi = std::min(d, nb - 1);
+  const std::size_t groups = hi - lo + 1;
+  xcl::Kernel kernel =
+      make_block_kernel(*score_buf_, *sim_buf_, m, penalty_, d, lo);
+  queue_->enqueue(kernel, xcl::NDRange(groups * B, B),
+                  block_profile(m, groups));
 }
 
 void Nw::run() {

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "dwarfs/common.hpp"
+#include "xcl/kernel.hpp"
+#include "xcl/modeling.hpp"
 
 namespace eod::dwarfs {
 
@@ -57,6 +59,43 @@ class Nw final : public Dwarf {
   /// Full score matrix after the sweep, byte-exact.
   [[nodiscard]] std::uint64_t result_signature() const override {
     return hash_result<std::int32_t>(result_);
+  }
+
+  // ---- shared kernel construction (harness/partition reuses it) ----
+
+  /// Builds the "nw_block" kernel computing blocks (bi = lo + group,
+  /// bj = d - bi) of global block-diagonal `d` on an (m x m) score matrix.
+  /// Carries both the fiber wavefront body and the bit-identical row-major
+  /// span body, so every caller composes with --dispatch=span.  The
+  /// single-device sweep and the partitioned multi-device runner both
+  /// launch exactly this kernel, which is what makes their results
+  /// byte-exact against each other.
+  [[nodiscard]] static xcl::Kernel make_block_kernel(xcl::Buffer& score,
+                                                     xcl::Buffer& sim,
+                                                     std::size_t m,
+                                                     std::int32_t penalty,
+                                                     std::size_t d,
+                                                     std::size_t lo);
+  /// Workload profile of a `groups`-block diagonal launch on that matrix.
+  [[nodiscard]] static xcl::WorkloadProfile block_profile(std::size_t m,
+                                                          std::size_t groups);
+
+  // ---- partitioned-runner access (harness/partition) ----
+  [[nodiscard]] std::size_t length() const noexcept { return n_; }
+  [[nodiscard]] std::int32_t penalty() const noexcept { return penalty_; }
+  [[nodiscard]] const std::vector<std::int32_t>& similarity() const noexcept {
+    return similarity_;
+  }
+  /// Boundary-initialised score matrix each sweep starts from.
+  [[nodiscard]] const std::vector<std::int32_t>& boundary() const noexcept {
+    return init_matrix_;
+  }
+  /// Installs an externally computed score matrix (the partitioned runner's
+  /// assembled stripes) so validate()/result_signature() work unchanged.
+  void adopt_result(std::vector<std::int32_t> result) {
+    require(result.size() == init_matrix_.size(), xcl::Status::kInvalidValue,
+            "nw adopted result has the wrong shape");
+    result_ = std::move(result);
   }
 
  private:

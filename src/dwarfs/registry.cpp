@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dwarfs/beff/beff.hpp"
 #include "dwarfs/crc/crc.hpp"
 #include "dwarfs/csr/csr.hpp"
 #include "dwarfs/cwt/cwt.hpp"
@@ -25,12 +26,13 @@ const std::vector<std::string>& benchmark_names() {
 }
 
 const std::vector<std::string>& extension_names() {
-  static const std::vector<std::string> names = {"cwt"};
+  static const std::vector<std::string> names = {"cwt", "beff"};
   return names;
 }
 
 std::unique_ptr<Dwarf> create_dwarf(const std::string& name) {
   if (name == "cwt") return std::make_unique<Cwt>();
+  if (name == "beff") return std::make_unique<Beff>();
   if (name == "kmeans") return std::make_unique<KMeans>();
   if (name == "lud") return std::make_unique<Lud>();
   if (name == "csr") return std::make_unique<Csr>();

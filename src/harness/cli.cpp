@@ -29,6 +29,20 @@ xcl::Device& CliOptions::resolve_device() const {
   return p.select(device, t);
 }
 
+std::vector<xcl::Device*> CliOptions::resolve_devices() const {
+  if (devices.empty()) return {&resolve_device()};
+  std::vector<xcl::Device*> out;
+  for (const std::string& name : devices) {
+    try {
+      out.push_back(&sim::testbed_device(name));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--devices: no testbed device named \"" +
+                                  name + "\"");
+    }
+  }
+  return out;
+}
+
 CliOptions parse_cli(int argc, const char* const* argv) {
   CliOptions o;
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +73,26 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       if (o.type > 2) throw std::invalid_argument("-t must be 0, 1 or 2");
     } else if (arg == "--device-name") {
       o.device_name = next(arg);
+    } else if (arg == "--devices") {
+      // Comma-separated testbed names; validated against the testbed at
+      // resolve_devices() time so parse stays platform-free.
+      const std::string v = next(arg);
+      o.devices.clear();
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string name =
+            v.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (name.empty()) {
+          throw std::invalid_argument(
+              "--devices expects a comma-separated list of device names: " +
+              v);
+        }
+        o.devices.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (arg == "--size") {
       const std::string v = next(arg);
       const auto s = dwarfs::parse_problem_size(v);
@@ -110,6 +144,7 @@ CliOptions parse_cli(int argc, const char* const* argv) {
 std::string usage(const std::string& program) {
   return "usage: " + program +
          " [-p P] [-d D] [-t 0|1|2] [--device-name NAME]\n"
+         "          [--devices \"NAME,NAME,...\"]\n"
          "          [--size tiny|small|medium|large] [--samples N]\n"
          "          [--min-loop-seconds S] [--validate] [--all-devices]\n"
          "          [--long-table] [--dispatch " +
@@ -124,7 +159,9 @@ std::string usage(const std::string& program) {
          "--queue ooo lets dependency-expressed dwarfs overlap transfers\n"
          "with compute (EOD_QUEUE=ooo sets the default without the flag)\n"
          "--dispatch simd runs hand-vectorized kernel bodies where a dwarf\n"
-         "provides one (EOD_DISPATCH pins the tier without the flag)\n";
+         "provides one (EOD_DISPATCH pins the tier without the flag)\n"
+         "--devices partitions supporting dwarfs (nw, lud) across several\n"
+         "simulated devices over the modeled interconnect (DESIGN.md 14)\n";
 }
 
 }  // namespace eod::harness

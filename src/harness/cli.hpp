@@ -21,6 +21,11 @@ struct CliOptions {
   std::size_t device = 0;
   int type = -1;  ///< -1 = any; 0 = CPU, 1 = GPU, 2 = accelerator (MIC)
   std::optional<std::string> device_name;  ///< --device-name "GTX 1080"
+  /// --devices "GTX 1080,TITAN X": comma-separated testbed device names for
+  /// partitioned multi-device runs (DESIGN.md §14).  Order defines the
+  /// stripe order; repeats are allowed (homogeneous pairs).  Unknown names
+  /// are a hard error (exit 2), never a silent fallback.
+  std::vector<std::string> devices;
   std::optional<dwarfs::ProblemSize> size;
   std::size_t samples = 50;
   double min_loop_seconds = 2.0;
@@ -46,6 +51,11 @@ struct CliOptions {
 
   /// Resolves the requested device within the simulated testbed platform.
   [[nodiscard]] xcl::Device& resolve_device() const;
+
+  /// Resolves the --devices set; falls back to {resolve_device()} when the
+  /// flag is absent so callers have one code path.  Throws
+  /// std::invalid_argument for names not in the testbed.
+  [[nodiscard]] std::vector<xcl::Device*> resolve_devices() const;
 };
 
 /// Parses the uniform options; throws std::invalid_argument (with a usage

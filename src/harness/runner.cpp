@@ -247,6 +247,7 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
       manifest.benchmark = m.benchmark;
       manifest.size = dwarfs::to_string(size);
       manifest.device = m.device;
+      manifest.devices = {m.device};
       manifest.dispatch = xcl::to_string(dispatch);
       if (const char* env = std::getenv("EOD_DISPATCH")) {
         manifest.dispatch_env = env;

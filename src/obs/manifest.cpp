@@ -53,6 +53,11 @@ std::string RunManifest::to_json(const MetricsSnapshot& metrics) const {
   out += "  \"benchmark\": " + str(benchmark) + ",\n";
   out += "  \"size\": " + str(size) + ",\n";
   out += "  \"device\": " + str(device) + ",\n";
+  out += "  \"devices\": [";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + str(devices[i]);
+  }
+  out += "],\n";
   out += "  \"dispatch\": " + str(dispatch) + ",\n";
   out += "  \"dispatch_env\": " + str(dispatch_env) + ",\n";
   out += "  \"queue\": " + str(queue) + ",\n";

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -17,6 +18,10 @@ struct RunManifest {
   std::string benchmark;
   std::string size;
   std::string device;
+  /// Every device participating in the run: the single measured device for
+  /// ordinary runs, the full --devices set (in CLI order) for partitioned
+  /// multi-device runs (DESIGN.md §14).
+  std::vector<std::string> devices;
   std::string dispatch;  ///< kernel tier the functional pass ran under
   /// Value of the EOD_DISPATCH env hatch at measurement time (empty when
   /// unset); recorded so a manifest can distinguish "tier chosen by flag"

@@ -39,6 +39,12 @@ void finish_nvidia(DeviceSpec& d, double l2_total_mib) {
   d.dram_latency_ns = 280.0;
   d.transfer_bandwidth_gbs = 12.0;  // PCIe 3.0 x16
   d.transfer_latency_us = 12.0;
+  // GPUDirect P2P over a shared PCIe 3.0 root complex: one DMA hop, no
+  // host bounce buffer, but the doorbell/handshake costs more than a
+  // host-initiated transfer.
+  d.p2p_capable = true;
+  d.p2p_bandwidth_gbs = 10.0;
+  d.p2p_latency_us = 20.0;
   d.launch_overhead_us = 6.0;
   d.simd_width = 32;  // warp
   d.int_ratio = 0.33;
@@ -56,6 +62,11 @@ void finish_amd(DeviceSpec& d) {
   d.dram_latency_ns = 300.0;
   d.transfer_bandwidth_gbs = 11.0;
   d.transfer_latency_us = 15.0;
+  // DirectGMA peer path: works, but the amdappsdk setup round-trip is
+  // slower than Nvidia's and the sustained rate a little lower.
+  d.p2p_capable = true;
+  d.p2p_bandwidth_gbs = 9.0;
+  d.p2p_latency_us = 25.0;
   // The amdappsdk 3.0 enqueue path is heavier than the Nvidia driver's
   // and degrades as the unflushed batch grows; this is what stretches
   // launch-stream codes like nw as the problem size rises (§5.1).

@@ -76,6 +76,15 @@ struct DeviceSpec {
   /// Host<->device path: memcpy for CPUs/MIC, PCIe 3.0 for discrete GPUs.
   double transfer_bandwidth_gbs = 12.0;
   double transfer_latency_us = 10.0;
+  /// Device-to-device path (DESIGN.md §14).  When both endpoints of a pair
+  /// are capable and share a vendor driver stack, transfers take a direct
+  /// PCIe P2P / NVLink-class link (bottleneck bandwidth, worst-case setup
+  /// latency); otherwise they stage through host memory and pay both
+  /// host-link legs.  CPUs and the self-hosted MIC are never peers: their
+  /// "device" memory *is* host memory.
+  bool p2p_capable = false;
+  double p2p_bandwidth_gbs = 0.0;
+  double p2p_latency_us = 0.0;
   unsigned simd_width = 1;     ///< native SIMD lane / warp / wavefront width
   /// Driver maturity factor in (0,1]: fraction of peak the OpenCL stack can
   /// reach (the paper notes Intel's KNL OpenCL lacks AVX-512, halving peak).

@@ -1,0 +1,78 @@
+#include "sim/interconnect.hpp"
+
+#include <algorithm>
+
+namespace eod::sim {
+
+namespace {
+
+/// Host-staged fallback from the endpoints' own host-link models: source
+/// D2H leg plus destination H2D leg, serialised through a bounce buffer.
+double staged_seconds(const xcl::Device& src, const xcl::Device& dst,
+                      std::size_t bytes) {
+  return src.model().transfer_seconds(bytes, xcl::TransferDir::kDeviceToHost) +
+         dst.model().transfer_seconds(bytes, xcl::TransferDir::kHostToDevice);
+}
+
+const DeviceSpec* find_spec(const xcl::Device& device) noexcept {
+  for (const DeviceSpec& s : testbed()) {
+    if (s.name == device.name()) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LinkPath link_between(const DeviceSpec& src, const DeviceSpec& dst) {
+  LinkPath path;
+  // A direct link needs both endpoints capable *and* one driver stack that
+  // can program the DMA engines on both ends — in practice, one vendor.
+  if (src.p2p_capable && dst.p2p_capable && src.vendor == dst.vendor) {
+    path.peer = true;
+    path.latency_s = std::max(src.p2p_latency_us, dst.p2p_latency_us) * 1e-6;
+    path.bandwidth_gbs = std::min(src.p2p_bandwidth_gbs, dst.p2p_bandwidth_gbs);
+    return path;
+  }
+  // Host staging: the two legs run back to back, so latencies add and the
+  // effective bandwidth is the harmonic combination of the host links.
+  path.peer = false;
+  path.latency_s = (src.transfer_latency_us + dst.transfer_latency_us) * 1e-6;
+  path.bandwidth_gbs = 1.0 / (1.0 / src.transfer_bandwidth_gbs +
+                              1.0 / dst.transfer_bandwidth_gbs);
+  return path;
+}
+
+double Interconnect::peer_seconds(const xcl::Device& src,
+                                  const xcl::Device& dst,
+                                  std::size_t bytes) const {
+  const DeviceSpec* s = find_spec(src);
+  const DeviceSpec* d = find_spec(dst);
+  if (s == nullptr || d == nullptr) return staged_seconds(src, dst, bytes);
+  return link_between(*s, *d).seconds(bytes);
+}
+
+double Interconnect::peer_occupancy_seconds(const xcl::Device& src,
+                                            const xcl::Device& dst,
+                                            std::size_t bytes) const {
+  const DeviceSpec* s = find_spec(src);
+  const DeviceSpec* d = find_spec(dst);
+  // Unknown endpoints fall back to host staging with no pipelining — the
+  // conservative default of the LinkModel base class.
+  if (s == nullptr || d == nullptr) return staged_seconds(src, dst, bytes);
+  return link_between(*s, *d).occupancy_seconds(bytes);
+}
+
+bool Interconnect::peer_direct(const xcl::Device& src,
+                               const xcl::Device& dst) const {
+  const DeviceSpec* s = find_spec(src);
+  const DeviceSpec* d = find_spec(dst);
+  if (s == nullptr || d == nullptr) return false;
+  return link_between(*s, *d).peer;
+}
+
+const Interconnect& testbed_interconnect() {
+  static const Interconnect model;
+  return model;
+}
+
+}  // namespace eod::sim

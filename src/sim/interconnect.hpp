@@ -1,0 +1,77 @@
+// Modeled device-to-device interconnect topology (DESIGN.md §14).
+//
+// The paper's testbed measures each device in isolation; scale-out across
+// several simulated devices needs a cost model for the links between them.
+// Every device pair gets a LinkPath derived from the two DeviceSpecs:
+//
+//  * direct peer (PCIe P2P / NVLink-class) when both endpoints are
+//    p2p_capable and share a vendor driver stack — one DMA hop at the
+//    bottleneck endpoint's peer bandwidth, worst-case setup latency;
+//  * host-staged otherwise — the transfer bounces through host memory and
+//    pays both host-link legs back to back (latencies add, bandwidths
+//    combine harmonically).
+//
+// `Interconnect` adapts the topology onto xcl::LinkModel so
+// Queue::enqueue_peer_copy prices halo exchanges without the runtime
+// knowing anything about Table 1.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device_spec.hpp"
+#include "xcl/device.hpp"
+#include "xcl/modeling.hpp"
+
+namespace eod::sim {
+
+/// Cost parameters of one directed device pair.  Both path shapes reduce to
+/// latency + size/bandwidth; only the parameters differ.
+struct LinkPath {
+  /// Per-message DMA-engine setup charge.  The engine is busy for setup
+  /// plus wire time; the propagation part of `latency_s` overlaps the next
+  /// message, so back-to-back small transfers pipeline (LogGP's gap vs
+  /// latency distinction).
+  static constexpr double kDmaSetupSeconds = 1e-6;
+
+  bool peer = false;  ///< direct P2P link vs host staging
+  double latency_s = 0.0;
+  double bandwidth_gbs = 0.0;
+
+  /// End-to-end completion of one message.
+  [[nodiscard]] double seconds(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+  }
+  /// How long the issuing lane stays busy with one message (never more
+  /// than the full completion time).
+  [[nodiscard]] double occupancy_seconds(std::size_t bytes) const noexcept {
+    const double busy = kDmaSetupSeconds +
+                        static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+    return busy < seconds(bytes) ? busy : seconds(bytes);
+  }
+};
+
+/// The modeled path from `src`'s memory to `dst`'s memory.
+[[nodiscard]] LinkPath link_between(const DeviceSpec& src,
+                                    const DeviceSpec& dst);
+
+/// xcl::LinkModel over the testbed topology.  Endpoints are resolved to
+/// DeviceSpecs by name; a device that is not in Table 1 (tests construct
+/// synthetic ones) falls back to host staging priced by the endpoints' own
+/// TimingModels, so the model never throws mid-pipeline.
+class Interconnect final : public xcl::LinkModel {
+ public:
+  [[nodiscard]] double peer_seconds(const xcl::Device& src,
+                                    const xcl::Device& dst,
+                                    std::size_t bytes) const override;
+  [[nodiscard]] double peer_occupancy_seconds(const xcl::Device& src,
+                                              const xcl::Device& dst,
+                                              std::size_t bytes) const override;
+  [[nodiscard]] bool peer_direct(const xcl::Device& src,
+                                 const xcl::Device& dst) const override;
+};
+
+/// The process-wide Interconnect instance testbed_platform() installs via
+/// xcl::set_link_model().
+[[nodiscard]] const Interconnect& testbed_interconnect();
+
+}  // namespace eod::sim

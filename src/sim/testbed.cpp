@@ -3,6 +3,7 @@
 #include <memory>
 #include <mutex>
 
+#include "sim/interconnect.hpp"
 #include "sim/perf_model.hpp"
 
 namespace eod::sim {
@@ -53,6 +54,9 @@ xcl::Platform& testbed_platform() {
     for (const DeviceSpec& s : testbed()) {
       platform.add_device(make_info(s), std::make_shared<DevicePerfModel>(s));
     }
+    // Wire the interconnect topology into the runtime so peer copies between
+    // testbed devices are priced by the modeled links (DESIGN.md §14).
+    xcl::set_link_model(&testbed_interconnect());
     g_platform = &platform;
   });
   return *g_platform;

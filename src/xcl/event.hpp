@@ -54,7 +54,14 @@ namespace eod::xcl {
   return out;
 }
 
-enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead, kCopy, kFill };
+enum class CommandKind : std::uint8_t {
+  kKernel,
+  kWrite,
+  kRead,
+  kCopy,
+  kFill,
+  kPeerCopy,  ///< device-to-device copy over the modeled interconnect
+};
 
 [[nodiscard]] constexpr const char* to_string(CommandKind k) noexcept {
   switch (k) {
@@ -68,16 +75,20 @@ enum class CommandKind : std::uint8_t { kKernel, kWrite, kRead, kCopy, kFill };
       return "copy";
     case CommandKind::kFill:
       return "fill";
+    case CommandKind::kPeerCopy:
+      return "peer";
   }
   return "unknown";
 }
 
-/// True for commands that move bytes over the host<->device link (and thus
-/// occupy the queue's modeled *transfer* lane).  Copies and fills move bytes
+/// True for commands that move bytes over an interconnect link — the host
+/// link (write/read) or a device-to-device link (peer copy) — and thus
+/// occupy the queue's modeled *transfer* lane.  Copies and fills move bytes
 /// too, but at device-memory bandwidth: they are device-side work and share
 /// the kernel lane.
 [[nodiscard]] constexpr bool is_link_transfer(CommandKind k) noexcept {
-  return k == CommandKind::kWrite || k == CommandKind::kRead;
+  return k == CommandKind::kWrite || k == CommandKind::kRead ||
+         k == CommandKind::kPeerCopy;
 }
 
 /// True for commands the device itself executes (kernel-lane occupants whose

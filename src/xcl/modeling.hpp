@@ -107,4 +107,41 @@ class TimingModel {
   [[nodiscard]] virtual double measurement_noise_cov() const { return 0.02; }
 };
 
+class Device;
+
+/// Device-to-device interconnect cost (DESIGN.md §14).  Implemented by the
+/// simulator's topology model (sim/interconnect): a pair with a direct peer
+/// path (PCIe P2P / NVLink-class) pays one link traversal; everything else
+/// is staged through host memory and pays both devices' host-link legs.
+/// xcl only defines the interface so the runtime stays simulator-agnostic.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+  /// Modeled seconds to move `bytes` from `src`'s memory to `dst`'s.
+  [[nodiscard]] virtual double peer_seconds(const Device& src,
+                                            const Device& dst,
+                                            std::size_t bytes) const = 0;
+  /// Seconds the issuing transfer lane (the DMA engine) stays busy with the
+  /// message — LogGP's overhead/gap, as opposed to peer_seconds' full
+  /// end-to-end completion.  Back-to-back small messages pipeline: the next
+  /// transfer may start once the lane frees, long before the previous
+  /// message lands at the far end.  Defaults to the full duration (no
+  /// pipelining) so conservative models need not override it.
+  [[nodiscard]] virtual double peer_occupancy_seconds(
+      const Device& src, const Device& dst, std::size_t bytes) const {
+    return peer_seconds(src, dst, bytes);
+  }
+  /// True when the pair transfers directly, without host staging.
+  [[nodiscard]] virtual bool peer_direct(const Device& src,
+                                         const Device& dst) const = 0;
+};
+
+/// Process-wide link model used by Queue::enqueue_peer_copy.  When unset
+/// (nullptr), peer copies fall back to conservative host staging: the
+/// source's device-to-host leg plus the destination's host-to-device leg,
+/// each timed by its own TimingModel.  The pointer is not owned and must
+/// outlive any queue that transfers while it is installed.
+void set_link_model(const LinkModel* model) noexcept;
+[[nodiscard]] const LinkModel* link_model() noexcept;
+
 }  // namespace eod::xcl

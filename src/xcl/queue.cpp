@@ -73,11 +73,26 @@ void accumulate_dispatch(ExecutorStats& total, const ExecutorStats& before,
       return "device:copy";
     case CommandKind::kFill:
       return "device:fill";
+    case CommandKind::kPeerCopy:
+      return "device:peer";
   }
   return "device:unknown";
 }
 
+// Process-wide interconnect model for peer copies (DESIGN.md §14).  Relaxed
+// atomics: installation happens once at testbed construction, long before
+// any multi-queue traffic.
+std::atomic<const LinkModel*> g_link_model{nullptr};
+
 }  // namespace
+
+void set_link_model(const LinkModel* model) noexcept {
+  g_link_model.store(model, std::memory_order_release);
+}
+
+const LinkModel* link_model() noexcept {
+  return g_link_model.load(std::memory_order_acquire);
+}
 
 const char* to_string(QueueMode mode) noexcept {
   return mode == QueueMode::kOutOfOrder ? "ooo" : "inorder";
@@ -191,7 +206,8 @@ void Queue::resolve_wait_list(const std::span<const Event>* wait) {
 
 Event Queue::submit(Event e, double duration_s,
                     const std::span<const Event>* wait,
-                    std::function<std::uint64_t()> exec) {
+                    std::function<std::uint64_t()> exec,
+                    double occupancy_s) {
   resolve_wait_list(wait);
   e.id = g_next_event_id.fetch_add(1, std::memory_order_relaxed);
   e.enqueue_index = next_enqueue_index_++;
@@ -202,11 +218,22 @@ Event Queue::submit(Event e, double duration_s,
   // dependencies end (implicit chain = the previously enqueued command) and
   // starts when its lane — kernel-side work vs link transfers — is also
   // free.  Durations are mode-independent; only placement changes.
+  //
+  // Foreign wait-list events contribute their modeled end times in either
+  // mode: every queue's virtual timeline shares one timebase (all start at
+  // 0 when their contexts are created together), so a multi-device pipeline
+  // whose halo copy waits on a remote kernel is placed after that kernel on
+  // the shared clock — the cross-device makespan is causally consistent
+  // (DESIGN.md §14).  Functionally the foreign command was already drained
+  // on the host by resolve_wait_list above.
   std::vector<std::uint64_t> deps;
   double ready_s = 0.0;
   const bool ooo = mode_ == QueueMode::kOutOfOrder;
   if (!ooo) {
     ready_s = chain_end_s_;
+    if (wait != nullptr) {
+      for (const Event& w : *wait) ready_s = std::max(ready_s, w.modeled_end_s);
+    }
   } else if (wait == nullptr) {
     // No wait list: the command joins the implicit program-order chain,
     // which is a barrier over *everything* enqueued before it — code that
@@ -219,17 +246,21 @@ Event Queue::submit(Event e, double duration_s,
     for (const PendingCmd& c : pending_) deps.push_back(c.id);
   } else {
     for (const Event& w : *wait) {
-      if (w.queue != this) continue;  // foreign: host-synchronised above
       ready_s = std::max(ready_s, w.modeled_end_s);
+      if (w.queue != this) continue;  // foreign: host-synchronised above
       if (has_pending(w.id)) deps.push_back(w.id);
     }
   }
   double& lane_end = (ooo && is_link_transfer(e.kind)) ? transfer_lane_end_s_
                                                        : kernel_lane_end_s_;
-  const double start_s = ooo ? std::max(ready_s, lane_end) : chain_end_s_;
+  const double start_s = ooo ? std::max(ready_s, lane_end) : ready_s;
   e.modeled_start_s = start_s;
   e.modeled_end_s = start_s + duration_s;
-  lane_end = e.modeled_end_s;
+  // The lane frees after the command's *occupancy*, which for pipelined
+  // link transfers is shorter than the full latency-inclusive duration;
+  // dependants still wait for modeled_end_s via the wait list.
+  const double busy_s = occupancy_s >= 0.0 ? occupancy_s : duration_s;
+  lane_end = std::max(lane_end, start_s + busy_s);
   chain_end_s_ = e.modeled_end_s;
   now_s_ = std::max(now_s_, e.modeled_end_s);
 
@@ -435,9 +466,10 @@ Event Queue::launch(const Kernel& kernel, NDRange range,
   return submit(std::move(e), dt, wait, std::move(exec));
 }
 
-Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes,
+Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t offset,
+                         std::size_t bytes,
                          const std::span<const Event>* wait) {
-  require(bytes <= dst.bytes(), Status::kInvalidBufferSize,
+  require(offset + bytes <= dst.bytes(), Status::kInvalidBufferSize,
           "write exceeds buffer size");
   const bool blocking = wait == nullptr;
   if (blocking) kernels_since_sync_ = 0;  // blocking transfers synchronise
@@ -450,11 +482,11 @@ Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t bytes,
   Event e;
   e.kind = CommandKind::kWrite;
   e.label = transfer_label("write", dst.name(), bytes);
-  auto exec = [dptr = dst.data(), src, bytes,
+  auto exec = [dptr = dst.data(), src, offset, bytes,
                label = e.label]() -> std::uint64_t {
     const std::uint64_t t0 = scibench::now_ns();
-    std::memcpy(dptr, src, bytes);
-    check::on_host_write(dptr, 0, bytes);  // transfers initialize
+    std::memcpy(dptr + offset, src, bytes);
+    check::on_host_write(dptr, offset, bytes);  // transfers initialize
     const std::uint64_t t1 = scibench::now_ns();
     if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
     if (obs::tracing_enabled()) {
@@ -531,6 +563,76 @@ Event Queue::copy_impl(const Buffer& src, Buffer& dst,
                         transfer_label("copy", dst.name(), src.bytes()),
                         2 * src.bytes(),  // read + write
                         std::move(body), wait);
+}
+
+Event Queue::enqueue_peer_copy(const Buffer& src, std::size_t src_offset,
+                               Buffer& dst, std::size_t dst_offset,
+                               std::size_t bytes) {
+  return peer_copy_impl(src, src_offset, dst, dst_offset, bytes, nullptr);
+}
+
+Event Queue::enqueue_peer_copy(const Buffer& src, std::size_t src_offset,
+                               Buffer& dst, std::size_t dst_offset,
+                               std::size_t bytes,
+                               std::span<const Event> wait) {
+  return peer_copy_impl(src, src_offset, dst, dst_offset, bytes, &wait);
+}
+
+Event Queue::peer_copy_impl(const Buffer& src, std::size_t src_offset,
+                            Buffer& dst, std::size_t dst_offset,
+                            std::size_t bytes,
+                            const std::span<const Event>* wait) {
+  require(src_offset + bytes <= src.bytes(), Status::kInvalidBufferSize,
+          "peer copy exceeds source buffer");
+  require(dst_offset + bytes <= dst.bytes(), Status::kInvalidBufferSize,
+          "peer copy exceeds destination buffer");
+  require(&dst.context() == ctx_, Status::kInvalidValue,
+          "peer copy destination must belong to this queue's context");
+
+  // Link cost: the installed topology model when one exists (direct P2P or
+  // host-staged, its call), else conservative host staging priced by the
+  // two endpoints' own host-link models.  Same-device pairs still go
+  // through the model — a simulated multi-device rig may map several
+  // contexts onto one spec entry.
+  const Device& src_dev = src.context().device();
+  const Device& dst_dev = ctx_->device();
+  double dt = 0.0;
+  double busy = -1.0;  // lane occupancy; -1 = full duration (no pipelining)
+  if (const LinkModel* lm = link_model()) {
+    dt = lm->peer_seconds(src_dev, dst_dev, bytes);
+    busy = lm->peer_occupancy_seconds(src_dev, dst_dev, bytes);
+  } else {
+    dt = src_dev.model().transfer_seconds(bytes, TransferDir::kDeviceToHost) +
+         dst_dev.model().transfer_seconds(bytes, TransferDir::kHostToDevice);
+  }
+
+  g_q_transfers.add(1);
+  g_q_bytes_written.add(static_cast<std::int64_t>(bytes));
+
+  Event e;
+  e.kind = CommandKind::kPeerCopy;
+  e.label = transfer_label("peer", dst.name(), bytes);
+  std::function<void()> body;
+  if (functional_) {
+    body = [sptr = src.data() + src_offset, dbase = dst.data(), dst_offset,
+            bytes] {
+      std::memcpy(dbase + dst_offset, sptr, bytes);
+      check::on_host_write(dbase, dst_offset, bytes);
+    };
+  }
+  auto exec = [body = std::move(body), label = e.label,
+               bytes]() -> std::uint64_t {
+    const std::uint64_t t0 = scibench::now_ns();
+    if (body) body();
+    const std::uint64_t t1 = scibench::now_ns();
+    if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
+    if (obs::tracing_enabled()) {
+      obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
+                             "bytes", static_cast<double>(bytes));
+    }
+    return t1 - t0;
+  };
+  return submit(std::move(e), dt, wait, std::move(exec), busy);
 }
 
 Event Queue::device_side_op(CommandKind kind, std::string label,

@@ -79,12 +79,21 @@ class Queue {
   /// non-blocking clEnqueueWriteBuffer contract).
   template <typename T>
   Event enqueue_write(Buffer& dst, std::span<const T> src) {
-    return write_bytes(dst, src.data(), src.size_bytes(), nullptr);
+    return write_bytes(dst, src.data(), 0, src.size_bytes(), nullptr);
   }
   template <typename T>
   Event enqueue_write(Buffer& dst, std::span<const T> src,
                       std::span<const Event> wait) {
-    return write_bytes(dst, src.data(), src.size_bytes(), &wait);
+    return write_bytes(dst, src.data(), 0, src.size_bytes(), &wait);
+  }
+  /// Sub-range write: `src` lands at elements [elem_offset, elem_offset +
+  /// src.size()) of the buffer (clEnqueueWriteBuffer with a byte offset).
+  /// Used by partitioned pipelines where each shard uploads only its stripe.
+  template <typename T>
+  Event enqueue_write(Buffer& dst, std::span<const T> src,
+                      std::size_t elem_offset, std::span<const Event> wait) {
+    return write_bytes(dst, src.data(), elem_offset * sizeof(T),
+                       src.size_bytes(), &wait);
   }
 
   /// Device -> host transfer (clEnqueueReadBuffer).  Without a wait list
@@ -128,6 +137,23 @@ class Queue {
   Event enqueue_copy(const Buffer& src, Buffer& dst);
   Event enqueue_copy(const Buffer& src, Buffer& dst,
                      std::span<const Event> wait);
+
+  /// Cross-device copy over the modeled interconnect (DESIGN.md §14):
+  /// moves `bytes` from byte `src_offset` of `src` (a buffer of *any*
+  /// context) into byte `dst_offset` of `dst`, which must belong to this
+  /// queue's context.  Timed by the installed LinkModel — a direct P2P link
+  /// traversal when the topology has one, host staging (source D2H + local
+  /// H2D) otherwise — and placed on the modeled *transfer* lane, so an
+  /// out-of-order queue overlaps halo exchanges with compute.  Wait-list
+  /// events may come from the source device's queue; modeled time
+  /// propagates across queues, so the copy cannot start before its producer
+  /// finished on the remote timeline.
+  Event enqueue_peer_copy(const Buffer& src, std::size_t src_offset,
+                          Buffer& dst, std::size_t dst_offset,
+                          std::size_t bytes);
+  Event enqueue_peer_copy(const Buffer& src, std::size_t src_offset,
+                          Buffer& dst, std::size_t dst_offset,
+                          std::size_t bytes, std::span<const Event> wait);
 
   /// Kernel launch (clEnqueueNDRangeKernel).  `profile` characterizes the
   /// launch's work for the device timing model.
@@ -221,12 +247,15 @@ class Queue {
   Event launch(const Kernel& kernel, NDRange range,
                const WorkloadProfile& profile,
                const std::span<const Event>* wait);
-  Event write_bytes(Buffer& dst, const void* src, std::size_t bytes,
-                    const std::span<const Event>* wait);
+  Event write_bytes(Buffer& dst, const void* src, std::size_t offset,
+                    std::size_t bytes, const std::span<const Event>* wait);
   Event read_bytes(const Buffer& src, void* dst, std::size_t offset,
                    std::size_t bytes, const std::span<const Event>* wait);
   Event copy_impl(const Buffer& src, Buffer& dst,
                   const std::span<const Event>* wait);
+  Event peer_copy_impl(const Buffer& src, std::size_t src_offset,
+                       Buffer& dst, std::size_t dst_offset, std::size_t bytes,
+                       const std::span<const Event>* wait);
   /// Copy/fill: modeled as a device-bandwidth streaming op on the kernel
   /// lane, with `body` as the deferred functional work.
   Event device_side_op(CommandKind kind, std::string label,
@@ -256,9 +285,14 @@ class Queue {
   /// Records the command's event (modeled placement on the right lane),
   /// then either runs `exec` eagerly (in-order queue, or while a checker
   /// session pins serial execution) or defers it into the pending graph.
+  /// `occupancy_s` is how long the command keeps its lane busy; negative
+  /// (the default) means the full `duration_s`.  Link transfers pass a
+  /// smaller occupancy so back-to-back messages pipeline on the lane while
+  /// each still completes after its full modeled latency (DESIGN.md §14).
   Event submit(Event e, double duration_s,
                const std::span<const Event>* wait,
-               std::function<std::uint64_t()> exec);
+               std::function<std::uint64_t()> exec,
+               double occupancy_s = -1.0);
   /// Runs `target_id`'s transitive dependency closure (0 = everything) in
   /// topological waves over the ThreadPool; detects cycles defensively.
   void drain(std::uint64_t target_id);

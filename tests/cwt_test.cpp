@@ -23,8 +23,9 @@ void run_functional(Cwt& cwt) {
 }
 
 TEST(Cwt, RegisteredAsExtension) {
-  EXPECT_EQ(extension_names().size(), 1u);
+  EXPECT_EQ(extension_names().size(), 2u);
   EXPECT_EQ(extension_names()[0], "cwt");
+  EXPECT_EQ(extension_names()[1], "beff");
   // Not in the paper's Table 2 roster...
   for (const auto& n : benchmark_names()) EXPECT_NE(n, "cwt");
   // ...but constructible through the factory.

@@ -166,11 +166,13 @@ TEST(SpanTierAuto, AutoSelectsSpanWhereLegal) {
   EXPECT_GT(a.span_groups, 0u);
 }
 
-// Dwarfs without a span body are untouched by the override: lud's tiled
-// barrier kernels must run on the fiber path in every mode.
+// Dwarfs without a span body are untouched by the override: hmm's
+// barrier kernels must run on the fiber path in every mode.  (lud used to
+// be this case until its kernels grew span bodies for the partitioned
+// multi-device path, DESIGN.md §14.)
 TEST(SpanTierAuto, NonConvertedDwarfKeepsReferencePath) {
   const RunOutcome a =
-      run_once("lud", ProblemSize::kTiny, eod::xcl::DispatchMode::kSpan);
+      run_once("hmm", ProblemSize::kTiny, eod::xcl::DispatchMode::kSpan);
   EXPECT_TRUE(a.ok);
   EXPECT_EQ(a.span_groups, 0u);
   EXPECT_GT(a.other_groups, 0u);
