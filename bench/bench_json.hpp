@@ -81,29 +81,46 @@ class BenchReport {
   void speedup(double x) { speedup_ = x; }
 
   [[nodiscard]] std::string to_json() const {
-    std::string out = "{\n  \"benchmark\": \"" + escape(benchmark_) + "\"";
+    std::string out = "{\n  \"benchmark\": \"";
+    out += escape(benchmark_);
+    out += '"';
+    // Built by append rather than `"lit" + std::string` chains: GCC 12's
+    // -Wrestrict issues a false positive on small-literal concatenation
+    // at -O3 (PR105651), and the bench tree builds with -Werror in CI.
     out += ",\n  \"config\": {";
     for (std::size_t i = 0; i < config_.size(); ++i) {
       out += i ? ", " : "";
-      out += "\"" + escape(config_[i].first) + "\": \"" +
-             escape(config_[i].second) + "\"";
+      out += '"';
+      out += escape(config_[i].first);
+      out += "\": \"";
+      out += escape(config_[i].second);
+      out += '"';
     }
     out += "},\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Percentiles& p = metrics_[i].second;
       out += i ? ", " : "";
-      out += "\"" + escape(metrics_[i].first) +
-             "\": {\"median_ns\": " + number(p.median_ns) +
-             ", \"p10_ns\": " + number(p.p10_ns) +
-             ", \"p90_ns\": " + number(p.p90_ns) + "}";
+      out += '"';
+      out += escape(metrics_[i].first);
+      out += "\": {\"median_ns\": ";
+      out += number(p.median_ns);
+      out += ", \"p10_ns\": ";
+      out += number(p.p10_ns);
+      out += ", \"p90_ns\": ";
+      out += number(p.p90_ns);
+      out += '}';
     }
     out += "},\n  \"values\": {";
     for (std::size_t i = 0; i < values_.size(); ++i) {
       out += i ? ", " : "";
-      out += "\"" + escape(values_[i].first) +
-             "\": " + number(values_[i].second);
+      out += '"';
+      out += escape(values_[i].first);
+      out += "\": ";
+      out += number(values_[i].second);
     }
-    out += "},\n  \"speedup\": " + number(speedup_) + "\n}\n";
+    out += "},\n  \"speedup\": ";
+    out += number(speedup_);
+    out += "\n}\n";
     return out;
   }
 

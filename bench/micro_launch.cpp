@@ -40,12 +40,14 @@ std::atomic<std::uint64_t> g_allocs{0};
 }
 
 void* operator new(std::size_t size) {
+  // lint: relaxed-ok(allocation counter; value-only)
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
+  // lint: relaxed-ok(allocation counter; value-only)
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
                                    (size + static_cast<std::size_t>(align) -
@@ -235,6 +237,7 @@ Run time_launches(LaunchFn&& launch) {
   for (int i = 0; i < kWarmup; ++i) launch();
   Run r;
   r.launch_ns.reserve(kReps);
+  // lint: relaxed-ok(benchmark counter read)
   const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
   const std::uint64_t t0 = scibench::now_ns();
   for (int i = 0; i < kReps; ++i) {
@@ -243,6 +246,7 @@ Run time_launches(LaunchFn&& launch) {
     r.launch_ns.push_back(static_cast<double>(scibench::now_ns() - s0));
   }
   const std::uint64_t t1 = scibench::now_ns();
+  // lint: relaxed-ok(benchmark counter read)
   const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
   r.ns_per_group = static_cast<double>(t1 - t0) /
                    (static_cast<double>(kReps) * kGroups);

@@ -73,7 +73,9 @@ void KMeans::bind(xcl::Context& ctx, xcl::Queue& q) {
   cluster_buf_->named("centroids");
   membership_buf_.emplace(ctx, membership_.size() * sizeof(std::int32_t));
   membership_buf_->named("membership");
+  // lint: no-deps(bind-time upload: blocking by design, no producers yet)
   q.enqueue_write<float>(*feature_buf_, features_);
+  // lint: no-deps(bind-time upload: blocking by design, no producers yet)
   centroid_write_ = q.enqueue_write<float>(*cluster_buf_, centroids_);
 }
 
@@ -84,7 +86,7 @@ xcl::Event KMeans::enqueue_assign(std::size_t begin, std::size_t end,
   const unsigned cn = params_.clusters;
   const std::size_t span_n = end - begin;
   auto feats = feature_buf_->access<const float>("features");
-  auto clus = cluster_buf_->access<const float>("clusters");
+  auto clus = cluster_buf_->access<const float>("centroids");
   auto member = membership_buf_->access<std::int32_t>("membership");
 
   xcl::Kernel assign("kmeans_assign", [=](xcl::WorkItem& it) {
@@ -266,6 +268,7 @@ void KMeans::run() {
 }
 
 void KMeans::finish() {
+  // lint: no-deps(blocking read drains the assign/update chain by design)
   queue_->enqueue_read<std::int32_t>(*membership_buf_,
                                      std::span(membership_));
 }

@@ -85,6 +85,7 @@ void Srad::run() {
   const std::size_t cols = extent_.cols;
   const float q0 = q0sqr_;
   const float lam = lambda_;
+  // lint: no-deps(first upload: blocking, no producers to wait on)
   const xcl::Event j_write = queue_->enqueue_write<float>(*j_buf_, j_in_);
 
   auto j = j_buf_->access<float>("j");
@@ -396,6 +397,7 @@ void Srad::run() {
 }
 
 void Srad::finish() {
+  // lint: no-deps(blocking read drains the wavefront chain by design)
   queue_->enqueue_read<float>(*j_buf_, std::span(j_out_));
 }
 

@@ -96,6 +96,7 @@ std::vector<Shard> plan_shards(const std::vector<xcl::Device*>& devices,
     xcl::Queue q(ctx);
     q.set_functional(false);  // model-only probe
     xcl::Kernel probe("partition_probe", [](xcl::WorkItem&) {});
+    // lint: no-deps(model-only probe, sole command on a fresh private queue)
     const xcl::Event e = q.enqueue(probe, block_range, per_block);
     per_block_s[i] = std::max(e.modeled_seconds(), 1e-12);
     // One halo arrives per super-step (wavefront diagonal / factorization
@@ -209,8 +210,10 @@ PartitionedResult run_partitioned_nw(dwarfs::Nw& nw,
     auto d = std::make_unique<DevState>(*r.shards[si].device);
     d->bufs.emplace_back(d->ctx, bytes);  // [0] score
     d->bufs.emplace_back(d->ctx, bytes);  // [1] similarity
+    // lint: no-deps(seed upload: blocking, first command on this queue)
     clock.upload(d->q.enqueue_write<std::int32_t>(d->bufs[0], nw.boundary()));
     const xcl::Event up =
+        // lint: no-deps(seed upload: blocking, first command on this queue)
         d->q.enqueue_write<std::int32_t>(d->bufs[1], nw.similarity());
     clock.upload(up);
     last_launch[si] = up;
@@ -318,6 +321,7 @@ PartitionedResult run_partitioned_lud(
   for (std::size_t si = 0; si < r.shards.size(); ++si) {
     auto d = std::make_unique<DevState>(*r.shards[si].device);
     d->bufs.emplace_back(d->ctx, bytes);
+    // lint: no-deps(seed upload: blocking, first command on this queue)
     const xcl::Event up = d->q.enqueue_write<float>(d->bufs[0], lud.input());
     clock.upload(up);
     last[si] = up;
@@ -442,6 +446,7 @@ std::vector<RingPoint> ring_sweep(const std::vector<xcl::Device*>& devices,
     // destination queue), so they traverse the ring's links concurrently.
     for (std::size_t i = 0; i < nd; ++i) {
       const std::size_t dst = (i + 1) % nd;
+      // lint: no-deps(bandwidth probe: hops are independent, payload unchecked)
       const xcl::Event hop = dev[dst]->q.enqueue_peer_copy(
           dev[i]->bufs[0], 0, dev[dst]->bufs[0], 0, bytes);
       start = first ? hop.modeled_start_s : std::min(start,

@@ -46,6 +46,7 @@ class Gauge {
   void set_max(std::int64_t v) noexcept {
     std::int64_t cur = v_.load(std::memory_order_relaxed);
     while (cur < v && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed,
                                                 std::memory_order_relaxed)) {
     }
   }

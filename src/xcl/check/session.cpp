@@ -27,7 +27,8 @@ std::atomic<CheckSession*> g_active_session{nullptr};
 CheckSession::CheckSession() {
   CheckSession* expected = nullptr;
   require(detail::g_active_session.compare_exchange_strong(
-              expected, this, std::memory_order_acq_rel),
+              expected, this, std::memory_order_acq_rel,
+              std::memory_order_acquire),
           Status::kInvalidOperation,
           "a CheckSession is already active (one checker at a time)");
   // Pin the checked tier for the session's lifetime: auto/span selection

@@ -10,20 +10,26 @@ namespace eod::xcl {
 void Context::on_alloc(std::size_t bytes) {
   const std::size_t cap = device_.info().global_mem_bytes;
   const std::size_t now =
+      // lint: relaxed-ok(stat counter; no memory is published through it)
       allocated_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (cap != 0 && now > cap) {
+    // lint: relaxed-ok(rollback of the stat counter above)
     allocated_.fetch_sub(bytes, std::memory_order_relaxed);
     throw Error(Status::kMemObjectAllocationFailure,
                 "allocation exceeds device global memory of " +
                     device_.name());
   }
-  std::size_t prev = peak_.load(std::memory_order_relaxed);
-  while (prev < now &&
-         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  // Monotone peak watermark: value-only, nothing is acquired through it.
+  // lint: relaxed-ok(monotonic stat watermark; both CAS orders are relaxed)
+  constexpr auto relaxed = std::memory_order_relaxed;
+  std::size_t prev = peak_.load(relaxed);
+  while (prev < now && !peak_.compare_exchange_weak(prev, now, relaxed,
+                                                    relaxed)) {
   }
 }
 
 void Context::on_free(std::size_t bytes) noexcept {
+  // lint: relaxed-ok(stat counter decrement; value-only)
   allocated_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 

@@ -27,10 +27,12 @@ class Context {
 
   /// Sum of the sizes of all currently live device buffers, bytes.
   [[nodiscard]] std::size_t allocated_bytes() const noexcept {
+    // lint: relaxed-ok(monitoring read of an allocation stat counter)
     return allocated_.load(std::memory_order_relaxed);
   }
   /// Largest simultaneous allocation over the context lifetime, bytes.
   [[nodiscard]] std::size_t peak_allocated_bytes() const noexcept {
+    // lint: relaxed-ok(monitoring read of an allocation stat counter)
     return peak_.load(std::memory_order_relaxed);
   }
 

@@ -147,12 +147,14 @@ bool simd_legal(const Kernel& kernel, const NDRange& range,
 }  // namespace
 
 DispatchMode dispatch_mode() noexcept {
+  // lint: relaxed-ok(mode flag is a plain value; no data is published via it)
   const int raw = g_dispatch_mode.load(std::memory_order_relaxed);
   if (raw < 0) return default_dispatch_mode();
   return static_cast<DispatchMode>(raw);
 }
 
 void set_dispatch_mode(DispatchMode mode) noexcept {
+  // lint: relaxed-ok(mode flag is a plain value; no data is published via it)
   g_dispatch_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
 }
 

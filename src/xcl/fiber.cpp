@@ -38,8 +38,10 @@ void fiber_trampoline(unsigned hi, unsigned lo) {
 }
 }  // namespace
 
+// lint: alloc-ok(one-time Fiber construction; instances are pooled and rearmed)
 Fiber::Fiber(Fn fn, std::size_t stack_bytes) : impl_(std::make_unique<Impl>()) {
   impl_->fn = std::move(fn);
+  // lint: alloc-ok(one-time stack allocation for a pooled fiber)
   impl_->stack.resize(stack_bytes);
 }
 
@@ -103,13 +105,17 @@ std::atomic<std::uint64_t> g_stacks_reused{0};
 }  // namespace
 
 std::uint64_t fiber_stacks_created() noexcept {
+  // lint: relaxed-ok(stack-reuse stat counter read)
   return g_stacks_created.load(std::memory_order_relaxed);
 }
 std::uint64_t fiber_stacks_reused() noexcept {
+  // lint: relaxed-ok(stack-reuse stat counter read)
   return g_stacks_reused.load(std::memory_order_relaxed);
 }
 void reset_fiber_stack_counters() noexcept {
+  // lint: relaxed-ok(stack-reuse stat counter reset)
   g_stacks_created.store(0, std::memory_order_relaxed);
+  // lint: relaxed-ok(stack-reuse stat counter reset)
   g_stacks_reused.store(0, std::memory_order_relaxed);
 }
 
@@ -122,10 +128,14 @@ void FiberPool::run_group(std::size_t count, GroupFnRef body) {
     // [this, i] capture fits std::function's small-object buffer, so even
     // this one-time construction does not allocate beyond the stack.
     const std::size_t i = fibers_.size();
+    // lint: alloc-ok(pool growth on first use; recycled fibers skip this)
     fibers_.push_back(
+        // lint: alloc-ok(pool growth on first use; recycled fibers skip this)
         std::make_unique<Fiber>([this, i] { body_(i); }, stack_bytes_));
   }
+  // lint: relaxed-ok(stack-reuse stat counter)
   g_stacks_created.fetch_add(count - reused, std::memory_order_relaxed);
+  // lint: relaxed-ok(stack-reuse stat counter)
   g_stacks_reused.fetch_add(reused, std::memory_order_relaxed);
   body_ = body;
   for (std::size_t i = 0; i < count; ++i) {

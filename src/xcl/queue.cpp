@@ -171,6 +171,7 @@ void Queue::emit_device_span(const Event& e) {
   if (mode_ == QueueMode::kOutOfOrder && is_link_transfer(e.kind)) {
     lane = obs_transfer_lane();
   }
+  // lint: raw-span-ok(device-lane complete event with modeled timestamps)
   obs::emit_complete_on(
       obs::kDevicePid, lane, e.label.c_str(), device_trace_cat(e.kind),
       static_cast<std::uint64_t>(e.modeled_start_s * 1e9),
@@ -189,6 +190,7 @@ bool Queue::has_pending(std::uint64_t id) const noexcept {
 
 void Queue::resolve_wait_list(const std::span<const Event>* wait) {
   if (wait == nullptr) return;
+  // lint: relaxed-ok(forgery check reads the id counter; value-only)
   const std::uint64_t next = g_next_event_id.load(std::memory_order_relaxed);
   for (const Event& w : *wait) {
     require(w.id != 0, Status::kInvalidEventWaitList,
@@ -209,6 +211,7 @@ Event Queue::submit(Event e, double duration_s,
                     std::function<std::uint64_t()> exec,
                     double occupancy_s) {
   resolve_wait_list(wait);
+  // lint: relaxed-ok(unique id generation needs atomicity only)
   e.id = g_next_event_id.fetch_add(1, std::memory_order_relaxed);
   e.enqueue_index = next_enqueue_index_++;
   e.queue = this;
@@ -242,12 +245,15 @@ Event Queue::submit(Event e, double duration_s,
     // therefore the furthest end seen so far, and execution must wait on
     // every still-pending command, not only the previous one.
     ready_s = now_s_;
+    // lint: alloc-ok(implicit-chain barrier materialises the pending id list)
     deps.reserve(pending_.size());
+    // lint: alloc-ok(sized by the reserve above; no reallocation)
     for (const PendingCmd& c : pending_) deps.push_back(c.id);
   } else {
     for (const Event& w : *wait) {
       ready_s = std::max(ready_s, w.modeled_end_s);
       if (w.queue != this) continue;  // foreign: host-synchronised above
+      // lint: alloc-ok(bounded by the caller's wait list; typically tiny)
       if (has_pending(w.id)) deps.push_back(w.id);
     }
   }
@@ -264,6 +270,7 @@ Event Queue::submit(Event e, double duration_s,
   chain_end_s_ = e.modeled_end_s;
   now_s_ = std::max(now_s_, e.modeled_end_s);
 
+  // lint: alloc-ok(event log growth is amortised O(1); needed for lookup)
   events_.push_back(std::move(e));
   completion_dirty_ = true;
   Event& recorded = events_.back();
@@ -284,6 +291,7 @@ Event Queue::submit(Event e, double duration_s,
   cmd.event_index = events_.size() - 1;
   cmd.deps = std::move(deps);
   cmd.exec = std::move(exec);
+  // lint: alloc-ok(pending DAG node recording; amortised O(1))
   pending_.push_back(std::move(cmd));
   return recorded;
 }
@@ -315,6 +323,7 @@ void Queue::drain(std::uint64_t target_id) {
         const std::ptrdiff_t j = index_of(dep);
         if (j >= 0 && !selected[static_cast<std::size_t>(j)]) {
           selected[static_cast<std::size_t>(j)] = 1;
+          // lint: alloc-ok(drain-time DFS; drain is a sync point)
           stack.push_back(static_cast<std::size_t>(j));
         }
       }
@@ -327,12 +336,15 @@ void Queue::drain(std::uint64_t target_id) {
   std::vector<PendingCmd> cmds;
   std::vector<PendingCmd> rest;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
+    // lint: alloc-ok(drain-time partition of the pending list)
     (selected[i] ? cmds : rest).push_back(std::move(pending_[i]));
   }
   pending_ = std::move(rest);
 
   std::unordered_map<std::uint64_t, std::size_t> position;
+  // lint: alloc-ok(drain-time id index, sized up front)
   position.reserve(cmds.size());
+  // lint: alloc-ok(drain-time id index; capacity reserved above)
   for (std::size_t i = 0; i < cmds.size(); ++i) position.emplace(cmds[i].id, i);
 
   // Kahn-style wave release: every command whose in-set dependencies have
@@ -357,6 +369,7 @@ void Queue::drain(std::uint64_t target_id) {
           break;
         }
       }
+      // lint: alloc-ok(drain-time wave assembly; drain is a sync point)
       if (ready) wave.push_back(i);
     }
     // Unreachable through the public API (ids only point backwards), but a
@@ -437,6 +450,7 @@ Event Queue::launch(const Kernel& kernel, NDRange range,
 
   KernelLaunchStats stats{kernel.name(), range, profile,
                           kernels_since_sync_++};
+  // lint: alloc-ok(opt-in launch recording for tests and diagnostics)
   if (record_launches_) launches_.push_back(stats);
   const TimingModel& model = device().model();
   const double dt = model.kernel_seconds(stats);
@@ -458,6 +472,7 @@ Event Queue::launch(const Kernel& kernel, NDRange range,
     const std::uint64_t t1 = scibench::now_ns();
     if (obs::timed_metrics_enabled()) g_q_kernel_host_ns.record(t1 - t0);
     if (obs::tracing_enabled()) {
+      // lint: raw-span-ok(complete event from already-measured t0/duration)
       obs::emit_complete_arg(label.c_str(), "queue:kernel", t0, t1 - t0,
                              "groups", groups);
     }
@@ -490,6 +505,7 @@ Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t offset,
     const std::uint64_t t1 = scibench::now_ns();
     if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
     if (obs::tracing_enabled()) {
+      // lint: raw-span-ok(complete event from already-measured t0/duration)
       obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
                              "bytes", static_cast<double>(bytes));
     }
@@ -526,6 +542,7 @@ Event Queue::read_bytes(const Buffer& src, void* dst, std::size_t offset,
     const std::uint64_t t1 = scibench::now_ns();
     if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
     if (obs::tracing_enabled()) {
+      // lint: raw-span-ok(complete event from already-measured t0/duration)
       obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
                              "bytes", static_cast<double>(bytes));
     }
@@ -627,6 +644,7 @@ Event Queue::peer_copy_impl(const Buffer& src, std::size_t src_offset,
     const std::uint64_t t1 = scibench::now_ns();
     if (obs::timed_metrics_enabled()) g_q_transfer_host_ns.record(t1 - t0);
     if (obs::tracing_enabled()) {
+      // lint: raw-span-ok(complete event from already-measured t0/duration)
       obs::emit_complete_arg(label.c_str(), "queue:transfer", t0, t1 - t0,
                              "bytes", static_cast<double>(bytes));
     }

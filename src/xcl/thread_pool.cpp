@@ -41,6 +41,7 @@ constexpr std::uint32_t range_end(std::uint64_t r) {
 // Claims up to `grain` iterations from the front of `range` (owner side).
 bool claim_front(std::atomic<std::uint64_t>& range, std::uint32_t grain,
                  std::uint32_t& begin, std::uint32_t& end) {
+  // lint: relaxed-ok(CAS loop seed; the acq_rel CAS below synchronises)
   std::uint64_t r = range.load(std::memory_order_relaxed);
   for (;;) {
     const std::uint32_t b = range_begin(r);
@@ -49,6 +50,7 @@ bool claim_front(std::atomic<std::uint64_t>& range, std::uint32_t grain,
     const std::uint32_t take = std::min(grain, e - b);
     if (range.compare_exchange_weak(r, pack(b + take, e),
                                     std::memory_order_acq_rel,
+                                    // lint: relaxed-ok(failure order: retry only)
                                     std::memory_order_relaxed)) {
       begin = b;
       end = b + take;
@@ -61,6 +63,7 @@ bool claim_front(std::atomic<std::uint64_t>& range, std::uint32_t grain,
 // owner and thief CAS the same word, so the split can never overlap.
 bool claim_back_half(std::atomic<std::uint64_t>& range, std::uint32_t& begin,
                      std::uint32_t& end) {
+  // lint: relaxed-ok(CAS loop seed; the acq_rel CAS below synchronises)
   std::uint64_t r = range.load(std::memory_order_relaxed);
   for (;;) {
     const std::uint32_t b = range_begin(r);
@@ -69,6 +72,7 @@ bool claim_back_half(std::atomic<std::uint64_t>& range, std::uint32_t& begin,
     const std::uint32_t take = (e - b + 1) / 2;
     if (range.compare_exchange_weak(r, pack(b, e - take),
                                     std::memory_order_acq_rel,
+                                    // lint: relaxed-ok(failure order: retry only)
                                     std::memory_order_relaxed)) {
       begin = e - take;
       end = e;
@@ -84,8 +88,10 @@ ThreadPool::ThreadPool(unsigned threads) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   slots_ = std::vector<Slot>(threads + 1);  // + the caller's slot
+  // lint: alloc-ok(pool construction at startup)
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
+    // lint: alloc-ok(pool construction at startup)
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -201,8 +207,11 @@ void ThreadPool::participate(unsigned slot, std::uint64_t launch_epoch) {
       }
     }
     tl_active_pool = prev;
+    // lint: relaxed-ok(worker-local stat flush; value-only)
     stat_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+    // lint: relaxed-ok(worker-local stat flush; value-only)
     stat_claims_.fetch_add(claims, std::memory_order_relaxed);
+    // lint: relaxed-ok(worker-local stat flush; value-only)
     stat_steals_.fetch_add(steals, std::memory_order_relaxed);
     g_m_tasks.add(tasks);
     g_m_claims.add(claims);
@@ -222,6 +231,7 @@ void ThreadPool::parallel_for(std::size_t n,
     // Inline serial execution: nested launches, degenerate sizes.  Serial
     // order makes the lowest-index exception guarantee immediate.
     for (std::size_t i = 0; i < n; ++i) body(i);
+    // lint: relaxed-ok(stat counter; value-only)
     stat_tasks_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
@@ -245,9 +255,11 @@ void ThreadPool::run_one_slice(std::size_t n,
   for (std::size_t p = 0; p < participants; ++p) {
     const auto begin = static_cast<std::uint32_t>(n * p / participants);
     const auto end = static_cast<std::uint32_t>(n * (p + 1) / participants);
+    // lint: relaxed-ok(ranges publish via the release epoch bump below)
     slots_[p].range.store(pack(begin, end), std::memory_order_relaxed);
     slots_[p].error = nullptr;
   }
+  // lint: relaxed-ok(published by the release epoch bump below)
   remaining_.store(n, std::memory_order_relaxed);
   body_.store(&body, std::memory_order_release);
   {
@@ -255,11 +267,13 @@ void ThreadPool::run_one_slice(std::size_t n,
     epoch_.fetch_add(1, std::memory_order_acq_rel);  // one atomic publish
   }
   wake_cv_.notify_all();
+  // lint: relaxed-ok(stat counter; value-only)
   stat_launches_.fetch_add(1, std::memory_order_relaxed);
 
   // The caller always helps; no other thread can bump the epoch while we
   // hold the launch mutex, so this relaxed load names our own launch.
   participate(static_cast<unsigned>(participants - 1),
+              // lint: relaxed-ok(own launch's epoch, guarded by launch_mutex_)
               epoch_.load(std::memory_order_relaxed));
 
   {
@@ -285,17 +299,25 @@ void ThreadPool::run_one_slice(std::size_t n,
 
 ThreadPool::Stats ThreadPool::stats() const noexcept {
   Stats s;
+  // lint: relaxed-ok(stat counter read)
   s.launches = stat_launches_.load(std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter read)
   s.tasks_executed = stat_tasks_.load(std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter read)
   s.chunks_claimed = stat_claims_.load(std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter read)
   s.chunks_stolen = stat_steals_.load(std::memory_order_relaxed);
   return s;
 }
 
 void ThreadPool::reset_stats() noexcept {
+  // lint: relaxed-ok(stat counter reset)
   stat_launches_.store(0, std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter reset)
   stat_tasks_.store(0, std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter reset)
   stat_claims_.store(0, std::memory_order_relaxed);
+  // lint: relaxed-ok(stat counter reset)
   stat_steals_.store(0, std::memory_order_relaxed);
 }
 

@@ -143,8 +143,8 @@ INSTANTIATE_TEST_SUITE_P(AllSizes, KmeansResidency,
                                            dwarfs::ProblemSize::kSmall,
                                            dwarfs::ProblemSize::kMedium,
                                            dwarfs::ProblemSize::kLarge),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& ti) {
+                           return std::string(to_string(ti.param));
                          });
 
 }  // namespace

@@ -338,7 +338,7 @@ std::vector<std::string> all_dwarf_names() {
 
 INSTANTIATE_TEST_SUITE_P(AllDwarfs, CheckedDwarf,
                          ::testing::ValuesIn(all_dwarf_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& ti) { return ti.param; });
 
 }  // namespace
 }  // namespace eod::xcl::check

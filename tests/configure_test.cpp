@@ -41,8 +41,8 @@ TEST_P(FftLengths, ValidatesAtCustomLength) {
 }
 INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftLengths,
                          ::testing::Values(2, 4, 64, 256, 1024, 8192),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& ti) {
+                           return "n" + std::to_string(ti.param);
                          });
 
 TEST(FftConfigure, RejectsNonPowerOfTwo) {
@@ -59,8 +59,8 @@ TEST_P(LudDims, ValidatesAtCustomDimension) {
   expect_valid(lud, "lud n=" + std::to_string(GetParam()));
 }
 INSTANTIATE_TEST_SUITE_P(Dims, LudDims, ::testing::Values(16, 32, 96, 320),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& ti) {
+                           return "n" + std::to_string(ti.param);
                          });
 
 TEST(LudConfigure, RejectsNonBlockMultiple) {
@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{33, 17},
                       std::pair<std::size_t, std::size_t>{300, 200},
                       std::pair<std::size_t, std::size_t>{101, 67}),
-    [](const auto& info) {
-      return "w" + std::to_string(info.param.first) + "h" +
-             std::to_string(info.param.second);
+    [](const auto& ti) {
+      return "w" + std::to_string(ti.param.first) + "h" +
+             std::to_string(ti.param.second);
     });
 
 TEST(DwtConfigure, RejectsDegenerateInput) {
@@ -108,9 +108,9 @@ TEST_P(CsrDensities, ValidatesAtCustomDensity) {
 }
 INSTANTIATE_TEST_SUITE_P(Densities, CsrDensities,
                          ::testing::Values(0.001, 0.01, 0.05, 0.2),
-                         [](const auto& info) {
+                         [](const auto& ti) {
                            return "d" + std::to_string(static_cast<int>(
-                                            info.param * 1000));
+                                            ti.param * 1000));
                          });
 
 TEST(KmeansConfigure, FeatureAndClusterSweeps) {
@@ -172,8 +172,8 @@ TEST_P(QueensBoards, ExpansionValidates) {
 }
 INSTANTIATE_TEST_SUITE_P(Boards, QueensBoards,
                          ::testing::Values(6, 8, 12, 20),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& ti) {
+                           return "n" + std::to_string(ti.param);
                          });
 
 TEST(QueensConfigure, RejectsBadBoards) {

@@ -178,9 +178,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{37, 53},
                       std::pair<std::size_t, std::size_t>{200, 150},
                       std::pair<std::size_t, std::size_t>{17, 9}),
-    [](const auto& info) {
-      return "w" + std::to_string(info.param.first) + "h" +
-             std::to_string(info.param.second);
+    [](const auto& ti) {
+      return "w" + std::to_string(ti.param.first) + "h" +
+             std::to_string(ti.param.second);
     });
 
 TEST(DwtTransform, SmoothImageEnergyConcentratesInLL) {
@@ -272,7 +272,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<unsigned, std::uint64_t>{10, 724},
                       std::pair<unsigned, std::uint64_t>{11, 2680},
                       std::pair<unsigned, std::uint64_t>{12, 14200}),
-    [](const auto& info) { return "n" + std::to_string(info.param.first); });
+    [](const auto& ti) { return "n" + std::to_string(ti.param.first); });
 
 TEST(Queens, FrontierExpansionConservesSearchSpace) {
   // Expanding the root frontier level by level must agree with DFS counts

@@ -82,7 +82,7 @@ TEST_P(AllDwarfs, RunIsRepeatableAfterRebind) {
 
 INSTANTIATE_TEST_SUITE_P(Suite, AllDwarfs,
                          ::testing::ValuesIn(benchmark_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& ti) { return ti.param; });
 
 // ---- §4.4 size-class bounds on the Skylake hierarchy ----
 //
@@ -115,7 +115,7 @@ TEST_P(SizeClasses, FitsIntendedCacheLevel) {
 INSTANTIATE_TEST_SUITE_P(HierarchyBenchmarks, SizeClasses,
                          ::testing::Values("kmeans", "lud", "csr", "fft",
                                            "dwt", "srad", "crc", "nw"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& ti) { return ti.param; });
 
 TEST(SizeMethodology, SolverReproducesFftTable2Row) {
   // fft footprint = 2 * N * 8 bytes with N a power of two; the solver must

@@ -104,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(NonCrcBenchmarks, GpuWins,
                          ::testing::Values("kmeans", "lud", "csr", "fft",
                                            "dwt", "srad", "nw", "gem",
                                            "nqueens"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& ti) { return ti.param; });
 
 // ---- Figure 2a: kmeans ----
 
@@ -139,7 +139,7 @@ TEST_P(I5Cliff, I5DegradesFromSmallToMedium) {
 
 INSTANTIATE_TEST_SUITE_P(SpectralAndDense, I5Cliff,
                          ::testing::Values("lud", "dwt", "fft", "srad"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& ti) { return ti.param; });
 
 // ---- Figure 3a: srad gap widens ----
 

@@ -1,0 +1,405 @@
+// Tests for tools/eod_lint (DESIGN.md §15): every rule R1–R5 must fire on
+// a seeded-violation fixture and stay silent on the matching clean
+// fixture, the annotation meta-rules must keep suppressions honest, the
+// baseline must round-trip, and — the CI gate — the repository itself must
+// lint clean.  Fixture sources live in raw strings so the linter's own
+// whole-tree pass never mistakes them for real code.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace eod::lint {
+namespace {
+
+LintReport run(const std::string& path, std::string_view src) {
+  LintConfig cfg;
+  LintReport report;
+  lint_source(path, src, cfg, report);
+  return report;
+}
+
+std::size_t count_rule(const LintReport& r, Rule rule) {
+  std::size_t n = 0;
+  for (const Finding& f : r.findings()) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------- R1 event-deps
+
+TEST(EventDeps, FiresOnUnwaitedCallInConvertedTu) {
+  const LintReport r = run("src/dwarfs/foo/foo.cpp", R"cpp(
+void Foo::go() {
+  const xcl::Event e = q.enqueue(k, range, prof, deps);
+  q.enqueue_read<float>(buf, out);
+}
+)cpp");
+  ASSERT_EQ(r.findings().size(), 1u);
+  EXPECT_EQ(r.findings()[0].rule, Rule::kEventDeps);
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);
+  EXPECT_EQ(r.findings()[0].line, 4u);
+}
+
+TEST(EventDeps, NullptrWaitListCountsAsNoDependencies) {
+  // `submit(e, dt, nullptr)` reaches the wait-list arity but spells "no
+  // dependencies" explicitly; in a converted TU it still needs a reason.
+  const LintReport r = run("src/harness/h.cpp", R"cpp(
+void go() {
+  q.submit(ev, dt, &wait_list, body);
+  q.submit(ev2, dt2, nullptr, body2);
+}
+)cpp");
+  ASSERT_EQ(r.findings().size(), 1u);
+  EXPECT_EQ(r.findings()[0].rule, Rule::kEventDeps);
+  EXPECT_EQ(r.findings()[0].line, 4u);
+}
+
+TEST(EventDeps, SilentOnInOrderTu) {
+  // Self-scoping: no call in the TU passes a wait list, so the dwarf is
+  // an in-order one and bare enqueues are its normal idiom.
+  const LintReport r = run("src/dwarfs/foo/foo.cpp", R"cpp(
+void Foo::go() {
+  q.enqueue_write<float>(buf, in);
+  q.enqueue(k, range);
+  q.enqueue_read<float>(buf, out);
+}
+)cpp");
+  EXPECT_TRUE(r.clean()) << r.to_text();
+}
+
+TEST(EventDeps, SilentWithAnnotationOrWaitList) {
+  const LintReport r = run("src/dwarfs/foo/foo.cpp", R"cpp(
+void Foo::go() {
+  // lint: no-deps(first upload, no producers)
+  q.enqueue_write<float>(buf, in);
+  const xcl::Event e = q.enqueue(k, range, prof, deps);
+  q.enqueue_read<float>(buf, out, reads);  // explicit wait list
+}
+)cpp");
+  EXPECT_TRUE(r.clean()) << r.to_text();
+}
+
+TEST(EventDeps, OutOfScopePathIgnored) {
+  // The queue implementation itself (src/xcl/) hosts the overloads; R1
+  // only scopes over dwarf and harness TUs.
+  const LintReport r = run("src/xcl/other.cpp", R"cpp(
+void go() {
+  q.enqueue(k, range, prof, deps);
+  q.enqueue_read<float>(buf, out);
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, Rule::kEventDeps), 0u) << r.to_text();
+}
+
+// --------------------------------------------------- R2 memory-order
+
+TEST(MemoryOrder, RelaxedOutsideObsFires) {
+  const LintReport r = run("src/xcl/foo.cpp", R"cpp(
+void f(std::atomic<int>& a) {
+  a.store(1, std::memory_order_relaxed);
+}
+)cpp");
+  ASSERT_EQ(r.findings().size(), 1u);
+  EXPECT_EQ(r.findings()[0].rule, Rule::kMemoryOrder);
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);
+}
+
+TEST(MemoryOrder, SingleOrderCompareExchangeFires) {
+  const LintReport r = run("src/obs/gauges.hpp", R"cpp(
+void f(std::atomic<int>& a, int& e) {
+  a.compare_exchange_weak(e, 2, std::memory_order_acquire);
+  a.compare_exchange_strong(e, 3, std::memory_order_seq_cst);
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, Rule::kMemoryOrder), 2u) << r.to_text();
+}
+
+TEST(MemoryOrder, CleanFixtures) {
+  // Relaxed inside src/obs/, annotated relaxed elsewhere, CAS naming both
+  // orders, and CAS naming none (defaulted seq_cst) are all legal.
+  EXPECT_TRUE(run("src/obs/metrics2.hpp", R"cpp(
+void f(std::atomic<int>& a) { a.store(1, std::memory_order_relaxed); }
+)cpp")
+                  .clean());
+  EXPECT_TRUE(run("src/xcl/foo.cpp", R"cpp(
+void f(std::atomic<int>& a) {
+  // lint: relaxed-ok(stat counter)
+  a.store(1, std::memory_order_relaxed);
+}
+)cpp")
+                  .clean());
+  EXPECT_TRUE(run("src/xcl/foo.cpp", R"cpp(
+void f(std::atomic<int>& a, int& e) {
+  a.compare_exchange_weak(e, 2, std::memory_order_acq_rel,
+                          std::memory_order_acquire);
+  a.compare_exchange_strong(e, 3);
+}
+)cpp")
+                  .clean());
+}
+
+// ----------------------------------------------------- R3 hot-alloc
+
+TEST(HotAlloc, FiresInHotPathTu) {
+  const LintReport r = run("src/xcl/queue.cpp", R"cpp(
+void f(std::vector<int>& v) {
+  int* p = new int[4];
+  v.push_back(1);
+}
+)cpp");
+  ASSERT_EQ(r.findings().size(), 2u) << r.to_text();
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);    // raw new
+  EXPECT_EQ(r.findings()[1].severity, Severity::kWarning);  // growth
+  EXPECT_EQ(count_rule(r, Rule::kHotAlloc), 2u);
+}
+
+TEST(HotAlloc, CleanWhenAnnotatedOrOutOfScope) {
+  EXPECT_TRUE(run("src/xcl/queue.cpp", R"cpp(
+void f(std::vector<int>& v) {
+  // lint: alloc-ok(startup)
+  int* p = new int[4];
+  // lint: alloc-ok(drain-time)
+  v.push_back(1);
+}
+)cpp")
+                  .clean());
+  // The arena TU is the allocation layer; it is exempt by construction.
+  EXPECT_TRUE(run("src/xcl/arena.cpp", R"cpp(
+void f(std::vector<int>& v) {
+  int* p = new int[4];
+  v.push_back(1);
+}
+)cpp")
+                  .clean());
+}
+
+// ------------------------------------------------------ R4 layering
+
+TEST(Layering, ForbiddenEdgeRejected) {
+  // scibench is the bottom layer; an edge into xcl inverts the stack.
+  std::map<std::string, std::vector<IncludeDirective>> files;
+  files["src/scibench/timer.cpp"] = {{"xcl/queue.hpp", false, 3}};
+  files["src/xcl/queue.hpp"] = {};
+  LintConfig cfg;
+  LintReport r;
+  lint_layering(files, cfg, r);
+  ASSERT_EQ(r.findings().size(), 1u);
+  EXPECT_EQ(r.findings()[0].rule, Rule::kLayering);
+  EXPECT_EQ(r.findings()[0].path, "src/scibench/timer.cpp");
+  EXPECT_EQ(r.findings()[0].line, 3u);
+}
+
+TEST(Layering, IncludeCycleRejected) {
+  // Same-module edges are matrix-legal, but a file-level cycle is still a
+  // structural defect (compilable only by include-guard accident).
+  std::map<std::string, std::vector<IncludeDirective>> files;
+  files["src/xcl/a.hpp"] = {{"xcl/b.hpp", false, 1}};
+  files["src/xcl/b.hpp"] = {{"xcl/a.hpp", false, 1}};
+  LintConfig cfg;
+  LintReport r;
+  lint_layering(files, cfg, r);
+  ASSERT_EQ(r.findings().size(), 1u);
+  EXPECT_EQ(r.findings()[0].rule, Rule::kLayering);
+  EXPECT_NE(r.findings()[0].detail.find("cycle"), std::string::npos);
+}
+
+TEST(Layering, AllowedEdgesClean) {
+  std::map<std::string, std::vector<IncludeDirective>> files;
+  files["src/xcl/queue.cpp"] = {{"obs/trace.hpp", false, 2},
+                                {"scibench/timers.hpp", false, 3}};
+  files["src/obs/trace.hpp"] = {};
+  files["src/scibench/timers.hpp"] = {};
+  LintConfig cfg;
+  LintReport r;
+  lint_layering(files, cfg, r);
+  EXPECT_TRUE(r.clean()) << r.to_text();
+}
+
+TEST(Layering, MatrixParseRejectsCyclicMatrix) {
+  std::string err;
+  const LayeringMatrix m =
+      LayeringMatrix::parse("a\tb\nb\ta\n", &err);
+  EXPECT_TRUE(m.allowed.empty());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Layering, MatrixParseAcceptsCommentsAndDeps) {
+  std::string err;
+  const LayeringMatrix m = LayeringMatrix::parse(
+      "# comment\nscibench\t\nobs\tscibench\nxcl\tobs,scibench\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  ASSERT_EQ(m.allowed.size(), 3u);
+  EXPECT_EQ(m.allowed.at("xcl").count("obs"), 1u);
+}
+
+// -------------------------------------------------- R5 obs-contract
+
+TEST(ObsContract, DiscardedTraceSpanTemporaryFires) {
+  const LintReport r = run("src/harness/h.cpp", R"cpp(
+void f() {
+  obs::TraceSpan("region", "cat");
+  g();
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kObsContract), 1u) << r.to_text();
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);
+}
+
+TEST(ObsContract, RawEmitOutsideObsWarns) {
+  const LintReport r = run("src/harness/h.cpp", R"cpp(
+void f() {
+  obs::emit_complete("k", "cat", 0, 10);
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kObsContract), 1u) << r.to_text();
+  EXPECT_EQ(r.findings()[0].severity, Severity::kWarning);
+}
+
+TEST(ObsContract, AccessLabelDisagreeingWithNamedFires) {
+  const LintReport r = run("src/dwarfs/foo/foo.cpp", R"cpp(
+void Foo::bind() {
+  buf_.named("alpha");
+}
+void Foo::go() {
+  auto a = buf_.access<float>("beta");
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kObsContract), 1u) << r.to_text();
+  EXPECT_NE(r.findings()[0].detail.find("alpha"), std::string::npos);
+}
+
+TEST(ObsContract, CleanFixture) {
+  // Named span, justified raw emission, member labels agreeing with
+  // named(), and an unrelated local `buf` reusing a label name in a
+  // different function (a different lexical region).
+  const LintReport r = run("src/harness/h.cpp", R"cpp(
+void f() {
+  obs::TraceSpan span("region", "cat");
+  // lint: raw-span-ok(virtual device timestamps)
+  obs::emit_complete("k", "cat", 0, 10);
+  buf_.named("alpha");
+  auto a = buf_.access<float>("alpha");
+}
+void g() {
+  auto buf = make_buf();
+  auto x = buf.access<float>("one");
+}
+void h() {
+  auto buf = make_buf();
+  auto x = buf.access<float>("two");
+}
+)cpp");
+  EXPECT_TRUE(r.clean()) << r.to_text();
+}
+
+// ------------------------------------------- annotation meta-rules
+
+TEST(Annotations, EmptyReasonIsError) {
+  const LintReport r = run("src/xcl/foo.cpp", R"cpp(
+void f(std::atomic<int>& a) {
+  // lint: relaxed-ok()
+  a.store(1, std::memory_order_relaxed);
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kAnnotation), 1u) << r.to_text();
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);
+}
+
+TEST(Annotations, UnknownTagWarns) {
+  const LintReport r = run("src/xcl/foo.cpp", R"cpp(
+// lint: totally-fine(trust me)
+int x = 0;
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kAnnotation), 1u) << r.to_text();
+  EXPECT_EQ(r.findings()[0].severity, Severity::kWarning);
+}
+
+TEST(Annotations, StaleAnnotationWarns) {
+  const LintReport r = run("src/xcl/foo.cpp", R"cpp(
+void f() {
+  // lint: relaxed-ok(nothing relaxed here any more)
+  int x = 0;
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, Rule::kAnnotation), 1u) << r.to_text();
+  EXPECT_NE(r.findings()[0].detail.find("stale"), std::string::npos);
+}
+
+// ------------------------------------------------ report & baseline
+
+TEST(Report, RanksErrorsBeforeWarningsAndRenders) {
+  const LintReport r = run("src/xcl/queue.cpp", R"cpp(
+void f(std::vector<int>& v) {
+  v.push_back(1);
+  int* p = new int[4];
+}
+)cpp");
+  ASSERT_EQ(r.findings().size(), 2u);
+  // The raw-new error sits on the later line but ranks first.
+  EXPECT_EQ(r.findings()[0].severity, Severity::kError);
+  EXPECT_EQ(r.findings()[1].severity, Severity::kWarning);
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 1u);
+
+  const std::string tsv = r.to_tsv();
+  EXPECT_EQ(tsv.find("severity\trule\tpath\tline"), 0u) << tsv;
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"rule\": \"hot-alloc\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+}
+
+TEST(Baseline, RoundTripSuppressesGrandfatheredFindings) {
+  const char* fixture = R"cpp(
+void f(std::atomic<int>& a) {
+  a.store(1, std::memory_order_relaxed);
+}
+)cpp";
+  LintReport first = run("src/xcl/foo.cpp", fixture);
+  ASSERT_FALSE(first.clean());
+  const std::set<std::string> keys = parse_baseline(first.to_baseline());
+  ASSERT_FALSE(keys.empty());
+
+  LintReport second = run("src/xcl/foo.cpp", fixture);
+  EXPECT_EQ(second.apply_baseline(keys), 1u);
+  EXPECT_TRUE(second.clean()) << second.to_text();
+  // The baseline key is content-hashed, so a *different* violation on the
+  // same path is not covered.
+  LintReport third = run("src/xcl/foo.cpp", R"cpp(
+void g(std::atomic<long>& b) {
+  b.store(2, std::memory_order_relaxed);
+}
+)cpp");
+  EXPECT_EQ(third.apply_baseline(keys), 0u);
+  EXPECT_FALSE(third.clean());
+}
+
+// ------------------------------------------------- the repo CI gate
+
+TEST(WholeTree, RepositoryLintsClean) {
+  LintConfig cfg;
+  // The checked-in matrix, exactly as the CI lint job loads it.
+  std::ifstream matrix(std::string(EOD_REPO_ROOT) +
+                       "/tools/eod_lint/layering.tsv");
+  ASSERT_TRUE(matrix.is_open());
+  std::stringstream buf;
+  buf << matrix.rdbuf();
+  std::string err;
+  cfg.layering = LayeringMatrix::parse(buf.str(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+
+  LintReport tree;
+  std::size_t scanned = 0;
+  ASSERT_TRUE(lint_tree(EOD_REPO_ROOT, cfg, tree, &err, &scanned)) << err;
+  EXPECT_GT(scanned, 100u);
+  EXPECT_TRUE(tree.clean()) << tree.to_text();
+}
+
+}  // namespace
+}  // namespace eod::lint

@@ -66,10 +66,10 @@ INSTANTIATE_TEST_SUITE_P(
         // Figure 4 anchors.
         Band{"gem", ProblemSize::kTiny, "GTX 1080", 0.003, 0.08},
         Band{"hmm", ProblemSize::kTiny, "i7-6700K", 0.1, 1.5}),
-    [](const auto& info) {
-      return std::string(info.param.bench) + "_" +
-             to_string(info.param.size) + "_" +
-             [d = std::string(info.param.device)]() mutable {
+    [](const auto& ti) {
+      return std::string(ti.param.bench) + "_" +
+             to_string(ti.param.size) + "_" +
+             [d = std::string(ti.param.device)]() mutable {
                for (auto& c : d) {
                  if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                }

@@ -320,6 +320,7 @@ TEST(Trace, WritesWellFormedNestedSpans) {
   }
   emit_instant("marker", "test");
   const std::uint32_t dev_lane = alloc_device_lane("queue:fake-device");
+  // lint: raw-span-ok(exercises the device-lane emission API directly)
   emit_complete_on(kDevicePid, dev_lane, "kernel_x", "device:kernel", 1000,
                    500, "energy_j", 0.25);
   set_tracing_enabled(false);

@@ -75,6 +75,7 @@ TEST(QueueDag, DiamondDependenciesExecuteInTopologicalOrder) {
   std::atomic<int> stamp_a{-1}, stamp_b{-1}, stamp_c{-1}, stamp_d{-1};
   auto stamping = [&seq](std::atomic<int>& stamp) {
     return [&seq, &stamp](WorkItem&) {
+      // lint: relaxed-ok(stamps are read only after the blocking drain)
       stamp.store(seq.fetch_add(1), std::memory_order_relaxed);
     };
   };

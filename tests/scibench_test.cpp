@@ -170,7 +170,7 @@ TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   t.start();
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const std::uint64_t lap = t.stop();
   EXPECT_GT(lap, 0u);
   EXPECT_EQ(t.laps(), 1u);

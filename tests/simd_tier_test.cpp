@@ -149,8 +149,8 @@ TEST_P(SimdTier, SimdMatchesItemReferenceBitExactly) {
 
 INSTANTIATE_TEST_SUITE_P(VectorizedDwarfs, SimdTier,
                          ::testing::ValuesIn(kCases),
-                         [](const auto& info) {
-                           return std::string(info.param.name);
+                         [](const auto& ti) {
+                           return std::string(ti.param.name);
                          });
 
 // Bit-equivalence must survive queue-mode composition: the out-of-order

@@ -150,8 +150,8 @@ TEST_P(SpanTier, SpanMatchesItemReferenceBitExactly) {
 
 INSTANTIATE_TEST_SUITE_P(ConvertedDwarfs, SpanTier,
                          ::testing::ValuesIn(kCases),
-                         [](const auto& info) {
-                           return std::string(info.param.name);
+                         [](const auto& ti) {
+                           return std::string(ti.param.name);
                          });
 
 // kAuto behaves exactly like kSpan for legal launches: same outputs, same

@@ -40,7 +40,7 @@ TEST(Platform, SelectByTypeMatchesPaperNotation) {
   EXPECT_EQ(p.select(1, DeviceType::kGpu).name(), "GTX 1080");
   // -t 2: the KNL.
   EXPECT_EQ(p.select(0, DeviceType::kAccelerator).name(), "Xeon Phi 7210");
-  EXPECT_THROW(p.select(99, DeviceType::kCpu), Error);
+  EXPECT_THROW((void)p.select(99, DeviceType::kCpu), Error);
 }
 
 TEST(Context, TracksAllocationsLikeThePaperFootprintCheck) {

@@ -1,0 +1,296 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace eod::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses the body of a comment for `lint: tag(reason)[, tag(reason)…]`.
+// `code_before_comment` decides which line the annotation covers: a
+// trailing comment covers its own line, a standalone comment line covers
+// the next code line.
+void parse_annotations(std::string_view comment, std::size_t comment_line,
+                       bool code_before_comment,
+                       std::vector<Annotation>& out) {
+  // Only a comment *dedicated* to the annotation counts: it must start with
+  // `lint:` after whitespace.  Prose that merely mentions the grammar
+  // (`carry a \`lint: no-deps(reason)\` annotation`) never parses.
+  const std::string_view body = trim(comment);
+  if (!(body.size() > 5 && body.substr(0, 5) == "lint:")) return;
+  std::string_view rest = body.substr(5);
+  const std::size_t covered =
+      code_before_comment ? comment_line : comment_line + 1;
+  while (true) {
+    rest = trim(rest);
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           (ident_char(rest[i]) || rest[i] == '-')) {
+      ++i;
+    }
+    if (i == 0) break;
+    Annotation a;
+    a.tag = std::string(rest.substr(0, i));
+    a.line = covered;
+    rest.remove_prefix(i);
+    rest = trim(rest);
+    if (!rest.empty() && rest.front() == '(') {
+      const std::size_t close = rest.find(')');
+      const std::size_t len =
+          close == std::string_view::npos ? rest.size() - 1 : close - 1;
+      a.reason = std::string(trim(rest.substr(1, len)));
+      rest.remove_prefix(close == std::string_view::npos ? rest.size()
+                                                         : close + 1);
+    }
+    a.empty_reason = a.reason.empty();
+    out.push_back(std::move(a));
+    rest = trim(rest);
+    if (!rest.empty() && rest.front() == ',') {
+      rest.remove_prefix(1);
+      continue;
+    }
+    break;
+  }
+}
+
+// Tracks preprocessor conditionals so tokens inside a literal `#if 0`
+// region (and its dead `#else` complement) are dropped.
+class PpState {
+ public:
+  void directive(std::string_view line) {
+    std::string_view d = trim(line.substr(1));  // past '#'
+    const auto word = [&](std::string_view w) {
+      return d.size() >= w.size() && d.substr(0, w.size()) == w &&
+             (d.size() == w.size() ||
+              !ident_char(d[w.size()]));
+    };
+    if (word("if") || word("ifdef") || word("ifndef")) {
+      const bool dead =
+          word("if") && trim(d.substr(2)) == "0";
+      stack_.push_back(dead);
+    } else if (word("else") || word("elif")) {
+      // `#else` of a dead `#if 0` becomes live; anything more precise
+      // needs evaluation the linter does not attempt.
+      if (!stack_.empty() && stack_.back()) stack_.back() = false;
+    } else if (word("endif")) {
+      if (!stack_.empty()) stack_.pop_back();
+    }
+  }
+  [[nodiscard]] bool dead() const {
+    return std::any_of(stack_.begin(), stack_.end(),
+                       [](bool d) { return d; });
+  }
+
+ private:
+  std::vector<bool> stack_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  // Raw lines first (for snippets in findings).
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= src.size(); ++i) {
+      if (i == src.size() || src[i] == '\n') {
+        out.raw_lines.emplace_back(src.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
+  PpState pp;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  bool code_on_line = false;  // any token emitted on the current line?
+  const std::size_t n = src.size();
+
+  auto newline = [&] {
+    ++line;
+    code_on_line = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume the whole (possibly continued) line.
+    if (c == '#' && !code_on_line) {
+      std::size_t end = i;
+      while (end < n && (src[end] != '\n' || src[end - 1] == '\\')) {
+        if (src[end] == '\n') ++line;
+        ++end;
+      }
+      const std::string_view dir = src.substr(i, end - i);
+      pp.directive(dir);
+      // Capture #include targets (live regions only).
+      if (!pp.dead()) {
+        std::string_view d = trim(dir.substr(1));
+        if (d.size() > 7 && d.substr(0, 7) == "include") {
+          std::string_view t = trim(d.substr(7));
+          if (!t.empty() && (t.front() == '"' || t.front() == '<')) {
+            const char close = t.front() == '"' ? '"' : '>';
+            const std::size_t e = t.find(close, 1);
+            if (e != std::string_view::npos) {
+              out.includes.push_back(
+                  {std::string(t.substr(1, e - 1)), t.front() == '<', line});
+            }
+          }
+        }
+      }
+      i = end;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = i;
+      while (end < n && src[end] != '\n') ++end;
+      parse_annotations(src.substr(i + 2, end - i - 2), line, code_on_line,
+                        out.annotations);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start_line = line;
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(src[end] == '*' && src[end + 1] == '/')) {
+        if (src[end] == '\n') ++line;
+        ++end;
+      }
+      // A trailing block comment covers its starting line; a standalone one
+      // covers the code line after its closing `*/`.
+      parse_annotations(src.substr(i + 2, end - i - 2),
+                        code_on_line ? start_line : line, code_on_line,
+                        out.annotations);
+      i = std::min(end + 2, n);
+      continue;
+    }
+
+    const bool dead = pp.dead();
+    if (dead) {
+      // Count the skipped line once, then fast-forward to end of line while
+      // still honouring comment/string openers so `#endif` inside a string
+      // cannot derail tracking (strings cannot span lines un-escaped).
+      ++out.skipped_pp_lines;
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+
+    auto emit = [&](TokKind k, std::size_t len) {
+      out.tokens.push_back({k, src.substr(i, len), line});
+      code_on_line = true;
+      i += len;
+    };
+
+    // Raw string literal: R"delim( … )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t dstart = i + 2;
+      std::size_t dend = dstart;
+      while (dend < n && src[dend] != '(') ++dend;
+      // Built by append rather than operator+: GCC 12's -Wrestrict issues a
+      // false positive on small-literal string concatenation at -O3.
+      std::string closer;
+      closer.reserve(dend - dstart + 2);
+      closer += ')';
+      closer.append(src.substr(dstart, dend - dstart));
+      closer += '"';
+      const std::size_t body = dend + 1;
+      const std::size_t close = src.find(closer, body);
+      const std::size_t end =
+          close == std::string_view::npos ? n : close + closer.size();
+      out.tokens.push_back(
+          {TokKind::kString,
+           src.substr(body, (close == std::string_view::npos ? n : close) -
+                                body),
+           line});
+      code_on_line = true;
+      line += static_cast<std::size_t>(
+          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                     src.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t end = i + 1;
+      while (end < n && src[end] != c && src[end] != '\n') {
+        end += src[end] == '\\' ? 2 : 1;  // skip the escaped character
+      }
+      end = std::min(end, n);
+      out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(i + 1, end - i - 1), line});
+      code_on_line = true;
+      // Leave an unterminated literal's newline for the main loop so line
+      // accounting stays exact.
+      i = (end < n && src[end] == c) ? end + 1 : end;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(src[end])) ++end;
+      emit(TokKind::kIdent, end - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = i;
+      while (end < n && (ident_char(src[end]) || src[end] == '.' ||
+                         ((src[end] == '+' || src[end] == '-') && end > i &&
+                          (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+                           src[end - 1] == 'p' || src[end - 1] == 'P')))) {
+        ++end;
+      }
+      emit(TokKind::kNumber, end - i);
+      continue;
+    }
+    emit(TokKind::kPunct, 1);
+  }
+  std::sort(out.annotations.begin(), out.annotations.end(),
+            [](const Annotation& a, const Annotation& b) {
+              return a.line < b.line;
+            });
+  return out;
+}
+
+const Annotation* find_annotation(const LexedFile& f, std::string_view tag,
+                                  std::size_t line) {
+  for (const Annotation& a : f.annotations) {
+    if (a.line == line && a.tag == tag) return &a;
+  }
+  return nullptr;
+}
+
+bool has_annotation(const LexedFile& f, std::string_view tag,
+                    std::size_t line) {
+  return find_annotation(f, tag, line) != nullptr;
+}
+
+}  // namespace eod::lint

@@ -1,0 +1,74 @@
+// A lightweight C++ lexer for eod_lint (DESIGN.md §15).  Not a compiler
+// front-end: it produces the token stream the repo's invariant rules need —
+// identifiers, punctuation, literals — with three properties a plain grep
+// cannot give:
+//   * comment/string/char/raw-string awareness: `// new std::function` or
+//     "enqueue(" inside a string literal never reaches a rule;
+//   * line-accurate `// lint: tag(reason)` annotation capture, attached to
+//     the annotated code line (same line, or a standalone comment line
+//     annotates the next code line);
+//   * preprocessor tracking: `#include` targets are captured per file, the
+//     conditional stack is maintained, and tokens inside a literal `#if 0`
+//     block are dropped (dead code cannot violate a runtime invariant).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eod::lint {
+
+enum class TokKind : unsigned char {
+  kIdent,    ///< identifiers and keywords (`new`, `enqueue_write`, …)
+  kNumber,   ///< numeric literal (pp-number: 0x1f, 1.0e-3, …)
+  kString,   ///< string literal, raw strings included; text excludes quotes
+  kChar,     ///< character literal
+  kPunct,    ///< one punctuation character (`(`, `<`, `;`, …)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< view into the lexed source buffer
+  std::size_t line = 0;   ///< 1-based
+};
+
+/// One `// lint: tag(reason)` suppression parsed from a comment.
+struct Annotation {
+  std::string tag;     ///< e.g. "no-deps", "relaxed-ok"
+  std::string reason;  ///< the mandatory justification text
+  std::size_t line = 0;  ///< code line the annotation applies to
+  bool empty_reason = false;  ///< `tag()` — reported as a finding
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string target;  ///< path between the delimiters
+  bool angled = false;  ///< <system> vs "repo"
+  std::size_t line = 0;
+};
+
+/// Result of lexing one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;   ///< sorted by line
+  std::vector<IncludeDirective> includes;
+  std::vector<std::string> raw_lines;    ///< for finding snippets
+  std::size_t skipped_pp_lines = 0;      ///< lines dropped inside `#if 0`
+};
+
+/// Lexes `source`.  Never fails: unterminated constructs are closed at EOF
+/// (the compiler, not the linter, owns diagnosing them).
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+/// True when an annotation with `tag` covers `line` — i.e. one was written
+/// on that line or as a standalone comment on the line directly above.
+[[nodiscard]] bool has_annotation(const LexedFile& f, std::string_view tag,
+                                  std::size_t line);
+
+/// The annotation covering (tag, line), or nullptr.
+[[nodiscard]] const Annotation* find_annotation(const LexedFile& f,
+                                                std::string_view tag,
+                                                std::size_t line);
+
+}  // namespace eod::lint

@@ -1,0 +1,965 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <sstream>
+
+namespace eod::lint {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.substr(0, p.size()) == p;
+}
+
+[[nodiscard]] std::string trim_copy(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return std::string(s);
+}
+
+[[nodiscard]] std::string sanitize_field(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string hash_hex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Per-file rule context: the lexed TU plus bookkeeping that keeps
+// annotations honest (every suppression must suppress something).
+struct FileCtx {
+  const std::string& path;
+  const LexedFile& lx;
+  const LintConfig& cfg;
+  LintReport& report;
+  std::vector<bool> annotation_used;  // parallel to lx.annotations
+
+  [[nodiscard]] std::string snippet(std::size_t line) const {
+    return line >= 1 && line <= lx.raw_lines.size()
+               ? trim_copy(lx.raw_lines[line - 1])
+               : std::string();
+  }
+
+  void add(Rule rule, Severity sev, std::size_t line, std::string detail) {
+    report.add({rule, sev, path, line, std::move(detail), snippet(line)});
+  }
+
+  /// Consumes an annotation covering `line`; marks it used so the stale
+  /// check stays quiet.
+  bool consume(std::string_view tag, std::size_t line) {
+    for (std::size_t i = 0; i < lx.annotations.size(); ++i) {
+      const Annotation& a = lx.annotations[i];
+      if (a.line == line && a.tag == tag) {
+        annotation_used[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Skips a balanced `<...>` template-argument list starting at tokens[i]
+// (which must be '<').  Returns the index one past the closing '>', or
+// `i` unchanged when the construct does not look like template arguments.
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& t,
+                                             std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size() && j < i + 64; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">") {
+      if (--depth == 0) return j + 1;
+    }
+    if (t[j].text == ";" || t[j].text == "{") break;
+  }
+  return i;
+}
+
+/// One parsed call expression: `recv.name<T>(args)`.
+struct Call {
+  std::size_t name_idx = 0;   ///< token index of the callee identifier
+  std::size_t line = 0;
+  std::size_t argc = 0;       ///< top-level argument count
+  std::size_t open = 0;       ///< token index of '('
+  std::size_t close = 0;      ///< token index of ')'
+  bool member_call = false;   ///< preceded by '.' or '->'
+  std::vector<std::pair<std::size_t, std::size_t>> args;  ///< [begin,end)
+};
+
+// Parses the call whose callee identifier is tokens[i]; returns false when
+// tokens[i] is not followed by (template-args and) a '(' — i.e. not a call.
+[[nodiscard]] bool parse_call(const std::vector<Token>& t, std::size_t i,
+                              Call& out) {
+  std::size_t j = i + 1;
+  if (j < t.size() && t[j].kind == TokKind::kPunct && t[j].text == "<") {
+    const std::size_t after = skip_template_args(t, j);
+    if (after == j) return false;
+    j = after;
+  }
+  if (j >= t.size() || t[j].kind != TokKind::kPunct || t[j].text != "(") {
+    return false;
+  }
+  out.name_idx = i;
+  out.line = t[i].line;
+  out.open = j;
+  out.member_call =
+      i >= 2 && t[i - 1].kind == TokKind::kPunct &&
+      (t[i - 1].text == "." ||
+       (t[i - 1].text == ">" && t[i - 2].kind == TokKind::kPunct &&
+        t[i - 2].text == "-"));
+  // Balanced scan counting top-level commas.  Template angle brackets are
+  // not tracked inside argument lists; the repo's call sites do not place
+  // top-level commas inside angle brackets (the linter's documented limit).
+  std::size_t depth = 0;
+  std::size_t arg_begin = j + 1;
+  bool any_tokens = false;
+  for (std::size_t k = j; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) {
+      if (k > j) any_tokens = true;
+      continue;
+    }
+    const char c = t[k].text[0];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+      if (k > j) any_tokens = true;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        if (any_tokens) {
+          out.args.emplace_back(arg_begin, k);
+          ++out.argc;
+        }
+        out.close = k;
+        return true;
+      }
+      any_tokens = true;
+    } else if (c == ',' && depth == 1) {
+      out.args.emplace_back(arg_begin, k);
+      ++out.argc;
+      arg_begin = k + 1;
+      any_tokens = false;
+    } else if (k > j) {
+      any_tokens = true;
+    }
+  }
+  return false;  // unbalanced at EOF
+}
+
+// ------------------------------------------------------------- R1 deps
+
+// Minimum argument count at which each Queue entry point carries an
+// explicit wait list (derived from the overload set in xcl/queue.hpp).
+struct EnqueueSig {
+  std::string_view name;
+  std::size_t wait_argc;
+};
+constexpr EnqueueSig kEnqueueSigs[] = {
+    {"enqueue", 4},           {"enqueue_write", 3}, {"enqueue_read", 3},
+    {"enqueue_fill", 3},      {"enqueue_copy", 3},  {"enqueue_peer_copy", 6},
+    {"submit", 3},
+};
+
+[[nodiscard]] const EnqueueSig* enqueue_sig(std::string_view name) {
+  for (const EnqueueSig& s : kEnqueueSigs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] bool rule1_in_scope(std::string_view path) {
+  return starts_with(path, "src/dwarfs/") || starts_with(path, "src/harness/");
+}
+
+void check_event_deps(FileCtx& ctx) {
+  if (!rule1_in_scope(ctx.path)) return;
+  const std::vector<Token>& t = ctx.lx.tokens;
+  struct Site {
+    Call call;
+    bool has_wait;
+  };
+  std::vector<Site> sites;
+  bool any_wait = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const EnqueueSig* sig = enqueue_sig(t[i].text);
+    if (sig == nullptr) continue;
+    Call c;
+    if (!parse_call(t, i, c) || !c.member_call) continue;
+    bool has_wait = c.argc >= sig->wait_argc;
+    // A literal `nullptr` in the wait-list position (the internal submit
+    // path) is the no-dependency spelling, not an explicit list.
+    if (has_wait) {
+      for (const auto& [b, e] : c.args) {
+        if (e - b == 1 && t[b].text == "nullptr") has_wait = false;
+      }
+    }
+    sites.push_back({c, has_wait});
+    any_wait = any_wait || has_wait;
+  }
+  // Self-scoping: a TU that never expresses a dependency is an in-order
+  // dwarf and exempt; once one call carries a wait list, the whole TU is
+  // ooo-converted and every site must be dependency-explicit.
+  if (!any_wait) return;
+  for (const Site& s : sites) {
+    if (s.has_wait) continue;
+    if (ctx.consume("no-deps", s.call.line)) continue;
+    ctx.add(Rule::kEventDeps, Severity::kError, s.call.line,
+            "ooo-converted TU: '" + std::string(t[s.call.name_idx].text) +
+                "' call passes no wait list and has no "
+                "`lint: no-deps(reason)` annotation");
+  }
+}
+
+// ------------------------------------------------------- R2 memory order
+
+void check_memory_order(FileCtx& ctx) {
+  const std::vector<Token>& t = ctx.lx.tokens;
+  const bool obs_layer = starts_with(ctx.path, "src/obs/");
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "memory_order_relaxed" && !obs_layer) {
+      if (!ctx.consume("relaxed-ok", t[i].line)) {
+        ctx.add(Rule::kMemoryOrder, Severity::kError, t[i].line,
+                "memory_order_relaxed outside src/obs/ without "
+                "`lint: relaxed-ok(reason)` annotation");
+      }
+    }
+    if (t[i].text == "compare_exchange_weak" ||
+        t[i].text == "compare_exchange_strong") {
+      Call c;
+      if (!parse_call(t, i, c)) continue;
+      std::size_t orders = 0;
+      for (const auto& [b, e] : c.args) {
+        for (std::size_t k = b; k < e; ++k) {
+          if (t[k].kind == TokKind::kIdent &&
+              starts_with(t[k].text, "memory_order")) {
+            ++orders;
+            break;
+          }
+        }
+      }
+      if (orders != 0 && orders != 2) {
+        ctx.add(Rule::kMemoryOrder, Severity::kError, c.line,
+                std::string(t[i].text) +
+                    " must name both the success and the failure order "
+                    "(got " + std::to_string(orders) + ")");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- R3 hot alloc
+
+[[nodiscard]] bool rule3_in_scope(std::string_view path) {
+  if (!starts_with(path, "src/xcl/")) return false;
+  const std::size_t slash = path.find_last_of('/');
+  std::string_view base = path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  base = base.substr(0, dot);
+  return base == "executor" || base == "thread_pool" || base == "queue" ||
+         base == "fiber";
+}
+
+void check_hot_alloc(FileCtx& ctx) {
+  if (!rule3_in_scope(ctx.path)) return;
+  const std::vector<Token>& t = ctx.lx.tokens;
+  constexpr std::string_view kGrowth[] = {
+      "push_back", "emplace_back", "resize", "reserve", "insert", "emplace"};
+  constexpr std::string_view kAllocFns[] = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
+      "make_unique", "make_shared"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string_view w = t[i].text;
+    std::string what;
+    if (w == "new") {
+      // `operator new` declarations and `new`-expressions alike are raw
+      // heap traffic in these TUs.
+      what = "raw `new` expression";
+    } else if (std::find(std::begin(kAllocFns), std::end(kAllocFns), w) !=
+               std::end(kAllocFns)) {
+      Call c;
+      if (!parse_call(t, i, c)) continue;
+      what = "heap allocation call `" + std::string(w) + "`";
+    } else if (std::find(std::begin(kGrowth), std::end(kGrowth), w) !=
+               std::end(kGrowth)) {
+      Call c;
+      if (!parse_call(t, i, c) || !c.member_call) continue;
+      what = "container growth call `" + std::string(w) + "`";
+    } else {
+      continue;
+    }
+    if (ctx.consume("alloc-ok", t[i].line)) continue;
+    const Severity sev =
+        what.front() == 'c' ? Severity::kWarning : Severity::kError;
+    ctx.add(Rule::kHotAlloc, sev, t[i].line,
+            what + " in hot-path TU without `lint: alloc-ok(reason)` "
+                   "annotation (arena layer excepted)");
+  }
+}
+
+// -------------------------------------------------------- R5 obs contract
+
+void check_obs_contract(FileCtx& ctx) {
+  const std::vector<Token>& t = ctx.lx.tokens;
+  const bool obs_layer = starts_with(ctx.path, "src/obs/");
+
+  // R5a: a TraceSpan temporary destroyed at the end of its own statement
+  // measures ~nothing — it must be bound to a named local.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "TraceSpan") continue;
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].kind != TokKind::kPunct ||
+        (t[j].text != "(" && t[j].text != "{")) {
+      continue;  // declaration with a name, using-decl, etc.
+    }
+    // Walk back over the qualified-id prefix (`eod` `::` `obs` `::`).
+    std::size_t first = i;
+    while (first >= 2 && t[first - 1].kind == TokKind::kPunct &&
+           t[first - 1].text == ":" && t[first - 2].text == ":") {
+      if (first >= 3 && t[first - 3].kind == TokKind::kIdent) {
+        first -= 3;
+      } else {
+        first -= 2;
+        break;
+      }
+    }
+    const bool stmt_initial =
+        first == 0 ||
+        (t[first - 1].kind == TokKind::kPunct &&
+         (t[first - 1].text == ";" || t[first - 1].text == "{" ||
+          t[first - 1].text == "}"));
+    if (!stmt_initial) continue;
+    Call c;
+    const bool braced = t[j].text == "{";
+    std::size_t close = 0;
+    if (braced) {
+      std::size_t depth = 0;
+      for (std::size_t k = j; k < t.size(); ++k) {
+        if (t[k].kind != TokKind::kPunct) continue;
+        if (t[k].text == "{") ++depth;
+        if (t[k].text == "}" && --depth == 0) {
+          close = k;
+          break;
+        }
+      }
+    } else if (parse_call(t, i, c)) {
+      close = c.close;
+    }
+    if (close == 0 || close + 1 >= t.size()) continue;
+    if (t[close + 1].kind == TokKind::kPunct && t[close + 1].text == ";") {
+      ctx.add(Rule::kObsContract, Severity::kError, t[i].line,
+              "TraceSpan temporary is destroyed at the end of the "
+              "statement (span records ~zero duration); bind it to a "
+              "named local");
+    }
+  }
+
+  // R5a': raw complete-span emission outside the obs layer bypasses the
+  // RAII pairing guarantee; allowed only with an explicit justification.
+  if (!obs_layer) {
+    constexpr std::string_view kRawEmit[] = {"emit_complete",
+                                             "emit_complete_arg",
+                                             "emit_complete_on"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (std::find(std::begin(kRawEmit), std::end(kRawEmit), t[i].text) ==
+          std::end(kRawEmit)) {
+        continue;
+      }
+      Call c;
+      if (!parse_call(t, i, c)) continue;
+      if (ctx.consume("raw-span-ok", c.line)) continue;
+      ctx.add(Rule::kObsContract, Severity::kWarning, c.line,
+              "raw " + std::string(t[i].text) +
+                  "() outside src/obs/ bypasses TraceSpan RAII pairing; "
+                  "annotate `lint: raw-span-ok(reason)` or use TraceSpan");
+    }
+  }
+
+  // R5b: Buffer::access<T>("label") / Buffer::named("label") consistency
+  // per receiver identifier per TU — the labels feed check::CheckReport
+  // and trace transfer names, so a mismatch mislabels findings.
+  struct Labels {
+    std::string named;
+    std::size_t named_line = 0;
+    std::map<std::string, std::size_t> access;  // label -> first line
+  };
+  // Member buffers (trailing-underscore receivers) are one object per
+  // class, so their labels must agree TU-wide; plain locals named `buf` in
+  // two different functions are unrelated objects, so those group per
+  // lexical region.  A region is one top-level block (function, class) at
+  // namespace scope: namespace braces nest transparently.
+  std::map<std::string, Labels> per_recv;
+  std::size_t region = 0;
+  std::vector<bool> block_is_ns;
+  const auto opens_namespace = [&](std::size_t brace) {
+    // Walk back over the `id [:: id]*` chain of `namespace a::b::c {`;
+    // true when the chain is headed by the `namespace` keyword.
+    for (std::size_t back = 1; back <= brace; ++back) {
+      const Token& p = t[brace - back];
+      if (p.kind == TokKind::kIdent) {
+        if (p.text == "namespace") return true;
+        continue;
+      }
+      if (p.kind == TokKind::kPunct && p.text == ":") continue;
+      break;
+    }
+    return false;
+  };
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kPunct) {
+      if (t[i].text == "{") {
+        block_is_ns.push_back(opens_namespace(i));
+      } else if (t[i].text == "}" && !block_is_ns.empty()) {
+        const bool was_ns = block_is_ns.back();
+        block_is_ns.pop_back();
+        if (!was_ns &&
+            std::all_of(block_is_ns.begin(), block_is_ns.end(),
+                        [](bool ns) { return ns; })) {
+          ++region;
+        }
+      }
+    }
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "access" && t[i].text != "named")) {
+      continue;
+    }
+    const bool member =
+        t[i - 1].kind == TokKind::kPunct &&
+        (t[i - 1].text == "." ||
+         (t[i - 1].text == ">" && t[i - 2].text == "-"));
+    if (!member) continue;
+    // Receiver identifier: the token before '.' / '->'.
+    const std::size_t recv_idx = t[i - 1].text == "." ? i - 2 : i - 3;
+    if (recv_idx >= t.size() || t[recv_idx].kind != TokKind::kIdent) {
+      continue;  // complex receiver expression — out of lexical reach
+    }
+    Call c;
+    if (!parse_call(t, i, c) || c.argc != 1) continue;
+    const auto& [b, e] = c.args[0];
+    if (e - b != 1 || t[b].kind != TokKind::kString) continue;
+    std::string recv(t[recv_idx].text);
+    const std::string label(t[b].text);
+    if (recv.back() != '_') {
+      recv += '#' + std::to_string(region);
+    }
+    Labels& L = per_recv[recv];
+    if (t[i].text == "named") {
+      L.named = label;
+      L.named_line = c.line;
+    } else {
+      L.access.emplace(label, c.line);
+    }
+  }
+  for (const auto& [key, L] : per_recv) {
+    const std::string recv = key.substr(0, key.find('#'));
+    std::vector<std::pair<std::size_t, std::string>> by_line;
+    by_line.reserve(L.access.size());
+    for (const auto& [label, line] : L.access) {
+      by_line.emplace_back(line, label);
+    }
+    std::sort(by_line.begin(), by_line.end());
+    std::string first_label;
+    std::size_t first_line = 0;
+    for (const auto& [line, label] : by_line) {
+      if (first_label.empty()) {
+        first_label = label;
+        first_line = line;
+        continue;
+      }
+      if (ctx.consume("label-ok", line)) continue;
+      ctx.add(Rule::kObsContract, Severity::kError, line,
+              "buffer '" + recv + "' accessed under conflicting labels \"" +
+                  first_label + "\" (line " + std::to_string(first_line) +
+                  ") vs \"" + label + "\"");
+    }
+    if (!L.named.empty() && !first_label.empty() && first_label != L.named &&
+        L.access.size() == 1) {
+      const std::size_t line = L.access.begin()->second;
+      if (!ctx.consume("label-ok", line)) {
+        ctx.add(Rule::kObsContract, Severity::kError, line,
+                "buffer '" + recv + "' access label \"" + first_label +
+                    "\" disagrees with named(\"" + L.named + "\") at line " +
+                    std::to_string(L.named_line));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- annotation hygiene
+
+constexpr std::string_view kKnownTags[] = {"no-deps", "relaxed-ok",
+                                           "alloc-ok", "raw-span-ok",
+                                           "label-ok"};
+
+[[nodiscard]] bool tag_rule_enabled(const LintConfig& cfg,
+                                    std::string_view tag) {
+  const auto on = [&](Rule r) { return cfg.enabled.count(r) != 0; };
+  if (tag == "no-deps") return on(Rule::kEventDeps);
+  if (tag == "relaxed-ok") return on(Rule::kMemoryOrder);
+  if (tag == "alloc-ok") return on(Rule::kHotAlloc);
+  return on(Rule::kObsContract);
+}
+
+void check_annotations(FileCtx& ctx) {
+  for (std::size_t i = 0; i < ctx.lx.annotations.size(); ++i) {
+    const Annotation& a = ctx.lx.annotations[i];
+    const bool known =
+        std::find(std::begin(kKnownTags), std::end(kKnownTags), a.tag) !=
+        std::end(kKnownTags);
+    if (!known) {
+      ctx.add(Rule::kAnnotation, Severity::kWarning, a.line,
+              "unknown lint annotation tag `" + a.tag + "`");
+      continue;
+    }
+    if (a.empty_reason) {
+      ctx.add(Rule::kAnnotation, Severity::kError, a.line,
+              "lint annotation `" + a.tag +
+                  "` must carry a non-empty (reason)");
+      continue;
+    }
+    if (!ctx.annotation_used[i] && tag_rule_enabled(ctx.cfg, a.tag)) {
+      ctx.add(Rule::kAnnotation, Severity::kWarning, a.line,
+              "stale annotation: `" + a.tag +
+                  "` suppresses nothing on this line");
+    }
+  }
+}
+
+// ------------------------------------------------------------ R4 layering
+
+[[nodiscard]] std::string module_of(std::string_view path) {
+  if (starts_with(path, "src/")) {
+    const std::string_view rest = path.substr(4);
+    return std::string(rest.substr(0, rest.find('/')));
+  }
+  return std::string(path.substr(0, path.find('/')));
+}
+
+}  // namespace
+
+// Public so lint_tree and the self-tests share one R4 implementation.
+void lint_layering(
+    const std::map<std::string, std::vector<IncludeDirective>>& files,
+    const LintConfig& cfg, LintReport& report) {
+  if (cfg.enabled.count(Rule::kLayering) == 0) return;
+  // Resolve each quoted include to a scanned repo file where possible:
+  // as written it is src/-relative ("xcl/queue.hpp"); otherwise try the
+  // including file's own directory ("app_common.hpp") or the repo root
+  // ("bench/bench_json.hpp").
+  std::map<std::string, std::vector<std::string>> graph;  // file -> files
+  for (const auto& [path, incs] : files) {
+    const std::string mod = module_of(path);
+    const auto mod_allowed = cfg.layering.allowed.find(mod);
+    if (mod_allowed == cfg.layering.allowed.end()) {
+      report.add({Rule::kLayering, Severity::kError, path, 1,
+                  "module '" + mod +
+                      "' is missing from the layering matrix (layering.tsv)",
+                  ""});
+      continue;
+    }
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string() : path.substr(0, slash);
+    for (const IncludeDirective& inc : incs) {
+      if (inc.angled) continue;  // system headers are out of scope
+      std::string resolved;
+      for (const std::string& cand :
+           {"src/" + inc.target, dir + "/" + inc.target, inc.target}) {
+        if (files.count(cand) != 0) {
+          resolved = cand;
+          break;
+        }
+      }
+      if (resolved.empty()) continue;  // generated / external quoted include
+      graph[path].push_back(resolved);
+      const std::string to = module_of(resolved);
+      if (to != mod && mod_allowed->second.count(to) == 0) {
+        report.add({Rule::kLayering, Severity::kError, path, inc.line,
+                    "forbidden layering edge: module '" + mod +
+                        "' must not include '" + to + "' (\"" + inc.target +
+                        "\"); see tools/eod_lint/layering.tsv",
+                    "#include \"" + inc.target + "\""});
+      }
+    }
+  }
+  // File-level include-cycle detection (DFS, three colours).  Include
+  // guards make cycles compilable-by-accident; structurally they are still
+  // a layering defect.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  // Iterative DFS with an explicit stack of (node, next-child) frames.
+  for (const auto& [start, _] : graph) {
+    if (colour[start] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> frames;
+    frames.emplace_back(start, 0);
+    colour[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      const auto it = graph.find(node);
+      if (it == graph.end() || next >= it->second.size()) {
+        colour[node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string child = it->second[next++];
+      if (colour[child] == 1) {
+        std::string cycle = child;
+        for (auto r = std::find(stack.begin(), stack.end(), child);
+             r != stack.end(); ++r) {
+          if (*r != child) cycle += " -> " + *r;
+        }
+        cycle += " -> " + child;
+        report.add({Rule::kLayering, Severity::kError, child, 1,
+                    "#include cycle: " + cycle, ""});
+        continue;
+      }
+      if (colour[child] == 0) {
+        colour[child] = 1;
+        stack.push_back(child);
+        frames.emplace_back(child, 0);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- public API
+
+const char* to_string(Severity s) noexcept {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+const char* to_string(Rule r) noexcept {
+  switch (r) {
+    case Rule::kEventDeps: return "event-deps";
+    case Rule::kMemoryOrder: return "memory-order";
+    case Rule::kHotAlloc: return "hot-alloc";
+    case Rule::kLayering: return "layering";
+    case Rule::kObsContract: return "obs-contract";
+    case Rule::kAnnotation: return "annotation";
+  }
+  return "?";
+}
+
+std::uint64_t snippet_hash(std::string_view snippet) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : snippet) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void LintReport::add(Finding f) {
+  findings_.push_back(std::move(f));
+  ranked_ = false;
+}
+
+void LintReport::rank() const {
+  if (ranked_) return;
+  std::stable_sort(findings_.begin(), findings_.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.severity != b.severity) {
+                       return a.severity < b.severity;
+                     }
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  ranked_ = true;
+}
+
+const std::vector<Finding>& LintReport::findings() const {
+  rank();
+  return findings_;
+}
+
+std::size_t LintReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(), [](const Finding& f) {
+        return f.severity == Severity::kError;
+      }));
+}
+
+std::size_t LintReport::warning_count() const noexcept {
+  return findings_.size() - error_count();
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  for (const Finding& f : findings()) {
+    os << f.path << ':' << f.line << ": " << to_string(f.severity) << " ["
+       << to_string(f.rule) << "] " << f.detail << '\n';
+    if (!f.snippet.empty()) os << "    | " << f.snippet << '\n';
+  }
+  os << error_count() << " error(s), " << warning_count()
+     << " warning(s)\n";
+  return os.str();
+}
+
+std::string LintReport::to_tsv() const {
+  std::ostringstream os;
+  os << "severity\trule\tpath\tline\thash\tdetail\n";
+  for (const Finding& f : findings()) {
+    os << to_string(f.severity) << '\t' << to_string(f.rule) << '\t'
+       << f.path << '\t' << f.line << '\t' << hash_hex(snippet_hash(f.snippet))
+       << '\t' << sanitize_field(f.detail) << '\n';
+  }
+  return os.str();
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings()) {
+    os << (first ? "" : ",") << "\n    {\"severity\": \""
+       << to_string(f.severity) << "\", \"rule\": \"" << to_string(f.rule)
+       << "\", \"path\": \"" << json_escape(f.path) << "\", \"line\": "
+       << f.line << ", \"hash\": \"" << hash_hex(snippet_hash(f.snippet))
+       << "\", \"detail\": \"" << json_escape(f.detail)
+       << "\", \"snippet\": \"" << json_escape(f.snippet) << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"summary\": {\"errors\": " << error_count()
+     << ", \"warnings\": " << warning_count() << "}\n}\n";
+  return os.str();
+}
+
+std::size_t LintReport::apply_baseline(const std::set<std::string>& keys) {
+  const std::size_t before = findings_.size();
+  findings_.erase(
+      std::remove_if(findings_.begin(), findings_.end(),
+                     [&](const Finding& f) {
+                       const std::string key =
+                           std::string(to_string(f.rule)) + '\t' + f.path +
+                           '\t' + hash_hex(snippet_hash(f.snippet));
+                       return keys.count(key) != 0;
+                     }),
+      findings_.end());
+  return before - findings_.size();
+}
+
+std::string LintReport::to_baseline() const {
+  std::ostringstream os;
+  os << "# eod_lint baseline: rule<TAB>path<TAB>snippet-hash.  Each row\n"
+        "# suppresses matching findings; delete rows as debt is paid.\n";
+  std::set<std::string> rows;
+  for (const Finding& f : findings()) {
+    rows.insert(std::string(to_string(f.rule)) + '\t' + f.path + '\t' +
+                hash_hex(snippet_hash(f.snippet)));
+  }
+  for (const std::string& r : rows) os << r << '\n';
+  return os.str();
+}
+
+std::set<std::string> parse_baseline(std::string_view text) {
+  std::set<std::string> keys;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      const std::string line = trim_copy(text.substr(start, i - start));
+      if (!line.empty() && line.front() != '#') keys.insert(line);
+      start = i + 1;
+    }
+  }
+  return keys;
+}
+
+LayeringMatrix LayeringMatrix::builtin_default() {
+  LayeringMatrix m;
+  const auto set = [&](const char* mod,
+                       std::initializer_list<const char*> deps) {
+    auto& s = m.allowed[mod];
+    for (const char* d : deps) s.insert(d);
+  };
+  // The tree's dependency order, base to top (DESIGN.md §15): scibench has
+  // no repo deps; obs sits above it; xcl may use obs instrumentation but
+  // never sim/harness/dwarfs; sim models xcl devices; dwarfs are xcl+sim
+  // clients; aiwc characterizes dwarfs; harness orchestrates everything.
+  set("scibench", {});
+  set("obs", {"scibench"});
+  set("xcl", {"obs", "scibench"});
+  set("sim", {"xcl", "obs", "scibench"});
+  set("dwarfs", {"xcl", "sim", "obs", "scibench"});
+  set("aiwc", {"xcl", "sim", "dwarfs", "scibench"});
+  set("harness",
+      {"xcl", "sim", "dwarfs", "aiwc", "obs", "scibench"});
+  const std::initializer_list<const char*> all = {
+      "xcl", "sim", "dwarfs", "aiwc", "obs", "scibench", "harness"};
+  set("apps", all);
+  set("bench", all);
+  m.allowed["bench"].insert("apps");
+  set("tests", all);
+  m.allowed["tests"].insert("bench");
+  m.allowed["tests"].insert("apps");
+  set("examples", all);
+  set("tools", {});
+  return m;
+}
+
+LayeringMatrix LayeringMatrix::parse(std::string_view tsv,
+                                     std::string* error) {
+  LayeringMatrix m;
+  std::size_t start = 0;
+  std::size_t lineno = 0;
+  for (std::size_t i = 0; i <= tsv.size(); ++i) {
+    if (i != tsv.size() && tsv[i] != '\n') continue;
+    ++lineno;
+    const std::string line = trim_copy(tsv.substr(start, i - start));
+    start = i + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t tab = line.find('\t');
+    const std::string mod = trim_copy(
+        std::string_view(line).substr(0, tab));
+    auto& deps = m.allowed[mod];
+    if (tab == std::string::npos) continue;  // module with no deps
+    std::string_view rest = std::string_view(line).substr(tab + 1);
+    std::size_t ds = 0;
+    for (std::size_t j = 0; j <= rest.size(); ++j) {
+      if (j != rest.size() && rest[j] != ',') continue;
+      const std::string dep = trim_copy(rest.substr(ds, j - ds));
+      if (!dep.empty()) deps.insert(dep);
+      ds = j + 1;
+    }
+  }
+  // The matrix itself must be acyclic, or R4 would bless a cycle.
+  std::map<std::string, int> colour;
+  std::vector<std::string> order;
+  for (const auto& [mod, _] : m.allowed) order.push_back(mod);
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& mod) -> bool {
+    colour[mod] = 1;
+    const auto it = m.allowed.find(mod);
+    if (it != m.allowed.end()) {
+      for (const std::string& dep : it->second) {
+        if (colour[dep] == 1) return false;
+        if (colour[dep] == 0 && !dfs(dep)) return false;
+      }
+    }
+    colour[mod] = 2;
+    return true;
+  };
+  for (const std::string& mod : order) {
+    if (colour[mod] == 0 && !dfs(mod)) {
+      if (error != nullptr) {
+        *error = "layering matrix contains a cycle through '" + mod + "'";
+      }
+      return {};  // an errored matrix must not be used
+    }
+  }
+  if (error != nullptr) error->clear();
+  return m;
+}
+
+namespace {
+
+void lint_lexed(const std::string& path, const LexedFile& lx,
+                const LintConfig& cfg, LintReport& report) {
+  FileCtx ctx{path, lx, cfg, report, {}};
+  ctx.annotation_used.assign(lx.annotations.size(), false);
+  if (cfg.enabled.count(Rule::kEventDeps) != 0) check_event_deps(ctx);
+  if (cfg.enabled.count(Rule::kMemoryOrder) != 0) check_memory_order(ctx);
+  if (cfg.enabled.count(Rule::kHotAlloc) != 0) check_hot_alloc(ctx);
+  if (cfg.enabled.count(Rule::kObsContract) != 0) check_obs_contract(ctx);
+  if (cfg.enabled.count(Rule::kAnnotation) != 0) check_annotations(ctx);
+}
+
+}  // namespace
+
+void lint_source(const std::string& path, std::string_view source,
+                 const LintConfig& cfg, LintReport& report) {
+  const LexedFile lx = lex(source);
+  lint_lexed(path, lx, cfg, report);
+}
+
+bool lint_tree(const std::string& root, const LintConfig& cfg,
+               LintReport& report, std::string* error,
+               std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  const fs::path rootp(root);
+  if (!fs::is_directory(rootp)) {
+    if (error != nullptr) *error = "not a directory: " + root;
+    return false;
+  }
+  std::map<std::string, std::vector<IncludeDirective>> include_map;
+  std::size_t scanned = 0;
+  for (const char* sub :
+       {"src", "apps", "bench", "tests", "examples", "tools"}) {
+    const fs::path dir = rootp / sub;
+    if (!fs::is_directory(dir)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        if (error != nullptr) *error = "cannot read " + p.string();
+        return false;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string source = buf.str();
+      const std::string rel =
+          fs::relative(p, rootp).generic_string();
+      const LexedFile lx = lex(source);
+      lint_lexed(rel, lx, cfg, report);
+      include_map.emplace(rel, lx.includes);
+      ++scanned;
+    }
+  }
+  lint_layering(include_map, cfg, report);
+  if (files_scanned != nullptr) *files_scanned = scanned;
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace eod::lint

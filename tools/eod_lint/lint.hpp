@@ -1,0 +1,141 @@
+// eod_lint: repo-specific static analysis for the extended-OpenDwarfs tree
+// (DESIGN.md §15).  Five rule families over the lexer in lexer.hpp:
+//
+//   R1 event-deps    — in dependency-expressed (ooo-converted) translation
+//                      units, every Queue enqueue_*/submit call must pass an
+//                      explicit wait list or carry `// lint: no-deps(reason)`.
+//   R2 memory-order  — std::memory_order_relaxed is legal only under
+//                      src/obs/ or with `// lint: relaxed-ok(reason)`; every
+//                      compare_exchange names both success and failure
+//                      orders.
+//   R3 hot-alloc     — raw new/malloc and container growth are banned in the
+//                      executor/thread_pool/queue/fiber TUs outside the
+//                      arena layer, unless `// lint: alloc-ok(reason)`.
+//   R4 layering      — the quoted-#include graph must be acyclic and every
+//                      cross-module edge must appear in the checked-in
+//                      allowed-edges matrix (layering.tsv).
+//   R5 obs-contract  — no discarded TraceSpan temporaries; raw
+//                      emit_complete* outside src/obs/ needs
+//                      `// lint: raw-span-ok(reason)`; a Buffer's access<T>
+//                      labels must agree with each other and with named().
+//
+// The report mirrors xcl::check::CheckReport: severity-ranked findings with
+// text, TSV, and JSON renderings, plus a baseline-suppression file keyed by
+// (rule, path, content-hash) so historical findings can be grandfathered
+// without pinning line numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace eod::lint {
+
+enum class Severity : std::uint8_t { kError, kWarning };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Stable rule identifiers (the `--rules` selector and TSV/JSON `rule`
+/// column).  kAnnotation covers the meta-rules that keep suppressions
+/// honest: empty reasons and annotations that no longer suppress anything.
+enum class Rule : std::uint8_t {
+  kEventDeps,    // R1
+  kMemoryOrder,  // R2
+  kHotAlloc,     // R3
+  kLayering,     // R4
+  kObsContract,  // R5
+  kAnnotation,   // meta: malformed / stale annotations
+};
+
+[[nodiscard]] const char* to_string(Rule r) noexcept;
+
+struct Finding {
+  Rule rule = Rule::kEventDeps;
+  Severity severity = Severity::kError;
+  std::string path;     ///< repo-relative
+  std::size_t line = 0;
+  std::string detail;   ///< one-line human-readable description
+  std::string snippet;  ///< trimmed source line (context, and baseline key)
+};
+
+/// FNV-1a over the whitespace-trimmed snippet: the baseline key component
+/// that survives unrelated line-number drift.
+[[nodiscard]] std::uint64_t snippet_hash(std::string_view snippet) noexcept;
+
+class LintReport {
+ public:
+  void add(Finding f);
+
+  /// Findings sorted by severity (errors first), then rule, path, line.
+  [[nodiscard]] const std::vector<Finding>& findings() const;
+
+  [[nodiscard]] bool clean() const noexcept { return findings_.empty(); }
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+
+  [[nodiscard]] std::string to_text() const;
+  /// Header row, then one row per finding: severity, rule, path, line,
+  /// snippet-hash, detail (tabs in fields collapsed to spaces).
+  [[nodiscard]] std::string to_tsv() const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drops findings matching `rule<TAB>path<TAB>hash` baseline entries
+  /// (each entry suppresses any number of same-keyed findings).  Returns
+  /// the number suppressed.
+  std::size_t apply_baseline(const std::set<std::string>& keys);
+  /// Renders the baseline that would suppress every current finding.
+  [[nodiscard]] std::string to_baseline() const;
+
+ private:
+  void rank() const;
+  mutable std::vector<Finding> findings_;
+  mutable bool ranked_ = true;
+};
+
+/// The allowed-edges matrix of R4: module -> modules it may include from.
+/// Self-edges are implicit.  Parsed from layering.tsv (`module<TAB>dep,dep`
+/// rows, `#` comments) or defaulted to the tree's architecture.
+struct LayeringMatrix {
+  std::map<std::string, std::set<std::string>> allowed;
+  [[nodiscard]] static LayeringMatrix builtin_default();
+  [[nodiscard]] static LayeringMatrix parse(std::string_view tsv,
+                                            std::string* error);
+};
+
+struct LintConfig {
+  LayeringMatrix layering = LayeringMatrix::builtin_default();
+  std::set<Rule> enabled = {Rule::kEventDeps, Rule::kMemoryOrder,
+                            Rule::kHotAlloc,  Rule::kLayering,
+                            Rule::kObsContract, Rule::kAnnotation};
+};
+
+/// Lints one in-memory translation unit (rules R1–R3, R5, annotation
+/// hygiene; R4 needs the whole tree).  `path` must be repo-relative with
+/// forward slashes — rule scoping keys off it.
+void lint_source(const std::string& path, std::string_view source,
+                 const LintConfig& cfg, LintReport& report);
+
+/// R4 over a set of files: `files` maps repo-relative path -> its lexed
+/// quoted-include targets (as written, i.e. relative to src/).
+void lint_layering(
+    const std::map<std::string, std::vector<IncludeDirective>>& files,
+    const LintConfig& cfg, LintReport& report);
+
+/// Walks root/{src,apps,bench,tests,tools}/**.{cpp,hpp,h}, runs every
+/// enabled rule (R4 across the whole set), and fills `report`.  Returns
+/// false (with `error` set) when the root cannot be read.
+bool lint_tree(const std::string& root, const LintConfig& cfg,
+               LintReport& report, std::string* error,
+               std::size_t* files_scanned = nullptr);
+
+/// Loads `rule<TAB>path<TAB>hash` baseline keys; '#' comments and blank
+/// lines ignored.
+[[nodiscard]] std::set<std::string> parse_baseline(std::string_view text);
+
+}  // namespace eod::lint

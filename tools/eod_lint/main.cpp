@@ -1,0 +1,205 @@
+// eod_lint CLI (DESIGN.md §15).  Exit codes: 0 clean, 1 findings remain
+// after baseline suppression, 2 usage / IO error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: eod_lint [options] [--root <repo-root>]\n"
+    "\n"
+    "Static analysis for the extended-OpenDwarfs tree: walks\n"
+    "src/, apps/, bench/, tests/, examples/, tools/ and enforces the\n"
+    "repo's concurrency, event-DAG, allocation, layering, and\n"
+    "observability invariants (DESIGN.md §15).\n"
+    "\n"
+    "options:\n"
+    "  --root <dir>           repo root to scan (default: .)\n"
+    "  --format text|tsv|json output format (default: text)\n"
+    "  --out <path>           write the report to <path> instead of stdout\n"
+    "  --baseline <path>      suppress findings listed in a baseline file\n"
+    "  --write-baseline <p>   write a baseline covering current findings\n"
+    "  --layering <path>      allowed-edges matrix (default:\n"
+    "                         <root>/tools/eod_lint/layering.tsv, else the\n"
+    "                         built-in matrix)\n"
+    "  --rules a,b,...        enable only the named rules (event-deps,\n"
+    "                         memory-order, hot-alloc, layering,\n"
+    "                         obs-contract, annotation)\n"
+    "  --list-rules           print the rule catalogue and exit\n";
+
+constexpr const char* kRuleCatalogue =
+    "event-deps    R1: ooo-converted TUs must pass explicit wait lists\n"
+    "              (annotation: lint: no-deps(reason))\n"
+    "memory-order  R2: memory_order_relaxed only under src/obs/ or\n"
+    "              annotated lint: relaxed-ok(reason); compare_exchange\n"
+    "              must name both orders\n"
+    "hot-alloc     R3: no raw new/malloc/container growth in the\n"
+    "              executor/thread_pool/queue/fiber TUs\n"
+    "              (annotation: lint: alloc-ok(reason))\n"
+    "layering      R4: #include graph acyclic and within the checked-in\n"
+    "              allowed-edges matrix (tools/eod_lint/layering.tsv)\n"
+    "obs-contract  R5: no discarded TraceSpan temporaries; raw\n"
+    "              emit_complete* annotated lint: raw-span-ok(reason);\n"
+    "              Buffer access<T>/named labels consistent\n"
+    "              (annotation: lint: label-ok(reason))\n"
+    "annotation    meta: annotations must carry reasons and suppress\n"
+    "              something\n";
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool parse_rules(const std::string& csv, std::set<eod::lint::Rule>& out) {
+  using eod::lint::Rule;
+  out.clear();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= csv.size(); ++i) {
+    if (i != csv.size() && csv[i] != ',') continue;
+    const std::string name = csv.substr(start, i - start);
+    start = i + 1;
+    if (name.empty()) continue;
+    bool matched = false;
+    for (const Rule r :
+         {Rule::kEventDeps, Rule::kMemoryOrder, Rule::kHotAlloc,
+          Rule::kLayering, Rule::kObsContract, Rule::kAnnotation}) {
+      if (name == eod::lint::to_string(r)) {
+        out.insert(r);
+        matched = true;
+      }
+    }
+    if (!matched) return false;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string layering_path;
+  eod::lint::LintConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "eod_lint: " << arg << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--list-rules") {
+      std::cout << kRuleCatalogue;
+      return 0;
+    } else if (arg == "--root") {
+      root = value();
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "text" && format != "tsv" && format != "json") {
+        std::cerr << "eod_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value();
+    } else if (arg == "--layering") {
+      layering_path = value();
+    } else if (arg == "--rules") {
+      if (!parse_rules(value(), cfg.enabled)) {
+        std::cerr << "eod_lint: bad --rules list (see --list-rules)\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "eod_lint: unknown argument '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  // Layering matrix: explicit flag, checked-in default, built-in fallback.
+  if (layering_path.empty()) {
+    const std::string checked_in = root + "/tools/eod_lint/layering.tsv";
+    std::string probe;
+    if (read_file(checked_in, probe)) layering_path = checked_in;
+  }
+  if (!layering_path.empty()) {
+    std::string text;
+    if (!read_file(layering_path, text)) {
+      std::cerr << "eod_lint: cannot read layering matrix " << layering_path
+                << '\n';
+      return 2;
+    }
+    std::string err;
+    cfg.layering = eod::lint::LayeringMatrix::parse(text, &err);
+    if (!err.empty()) {
+      std::cerr << "eod_lint: " << err << '\n';
+      return 2;
+    }
+  }
+
+  eod::lint::LintReport report;
+  std::string error;
+  std::size_t scanned = 0;
+  if (!eod::lint::lint_tree(root, cfg, report, &error, &scanned)) {
+    std::cerr << "eod_lint: " << error << '\n';
+    return 2;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "eod_lint: cannot read baseline " << baseline_path << '\n';
+      return 2;
+    }
+    suppressed = report.apply_baseline(eod::lint::parse_baseline(text));
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << report.to_baseline();
+    if (!out) {
+      std::cerr << "eod_lint: cannot write " << write_baseline_path << '\n';
+      return 2;
+    }
+  }
+
+  const std::string rendered = format == "tsv"    ? report.to_tsv()
+                               : format == "json" ? report.to_json()
+                                                  : report.to_text();
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << rendered;
+    if (!out) {
+      std::cerr << "eod_lint: cannot write " << out_path << '\n';
+      return 2;
+    }
+  }
+  std::cerr << "eod_lint: scanned " << scanned << " files, "
+            << report.error_count() << " error(s), "
+            << report.warning_count() << " warning(s)";
+  if (suppressed != 0) std::cerr << ", " << suppressed << " baselined";
+  std::cerr << '\n';
+  return report.clean() ? 0 : 1;
+}
