@@ -8,6 +8,7 @@
 // against the serial reference, and prints a LibSciBench-style summary.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "harness/cli.hpp"
 #include "harness/partition.hpp"
 #include "harness/runner.hpp"
+#include "obs/analysis/profile.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -70,7 +72,9 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   opts.trace_path =
       !cli.trace_path.empty() ? cli.trace_path : obs::env_trace_path();
   opts.metrics_path = cli.metrics_path;
-  if (!opts.trace_path.empty() || !opts.metrics_path.empty()) {
+  opts.profile = cli.profile;
+  if (!opts.trace_path.empty() || !opts.metrics_path.empty() ||
+      opts.profile) {
     opts.manifest_path = "manifest.json";
   }
 
@@ -100,28 +104,53 @@ inline int run_configured(dwarfs::Dwarf& dwarf,
   if (m.check_performed) {
     std::cout << m.check_report.to_text();
   }
-  if (!opts.trace_path.empty()) {
-    std::cout << "trace: " << opts.trace_path
+  // Print the *final* collision-suffixed paths the measurement reports
+  // back, not the requested ones — they are what actually landed on disk.
+  if (!m.trace_path.empty()) {
+    std::cout << "trace: " << m.trace_path
               << " (load in chrome://tracing or ui.perfetto.dev)\n";
   }
-  if (!opts.metrics_path.empty()) {
-    std::cout << "metrics: " << opts.metrics_path << '\n';
+  if (!m.metrics_path.empty()) {
+    std::cout << "metrics: " << m.metrics_path << '\n';
   }
-  if (!opts.manifest_path.empty()) {
-    std::cout << "manifest: " << opts.manifest_path << '\n';
+  if (!m.profile_path.empty()) {
+    std::cout << "profile: " << m.profile_path << '\n';
+  }
+  if (!m.manifest_path.empty()) {
+    std::cout << "manifest: " << m.manifest_path << '\n';
   }
   const bool check_failed =
       m.check_performed && m.check_report.error_count() > 0;
   return (m.validation.ok && !check_failed) ? 0 : 1;
 }
 
+/// Turns the trace recorder on for a partitioned multi-device run when
+/// --trace / EOD_TRACE / --profile asks for one.  Must run before the
+/// partitioned execution so the per-device command spans are recorded;
+/// report_partitioned() serialises and analyzes them afterwards.  Returns
+/// the *requested* trace path ("trace.json" when only --profile asked).
+inline std::string begin_partitioned_trace(const harness::CliOptions& cli) {
+  std::string path =
+      !cli.trace_path.empty() ? cli.trace_path : obs::env_trace_path();
+  if (path.empty() && cli.profile) path = "trace.json";
+  if (!path.empty()) {
+    obs::reset_tracing();
+    obs::set_thread_lane_name("harness");
+    obs::set_tracing_enabled(true);
+  }
+  return path;
+}
+
 /// Prints the standard report for a partitioned multi-device run
-/// (DESIGN.md §14) and writes the run manifest (with the full --devices
-/// set) when an observability flag asked for artifacts.  Returns the
-/// process exit code.
+/// (DESIGN.md §14), writes the trace/metrics/profile artifacts, and writes
+/// the run manifest (with the full --devices set) when an observability
+/// flag asked for artifacts.  `requested_trace` is
+/// begin_partitioned_trace()'s return value.  Returns the process exit
+/// code.
 inline int report_partitioned(const dwarfs::Dwarf& dwarf,
                               const harness::PartitionedResult& r,
-                              const harness::CliOptions& cli) {
+                              const harness::CliOptions& cli,
+                              const std::string& requested_trace) {
   std::cout << dwarf.name() << " (" << dwarf.berkeley_dwarf()
             << ") partitioned across " << r.shards.size() << " device(s)\n";
   for (const harness::Shard& s : r.shards) {
@@ -135,9 +164,47 @@ inline int report_partitioned(const dwarfs::Dwarf& dwarf,
   std::cout << "halo exchange: " << r.halo_transfers << " peer copies, "
             << r.halo_bytes << " bytes, " << r.halo_seconds * 1e3
             << " ms modeled link time\n";
-  const std::string trace_path =
-      !cli.trace_path.empty() ? cli.trace_path : obs::env_trace_path();
-  if (!trace_path.empty() || !cli.metrics_path.empty()) {
+  std::string trace_path;
+  if (!requested_trace.empty()) {
+    obs::set_tracing_enabled(false);
+    trace_path = obs::unique_artifact_path(requested_trace);
+    if (!obs::write_chrome_trace(trace_path)) trace_path.clear();
+    if (!trace_path.empty()) {
+      std::cout << "trace: " << trace_path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+  std::string metrics_path;
+  if (!cli.metrics_path.empty()) {
+    metrics_path = obs::unique_artifact_path(cli.metrics_path);
+    if (!obs::snapshot_metrics().write_file(metrics_path)) {
+      metrics_path.clear();
+    } else {
+      std::cout << "metrics: " << metrics_path << '\n';
+    }
+  }
+  std::string profile_path;
+  if (cli.profile && !trace_path.empty()) {
+    try {
+      prof::ProfileInputs inputs;
+      inputs.trace_path = trace_path;
+      prof::ProfileReport report = prof::profile_run(inputs);
+      report.benchmark = dwarf.name();
+      report.device = r.shards.front().device->name();
+      report.queue = xcl::to_string(xcl::QueueMode::kOutOfOrder);
+      const std::string path =
+          trace_path.substr(0, trace_path.rfind(".json")) + ".profile.json";
+      std::ofstream f(path, std::ios::trunc);
+      if (f && (f << report.to_json()).good()) {
+        profile_path = path;
+        std::cout << "profile: " << profile_path << '\n';
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "profile analysis failed: " << e.what() << '\n';
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty() ||
+      !profile_path.empty()) {
     obs::RunManifest man;
     man.benchmark = dwarf.name();
     man.size = dwarfs::to_string(
@@ -158,9 +225,13 @@ inline int report_partitioned(const dwarfs::Dwarf& dwarf,
     man.validated = true;
     man.validation_ok = r.validation.ok;
     man.trace_path = trace_path;
-    man.metrics_path = cli.metrics_path;
-    (void)man.write_json("manifest.json", obs::snapshot_metrics());
-    std::cout << "manifest: manifest.json\n";
+    man.metrics_path = metrics_path;
+    man.profile_path = profile_path;
+    const std::string manifest_path =
+        obs::unique_artifact_path("manifest.json");
+    if (man.write_json(manifest_path, obs::snapshot_metrics())) {
+      std::cout << "manifest: " << manifest_path << '\n';
+    }
   }
   return r.validation.ok ? 0 : 1;
 }

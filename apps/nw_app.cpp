@@ -21,12 +21,13 @@ int main(int argc, const char** argv) {
     std::cout << "nw " << n << ' ' << penalty << '\n';
     const std::vector<xcl::Device*> devices = a.cli.resolve_devices();
     if (devices.size() > 1) {
+      const std::string trace = apps::begin_partitioned_trace(a.cli);
       harness::PartitionOptions popts;
       popts.validate = true;
       popts.dispatch = a.cli.dispatch;
       const harness::PartitionedResult r =
           harness::run_partitioned_nw(dwarf, devices, popts);
-      return apps::report_partitioned(dwarf, r, a.cli);
+      return apps::report_partitioned(dwarf, r, a.cli, trace);
     }
     return apps::run_configured(dwarf, a.cli);
   } catch (const std::exception& e) {

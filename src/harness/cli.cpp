@@ -134,6 +134,8 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       o.trace_path = next(arg);
     } else if (arg == "--metrics") {
       o.metrics_path = next(arg);
+    } else if (arg == "--profile") {
+      o.profile = true;
     } else {
       o.positional.push_back(original);
     }
@@ -151,11 +153,15 @@ std::string usage(const std::string& program) {
          std::string(xcl::dispatch_mode_names()) +
          "]\n"
          "          [--queue inorder|ooo] [--trace FILE] [--metrics FILE]\n"
+         "          [--profile]\n"
          "device selection follows the paper's notation: -p <platform>\n"
          "-d <device index within type> -t <0=CPU, 1=GPU, 2=MIC>\n"
          "--trace writes a chrome://tracing JSON; --metrics a process\n"
          "metrics snapshot (.tsv for TSV); either also writes manifest.json\n"
          "(EOD_TRACE=1 enables tracing without the flag)\n"
+         "--profile runs the eod_prof schedule analysis on the written\n"
+         "trace (implying --trace trace.json when absent) and records the\n"
+         "report path in the manifest\n"
          "--queue ooo lets dependency-expressed dwarfs overlap transfers\n"
          "with compute (EOD_QUEUE=ooo sets the default without the flag)\n"
          "--dispatch simd runs hand-vectorized kernel bodies where a dwarf\n"

@@ -47,6 +47,10 @@ struct CliOptions {
   /// --metrics FILE: write a process-metrics snapshot (.tsv → TSV, else
   /// JSON); empty = off.
   std::string metrics_path;
+  /// --profile: run the eod_prof schedule analysis in-process on the
+  /// written trace (implies a default --trace when absent) and record the
+  /// report path in the manifest.
+  bool profile = false;
   std::vector<std::string> positional;
 
   /// Resolves the requested device within the simulated testbed platform.

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <optional>
 #include <random>
+#include <stdexcept>
 
 #include "dwarfs/registry.hpp"
+#include "obs/analysis/profile.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +40,18 @@ std::uint64_t mix_seed(const std::string& benchmark,
   return h;
 }
 
+/// "trace.123.0.json" -> "trace.123.0.profile.json": the report lands next
+/// to the trace it describes, with the same collision suffix.
+std::string profile_path_for(const std::string& trace_path) {
+  const std::size_t slash = trace_path.find_last_of("/\\");
+  const std::size_t dot = trace_path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return trace_path + ".profile.json";
+  }
+  return trace_path.substr(0, dot) + ".profile.json";
+}
+
 }  // namespace
 
 Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
@@ -49,7 +64,12 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
   // Observability sinks (DESIGN.md §11).  Recording is scoped to this
   // group: the flags are restored on every exit path, and the recorder is
   // reset up front so consecutive measurements write independent traces.
-  const bool want_trace = !options.trace_path.empty();
+  // --profile analyzes the written trace, so it implies one.
+  const std::string requested_trace =
+      options.trace_path.empty() && options.profile
+          ? std::string("trace.json")
+          : options.trace_path;
+  const bool want_trace = !requested_trace.empty();
   const bool want_obs = want_trace || !options.metrics_path.empty() ||
                         !options.manifest_path.empty();
   struct ObsGuard {
@@ -236,11 +256,38 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
     measure_span.reset();  // close the root span before serialising
     if (want_trace) {
       obs::set_tracing_enabled(false);  // stop recording into the file walk
-      (void)obs::write_chrome_trace(options.trace_path);
+      m.trace_path = obs::unique_artifact_path(requested_trace);
+      if (!obs::write_chrome_trace(m.trace_path)) m.trace_path.clear();
     }
     const obs::MetricsSnapshot snap = obs::snapshot_metrics();
     if (!options.metrics_path.empty()) {
-      (void)snap.write_file(options.metrics_path);
+      m.metrics_path = obs::unique_artifact_path(options.metrics_path);
+      if (!snap.write_file(m.metrics_path)) m.metrics_path.clear();
+    }
+    // In-process schedule analysis (--profile): parse the trace back from
+    // disk — proving the DAG is recoverable from the artifact alone — and
+    // drop the report next to it, before the manifest records its path.
+    if (options.profile && !m.trace_path.empty()) {
+      try {
+        prof::ProfileInputs inputs;
+        inputs.trace_path = m.trace_path;
+        try {
+          inputs.transfer_peak_gbs =
+              sim::spec_by_name(m.device).transfer_bandwidth_gbs;
+        } catch (const std::invalid_argument&) {
+          // Not a Table 1 device (e.g. a test stub): no saturation peak.
+        }
+        prof::ProfileReport report = prof::profile_run(inputs);
+        report.benchmark = m.benchmark;
+        report.device = m.device;
+        report.queue = xcl::to_string(queue.mode());
+        const std::string path = profile_path_for(m.trace_path);
+        std::ofstream f(path, std::ios::trunc);
+        if (f && (f << report.to_json()).good()) m.profile_path = path;
+      } catch (const std::exception&) {
+        // A malformed trace must not fail the measurement it describes.
+        m.profile_path.clear();
+      }
     }
     if (!options.manifest_path.empty()) {
       obs::RunManifest manifest;
@@ -265,9 +312,13 @@ Measurement measure(dwarfs::Dwarf& dwarf, dwarfs::ProblemSize size,
       manifest.energy_median_j = m.energy_summary().median;
       manifest.validated = m.validated;
       manifest.validation_ok = m.validation.ok;
-      manifest.trace_path = options.trace_path;
-      manifest.metrics_path = options.metrics_path;
-      (void)manifest.write_json(options.manifest_path, snap);
+      manifest.trace_path = m.trace_path;
+      manifest.metrics_path = m.metrics_path;
+      manifest.profile_path = m.profile_path;
+      m.manifest_path = obs::unique_artifact_path(options.manifest_path);
+      if (!manifest.write_json(m.manifest_path, snap)) {
+        m.manifest_path.clear();
+      }
     }
   }
   return m;

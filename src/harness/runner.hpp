@@ -71,6 +71,13 @@ struct MeasureOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string manifest_path;
+  /// Run the eod_prof schedule analysis in-process after the artifacts are
+  /// written (the --profile flag): the trace is parsed back from disk —
+  /// validating that the DAG is recoverable from the artifact alone — and
+  /// the report lands next to it as <trace>.profile.json, recorded in the
+  /// manifest.  Implies a default trace_path of "trace.json" when none was
+  /// requested.
+  bool profile = false;
 };
 
 /// Per-kernel aggregate over one application iteration.
@@ -114,6 +121,14 @@ struct Measurement {
   /// group's functional pass ran under --dispatch=checked.
   bool check_performed = false;
   xcl::check::CheckReport check_report;
+
+  /// Final collision-suffixed artifact paths actually written (see
+  /// obs::unique_artifact_path); empty when the sink was not requested or
+  /// the write failed.
+  std::string trace_path;
+  std::string metrics_path;
+  std::string manifest_path;
+  std::string profile_path;
 
   [[nodiscard]] scibench::Summary time_summary() const {
     return scibench::summarize(time_samples_ms);

@@ -1,0 +1,65 @@
+// Minimal JSON reader for the profiler (DESIGN.md §16).  The obs layer
+// *writes* artifacts (trace, metrics, manifest, BENCH reports); this is the
+// matching reader the analysis side uses to ingest them.  It is a strict
+// recursive-descent parser over the small JSON subset those writers emit —
+// objects, arrays, strings, doubles, bools, null — deliberately dependency-
+// free so the prof library stays self-contained.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eod::prof {
+
+/// One parsed JSON value.  A tagged aggregate rather than std::variant so
+/// consumers can pattern-match with plain field access; objects preserve
+/// insertion order (BENCH reports are order-sensitive for humans, not for
+/// us, but stable iteration makes reports deterministic).
+struct Json {
+  enum class Type : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Object member access; throws std::runtime_error when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Member's number when present and numeric, else `fallback`.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+  /// Member's string when present, else `fallback`.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+};
+
+/// Parses one JSON document; throws std::runtime_error (with a byte offset)
+/// on malformed input or trailing garbage.
+[[nodiscard]] Json parse_json(std::string_view text);
+
+/// Reads a whole file; throws std::runtime_error when it cannot be opened.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// read_text_file + parse_json.
+[[nodiscard]] Json load_json(const std::string& path);
+
+}  // namespace eod::prof

@@ -1,0 +1,262 @@
+#include "obs/analysis/regress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/analysis/json.hpp"
+
+namespace eod::prof {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+enum class Direction : unsigned char {
+  kLowerIsBetter,   ///< times, latencies, overheads
+  kHigherIsBetter,  ///< speedups, bandwidths, rates
+  kStable,          ///< unknown semantics: any drift counts
+};
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Infers which way a deterministic value may drift from its key name.
+Direction direction_of(const std::string& key) {
+  for (const char* n :
+       {"speedup", "gbs", "bandwidth", "rate", "gflops", "efficiency",
+        "throughput", "hit"}) {
+    if (contains(key, n)) return Direction::kHigherIsBetter;
+  }
+  for (const char* n : {"_ns", "_s", "_us", "_ms", "seconds", "time",
+                        "latency", "overhead", "wall", "miss"}) {
+    if (contains(key, n)) return Direction::kLowerIsBetter;
+  }
+  return Direction::kStable;
+}
+
+void judge_value(const std::string& benchmark, const std::string& key,
+                 double baseline, double current, double tolerance,
+                 RegressVerdict& verdict) {
+  RegressEntry e;
+  e.benchmark = benchmark;
+  e.key = key;
+  e.baseline = baseline;
+  e.current = current;
+  e.ratio = baseline != 0.0 ? current / baseline : 0.0;
+  const double lo = baseline * (1.0 - tolerance);
+  const double hi = baseline * (1.0 + tolerance);
+  switch (direction_of(key)) {
+    case Direction::kLowerIsBetter:
+      e.regressed = current > hi;
+      if (e.regressed) e.note = "grew past " + format_double(hi);
+      break;
+    case Direction::kHigherIsBetter:
+      e.regressed = current < lo;
+      if (e.regressed) e.note = "fell below " + format_double(lo);
+      break;
+    case Direction::kStable:
+      e.regressed = current < std::min(lo, hi) || current > std::max(lo, hi);
+      if (e.regressed) {
+        e.note = "drifted outside [" + format_double(std::min(lo, hi)) +
+                 ", " + format_double(std::max(lo, hi)) + "]";
+      }
+      break;
+  }
+  ++verdict.compared;
+  if (e.regressed) ++verdict.regressions;
+  verdict.entries.push_back(std::move(e));
+}
+
+void judge_wall(const std::string& benchmark, const std::string& key,
+                const Json& baseline, const Json& current, double tolerance,
+                RegressVerdict& verdict) {
+  const double base_med = baseline.number_or("median_ns", 0.0);
+  const double base_p90 = baseline.number_or("p90_ns", base_med);
+  const double cur_med = current.number_or("median_ns", 0.0);
+  RegressEntry e;
+  e.benchmark = benchmark;
+  e.key = key;
+  e.baseline = base_med;
+  e.current = cur_med;
+  e.ratio = base_med != 0.0 ? cur_med / base_med : 0.0;
+  // A wall regression must clear both the relative threshold and the
+  // baseline's own sampled noise band.
+  e.regressed =
+      cur_med > base_med * (1.0 + tolerance) && cur_med > base_p90;
+  if (e.regressed) {
+    e.note = "median grew " + format_double((e.ratio - 1.0) * 100.0) +
+             "% past the baseline p90 " + format_double(base_p90);
+  }
+  ++verdict.compared;
+  if (e.regressed) ++verdict.regressions;
+  verdict.entries.push_back(std::move(e));
+}
+
+/// True when `key` passes the comma-separated substring filter (an empty
+/// filter passes everything).
+bool matches_filter(const std::string& key, const std::string& filter) {
+  if (filter.empty()) return true;
+  std::size_t start = 0;
+  while (start <= filter.size()) {
+    const std::size_t comma = filter.find(',', start);
+    const std::string needle =
+        filter.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+    if (!needle.empty() && key.find(needle) != std::string::npos) {
+      return true;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+void missing_key(const std::string& benchmark, const std::string& key,
+                 double baseline, RegressVerdict& verdict) {
+  RegressEntry e;
+  e.benchmark = benchmark;
+  e.key = key;
+  e.baseline = baseline;
+  e.regressed = true;
+  e.note = "present in baseline, absent from current run";
+  ++verdict.compared;
+  ++verdict.regressions;
+  verdict.entries.push_back(std::move(e));
+}
+
+}  // namespace
+
+void compare_reports(const std::string& benchmark,
+                     const std::string& baseline_json,
+                     const std::string& current_json,
+                     const RegressOptions& options, RegressVerdict& verdict) {
+  const Json base = parse_json(baseline_json);
+  const Json cur = parse_json(current_json);
+
+  if (const Json* values = base.find("values");
+      values != nullptr && values->is_object()) {
+    const Json* cur_values = cur.find("values");
+    for (const auto& [key, v] : values->object) {
+      if (!matches_filter(key, options.key_filter)) continue;
+      const std::string label = "values." + key;
+      const Json* cv =
+          cur_values != nullptr ? cur_values->find(key) : nullptr;
+      if (cv == nullptr) {
+        missing_key(benchmark, label, v.number, verdict);
+      } else {
+        judge_value(benchmark, label, v.number, cv->number,
+                    options.value_tolerance, verdict);
+      }
+    }
+  }
+  if (const Json* speedup = base.find("speedup");
+      speedup != nullptr && speedup->number != 0.0 &&
+      matches_filter("speedup", options.key_filter)) {
+    judge_value(benchmark, "speedup", speedup->number,
+                cur.number_or("speedup", 0.0), options.value_tolerance,
+                verdict);
+  }
+  if (!options.include_wall) return;
+  if (const Json* metrics = base.find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    const Json* cur_metrics = cur.find("metrics");
+    for (const auto& [key, m] : metrics->object) {
+      if (!matches_filter(key, options.key_filter)) continue;
+      const std::string label = "metrics." + key;
+      const Json* cm =
+          cur_metrics != nullptr ? cur_metrics->find(key) : nullptr;
+      if (cm == nullptr) {
+        missing_key(benchmark, label, m.number_or("median_ns", 0.0), verdict);
+      } else {
+        judge_wall(benchmark, label, m, *cm, options.wall_tolerance, verdict);
+      }
+    }
+  }
+}
+
+RegressVerdict compare_trajectory(const std::string& baseline_dir,
+                                  const std::string& current_dir,
+                                  const RegressOptions& options) {
+  namespace fs = std::filesystem;
+  RegressVerdict verdict;
+  if (!fs::is_directory(baseline_dir)) {
+    throw std::runtime_error("baseline directory not found: " + baseline_dir);
+  }
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) == 0 && file.size() > 11 &&
+        file.compare(file.size() - 5, 5, ".json") == 0) {
+      names.push_back(file);
+    }
+  }
+  if (names.empty()) {
+    throw std::runtime_error("no BENCH_*.json baselines under " +
+                             baseline_dir);
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& file : names) {
+    const std::string benchmark = file.substr(6, file.size() - 11);
+    const fs::path current = fs::path(current_dir) / file;
+    if (!fs::exists(current)) {
+      verdict.missing.push_back(benchmark);
+      continue;
+    }
+    compare_reports(benchmark,
+                    read_text_file((fs::path(baseline_dir) / file).string()),
+                    read_text_file(current.string()), options, verdict);
+  }
+  return verdict;
+}
+
+std::string RegressVerdict::to_text() const {
+  std::string out = "== trajectory regression check ==\n";
+  out += "compared " + std::to_string(compared) + " quantities, " +
+         std::to_string(regressions) + " regressed, " +
+         std::to_string(missing.size()) + " benchmarks missing\n";
+  for (const std::string& m : missing) {
+    out += "  MISSING " + m + " (baseline report has no current namesake)\n";
+  }
+  for (const RegressEntry& e : entries) {
+    if (!e.regressed) continue;
+    out += "  REGRESSED " + e.benchmark + " " + e.key + ": " +
+           format_double(e.baseline) + " -> " + format_double(e.current) +
+           " (" + e.note + ")\n";
+  }
+  out += ok() ? "verdict: PASS\n" : "verdict: FAIL\n";
+  return out;
+}
+
+std::string RegressVerdict::to_json() const {
+  std::string out = "{\n";
+  out += "  \"ok\": " + std::string(ok() ? "true" : "false") + ",\n";
+  out += "  \"compared\": " + std::to_string(compared) + ",\n";
+  out += "  \"regressions\": " + std::to_string(regressions) + ",\n";
+  out += "  \"missing\": [";
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    out += missing[i] + "\"";
+  }
+  out += "],\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const RegressEntry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"benchmark\": \"" + e.benchmark + "\", \"key\": \"" +
+           e.key + "\", \"baseline\": " + format_double(e.baseline) +
+           ", \"current\": " + format_double(e.current) +
+           ", \"ratio\": " + format_double(e.ratio) + ", \"regressed\": " +
+           (e.regressed ? "true" : "false") + ", \"note\": \"" + e.note +
+           "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace eod::prof

@@ -1,0 +1,78 @@
+// Trajectory regression gate (DESIGN.md §16).  Compares a directory of
+// freshly produced BENCH_*.json reports against a checked-in baseline
+// directory and decides — with noise tolerance — whether the benchmark
+// trajectory regressed.
+//
+// Two comparison classes, matching the BENCH schema's split:
+//   * "values" / "speedup" — deterministic modeled scalars.  Machine
+//     independent, so they gate by default with a plain relative
+//     threshold.
+//   * "metrics" — wall-clock median/p10/p90 samples.  Machine dependent
+//     (a laptop baseline means nothing to a CI runner), so they only gate
+//     when opted in, and a drift only counts when the current median also
+//     leaves the baseline's [p10, p90] noise band.
+// A baseline entry that vanished from the current run (missing file,
+// missing key) is always a regression: silently dropping a benchmark is
+// how trajectories rot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eod::prof {
+
+struct RegressOptions {
+  /// Relative drift tolerated before a deterministic value regresses.
+  double value_tolerance = 0.10;
+  /// Relative drift tolerated on wall medians (on top of the p10/p90 band).
+  double wall_tolerance = 0.25;
+  /// Gate on wall-clock "metrics" too (off by default: machine dependent).
+  bool include_wall = false;
+  /// Comma-separated substrings; when non-empty, only keys containing one
+  /// of them are compared.  Lets a cross-machine CI gate restrict itself to
+  /// the deterministic modeled quantities (e.g. "modeled,gbs") while a
+  /// same-machine run compares everything.
+  std::string key_filter;
+};
+
+/// One compared quantity.
+struct RegressEntry {
+  std::string benchmark;
+  std::string key;       ///< "values.modeled_speedup", "metrics.ooo_wall", ...
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;    ///< current / baseline (0 when baseline is 0)
+  bool regressed = false;
+  std::string note;      ///< why it regressed / how it was judged
+};
+
+struct RegressVerdict {
+  std::vector<RegressEntry> entries;
+  std::size_t compared = 0;
+  std::size_t regressions = 0;
+  /// Benchmarks present in the baseline but absent from the current run.
+  std::vector<std::string> missing;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return regressions == 0 && missing.empty();
+  }
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Compares one baseline report against the matching current report (both
+/// already-parsed file contents).  Appends entries to `verdict`.
+void compare_reports(const std::string& benchmark,
+                     const std::string& baseline_json,
+                     const std::string& current_json,
+                     const RegressOptions& options, RegressVerdict& verdict);
+
+/// Compares every BENCH_*.json in `baseline_dir` against its namesake in
+/// `current_dir`.  Throws std::runtime_error when the baseline directory
+/// does not exist or holds no reports (a gate with nothing to gate on is a
+/// setup bug, not a pass).
+[[nodiscard]] RegressVerdict compare_trajectory(
+    const std::string& baseline_dir, const std::string& current_dir,
+    const RegressOptions& options = {});
+
+}  // namespace eod::prof

@@ -1,0 +1,194 @@
+#include "obs/analysis/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "aiwc/aiwc.hpp"
+#include "dwarfs/registry.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/replay_cache.hpp"
+
+namespace eod::prof {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Closest supported size (by enum distance, preferring smaller): nqueens
+/// has one size, hmm validates tiny only.
+dwarfs::ProblemSize nearest_supported(const dwarfs::Dwarf& dwarf,
+                                      dwarfs::ProblemSize want) {
+  const std::vector<dwarfs::ProblemSize> sizes = dwarf.supported_sizes();
+  dwarfs::ProblemSize best = sizes.front();
+  int best_dist = 1 << 10;
+  for (const dwarfs::ProblemSize s : sizes) {
+    const int dist = std::abs(static_cast<int>(s) - static_cast<int>(want));
+    if (dist < best_dist ||
+        (dist == best_dist && static_cast<int>(s) < static_cast<int>(best))) {
+      best = s;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+/// DRAM traffic of one replay pass: misses out of the last modeled cache
+/// level, at that level's own line size.
+double dram_bytes(const sim::HierarchyCounters& counters,
+                  const sim::DeviceSpec& spec) {
+  if (spec.l3_kib != 0) {
+    return static_cast<double>(counters.l3_tcm) * spec.l3.line_bytes;
+  }
+  return static_cast<double>(counters.l2_dcm) * spec.l2.line_bytes;
+}
+
+/// Steady-state (warm) DRAM traffic; a cache-resident working set has none,
+/// so fall back to the cold pass's compulsory first-touch traffic — the
+/// floor any real run pays — rather than reporting an infinite OI.
+double replayed_dram_bytes(const sim::ReplayMemoEntry& memo,
+                           const sim::DeviceSpec& spec) {
+  const double warm = dram_bytes(memo.warm, spec);
+  return warm > 0.0 ? warm : dram_bytes(memo.cold, spec);
+}
+
+RooflinePoint make_point(std::string benchmark, std::string kernel,
+                         std::string size, const sim::DeviceSpec& spec,
+                         double flops, double bytes, bool replayed) {
+  RooflinePoint p;
+  p.benchmark = std::move(benchmark);
+  p.kernel = std::move(kernel);
+  p.size = std::move(size);
+  p.device = spec.name;
+  p.flops = flops;
+  p.bytes = bytes;
+  p.oi = bytes > 0.0 ? flops / bytes : 0.0;
+  p.compute_ceiling_gflops = spec.peak_sp_gflops * spec.opencl_efficiency;
+  p.memory_ceiling_gbs = spec.mem_bandwidth_gbs;
+  p.ridge_oi = p.memory_ceiling_gbs > 0.0
+                   ? p.compute_ceiling_gflops / p.memory_ceiling_gbs
+                   : 0.0;
+  p.t_compute_s = p.compute_ceiling_gflops > 0.0
+                      ? flops / (p.compute_ceiling_gflops * 1e9)
+                      : 0.0;
+  p.t_memory_s = p.memory_ceiling_gbs > 0.0
+                     ? bytes / (p.memory_ceiling_gbs * 1e9)
+                     : 0.0;
+  p.memory_bound = p.t_memory_s >= p.t_compute_s;
+  p.replayed = replayed;
+  return p;
+}
+
+}  // namespace
+
+RooflineReport roofline(const std::vector<std::string>& benchmarks,
+                        dwarfs::ProblemSize size,
+                        const std::vector<std::string>& devices,
+                        const RooflineOptions& options) {
+  RooflineReport report;
+  for (const std::string& name : benchmarks) {
+    const std::unique_ptr<dwarfs::Dwarf> dwarf = dwarfs::create_dwarf(name);
+    const dwarfs::ProblemSize run_size = nearest_supported(*dwarf, size);
+    const std::string size_name = dwarfs::to_string(run_size);
+    const std::vector<aiwc::KernelCharacteristics> kernels =
+        aiwc::characterize(*dwarf, run_size);
+
+    double total_flops = 0.0;
+    double analytic_bytes = 0.0;
+    for (const aiwc::KernelCharacteristics& kc : kernels) {
+      total_flops += kc.total_ops * kc.flop_fraction;
+      analytic_bytes += kc.total_bytes;
+    }
+    // characterize() leaves the dwarf set up at run_size, so its memory
+    // trace (when it has one) describes exactly the iteration measured.
+    const std::size_t hint = dwarf->trace_size_hint();
+    const bool replayable =
+        hint != 0 && hint <= options.max_trace_accesses;
+
+    for (const std::string& device : devices) {
+      const sim::DeviceSpec& spec = sim::spec_by_name(device);
+      double agg_bytes = analytic_bytes;
+      bool replayed = false;
+      if (replayable) {
+        const sim::ReplayMemoEntry memo = sim::memoized_replay(
+            [&dwarf](sim::TraceWriter& w) { dwarf->stream_trace(w); }, spec,
+            name + "/" + size_name + "/" + spec.name);
+        if (memo.accesses > 0) {
+          agg_bytes = replayed_dram_bytes(memo, spec);
+          replayed = true;
+        }
+      }
+      for (const aiwc::KernelCharacteristics& kc : kernels) {
+        report.points.push_back(make_point(
+            name, kc.kernel, size_name, spec,
+            kc.total_ops * kc.flop_fraction, kc.total_bytes, false));
+      }
+      report.points.push_back(make_point(name, "*", size_name, spec,
+                                         total_flops, agg_bytes, replayed));
+    }
+  }
+  return report;
+}
+
+std::string RooflineReport::to_text() const {
+  std::string out = "== roofline placement ==\n";
+  for (const RooflinePoint& p : points) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-10s %-22s %-8s %-24s oi %10s  ridge %8s  flops %10s  "
+        "bytes %10s  %s%s\n",
+        p.benchmark.c_str(), p.kernel.c_str(), p.size.c_str(),
+        p.device.c_str(), format_double(p.oi).c_str(),
+        format_double(p.ridge_oi).c_str(), format_double(p.flops).c_str(),
+        format_double(p.bytes).c_str(),
+        p.memory_bound ? "memory-bound" : "compute-bound",
+        p.replayed ? " (replayed)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+std::string RooflineReport::to_tsv() const {
+  std::string out =
+      "benchmark\tkernel\tsize\tdevice\tflops\tbytes\toi\tridge_oi\t"
+      "compute_ceiling_gflops\tmemory_ceiling_gbs\tbound\treplayed\n";
+  for (const RooflinePoint& p : points) {
+    out += p.benchmark + '\t' + p.kernel + '\t' + p.size + '\t' + p.device +
+           '\t' + format_double(p.flops) + '\t' + format_double(p.bytes) +
+           '\t' + format_double(p.oi) + '\t' + format_double(p.ridge_oi) +
+           '\t' + format_double(p.compute_ceiling_gflops) + '\t' +
+           format_double(p.memory_ceiling_gbs) + '\t' +
+           (p.memory_bound ? "memory" : "compute") + '\t' +
+           (p.replayed ? "1" : "0") + '\n';
+  }
+  return out;
+}
+
+std::string RooflineReport::to_json() const {
+  std::string out = "{\n  \"roofline\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RooflinePoint& p = points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"benchmark\": \"" + p.benchmark + "\", \"kernel\": \"" +
+           p.kernel + "\", \"size\": \"" + p.size + "\", \"device\": \"" +
+           p.device + "\", \"flops\": " + format_double(p.flops) +
+           ", \"bytes\": " + format_double(p.bytes) +
+           ", \"oi\": " + format_double(p.oi) +
+           ", \"ridge_oi\": " + format_double(p.ridge_oi) +
+           ", \"compute_ceiling_gflops\": " +
+           format_double(p.compute_ceiling_gflops) +
+           ", \"memory_ceiling_gbs\": " +
+           format_double(p.memory_ceiling_gbs) + ", \"bound\": \"" +
+           (p.memory_bound ? "memory" : "compute") + "\", \"replayed\": " +
+           (p.replayed ? "true" : "false") + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace eod::prof

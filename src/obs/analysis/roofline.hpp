@@ -1,0 +1,66 @@
+// Roofline placement (DESIGN.md §16).  Places every (benchmark, kernel)
+// of a run on each modeled device's roofline: operational intensity from
+// the AIWC characterization, DRAM traffic from the replayed cache
+// counters (the same warm-pass protocol the harness derives PAPI-style
+// counters from), ceilings from the DeviceSpec's derated peak FLOPS and
+// memory bandwidth.  The label — compute- vs memory-bound — is the §7
+// story quantified: AIWC metrics explain *why* runtimes diverge across
+// devices, and the roofline says which ceiling each dwarf is pinned to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dwarfs/common.hpp"
+
+namespace eod::prof {
+
+/// One (benchmark, kernel, device) placement.  kernel "*" aggregates the
+/// whole application iteration; it is the row that uses replayed DRAM
+/// traffic when the benchmark provides a memory trace.
+struct RooflinePoint {
+  std::string benchmark;
+  std::string kernel;
+  std::string size;
+  std::string device;
+  double flops = 0.0;          ///< SP flops of one application iteration
+  double bytes = 0.0;          ///< DRAM traffic feeding the OI
+  double oi = 0.0;             ///< flops / bytes
+  double compute_ceiling_gflops = 0.0;  ///< peak * opencl_efficiency
+  double memory_ceiling_gbs = 0.0;
+  double ridge_oi = 0.0;       ///< ceiling crossover intensity
+  double t_compute_s = 0.0;
+  double t_memory_s = 0.0;
+  bool memory_bound = false;   ///< t_memory >= t_compute (== oi < ridge)
+  /// Bytes came from the warm-pass replayed hierarchy counters (last-level
+  /// misses x line size); false = analytic AIWC traffic (trace-less or
+  /// oversized benchmarks).
+  bool replayed = false;
+};
+
+struct RooflineReport {
+  std::vector<RooflinePoint> points;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_tsv() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct RooflineOptions {
+  /// Replay traces with at most this many accesses; larger hints fall back
+  /// to analytic traffic (same guard as harness MeasureOptions).
+  std::uint64_t max_trace_accesses = std::uint64_t{1} << 27;
+};
+
+/// Characterizes each benchmark once (functional host execution at `size`),
+/// then places it on every named device's roofline.  Unknown benchmarks or
+/// devices throw std::invalid_argument; a benchmark that does not support
+/// `size` is characterized at its nearest supported size (recorded in the
+/// point's `size`).
+[[nodiscard]] RooflineReport roofline(
+    const std::vector<std::string>& benchmarks, dwarfs::ProblemSize size,
+    const std::vector<std::string>& devices,
+    const RooflineOptions& options = {});
+
+}  // namespace eod::prof

@@ -1,0 +1,378 @@
+#include "obs/analysis/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace eod::prof {
+
+namespace {
+
+/// How a predecessor constrains a successor's start.
+enum class EdgeKind : unsigned char {
+  kEnd,      ///< dep / barrier: successor waits for the predecessor's end
+  kBusyEnd,  ///< lane order: successor waits for the lane to free up
+};
+
+struct Edge {
+  std::size_t pred = 0;
+  EdgeKind kind = EdgeKind::kEnd;
+};
+
+/// The time a predecessor edge releases its successor.
+std::uint64_t constraint_ns(const TraceCommand& p, EdgeKind kind) {
+  return kind == EdgeKind::kEnd ? p.end_ns() : p.busy_end_ns();
+}
+
+bool is_compute(const TraceCommand& c) { return c.is_kernel(); }
+
+std::string format_ms(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Builds the predecessor lists.  Barrier edges are transitively reduced:
+/// a barrier links to the previous same-queue barrier plus everything
+/// issued since it, which implies (and propagates identically to) the full
+/// all-prior edge set.  Lane edges only need the immediate predecessor —
+/// busy_end is monotone along a lane in placement order.
+std::vector<std::vector<Edge>> build_edges(
+    const std::vector<TraceCommand>& cmds) {
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(cmds.size());
+  for (std::size_t i = 0; i < cmds.size(); ++i) by_id.emplace(cmds[i].id, i);
+
+  struct QueueState {
+    bool has_barrier = false;
+    std::size_t last_barrier = 0;
+    std::vector<std::size_t> since_barrier;
+  };
+  std::unordered_map<std::uint32_t, QueueState> queues;
+  std::unordered_map<std::uint32_t, std::size_t> lane_last;
+
+  std::vector<std::vector<Edge>> preds(cmds.size());
+  for (std::size_t n = 0; n < cmds.size(); ++n) {
+    const TraceCommand& c = cmds[n];
+    for (const std::uint64_t dep : c.deps) {
+      // Wait lists may reference commands the ring dropped; skip silently
+      // (the barrier/lane edges still order what survived).
+      if (const auto it = by_id.find(dep);
+          it != by_id.end() && it->second < n) {
+        preds[n].push_back({it->second, EdgeKind::kEnd});
+      }
+    }
+    QueueState& q = queues[c.queue];
+    if (c.barrier) {
+      if (q.has_barrier) preds[n].push_back({q.last_barrier, EdgeKind::kEnd});
+      for (const std::size_t p : q.since_barrier) {
+        preds[n].push_back({p, EdgeKind::kEnd});
+      }
+      q.has_barrier = true;
+      q.last_barrier = n;
+      q.since_barrier.clear();
+    } else {
+      q.since_barrier.push_back(n);
+    }
+    if (const auto it = lane_last.find(c.tid); it != lane_last.end()) {
+      preds[n].push_back({it->second, EdgeKind::kBusyEnd});
+    }
+    lane_last[c.tid] = n;
+  }
+  return preds;
+}
+
+}  // namespace
+
+ScheduleProfile analyze_schedule(const TraceDoc& doc,
+                                 const ScheduleOptions& options) {
+  ScheduleProfile out;
+  const std::vector<TraceCommand>& cmds = doc.commands;
+  if (cmds.empty()) return out;
+
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    out.serialized_ns += cmds[i].dur_ns;
+    (is_compute(cmds[i]) ? out.compute_ns : out.transfer_ns) +=
+        cmds[i].occupancy_ns();
+    if (cmds[i].end_ns() > cmds[last].end_ns()) last = i;
+  }
+  out.makespan_ns = cmds[last].end_ns();
+  out.overlap_efficiency =
+      out.makespan_ns != 0 ? static_cast<double>(out.serialized_ns) /
+                                 static_cast<double>(out.makespan_ns)
+                           : 0.0;
+
+  const std::vector<std::vector<Edge>> preds = build_edges(cmds);
+
+  // Slack: one reverse sweep in id order (a topological order).  A
+  // predecessor's latest finish is bounded by each successor's latest
+  // start; lane edges bind the *busy* end, so a pipelined transfer keeps
+  // its tail lag (dur - busy) as extra room.
+  std::vector<std::uint64_t> latest_finish(cmds.size(), out.makespan_ns);
+  for (std::size_t n = cmds.size(); n-- > 0;) {
+    const std::uint64_t latest_start = latest_finish[n] - cmds[n].dur_ns;
+    for (const Edge& e : preds[n]) {
+      const TraceCommand& p = cmds[e.pred];
+      const std::uint64_t bound =
+          e.kind == EdgeKind::kEnd
+              ? latest_start
+              : latest_start + (p.dur_ns - p.occupancy_ns());
+      latest_finish[e.pred] = std::min(latest_finish[e.pred], bound);
+    }
+  }
+
+  // Critical path: back-walk from the makespan-defining command, at each
+  // step following the predecessor whose constraint released it last.  A
+  // gap between that constraint and the actual start is schedule idle
+  // (host enqueue latency the DAG cannot explain).
+  std::vector<std::size_t> path;
+  std::vector<std::uint64_t> waits;
+  std::size_t n = last;
+  while (true) {
+    path.push_back(n);
+    bool found = false;
+    std::uint64_t best_constraint = 0;
+    std::size_t best_pred = 0;
+    for (const Edge& e : preds[n]) {
+      const std::uint64_t t = constraint_ns(cmds[e.pred], e.kind);
+      if (!found || t > best_constraint) {
+        found = true;
+        best_constraint = t;
+        best_pred = e.pred;
+      }
+    }
+    if (!found) {
+      waits.push_back(cmds[n].start_ns);  // idle from schedule origin
+      break;
+    }
+    waits.push_back(cmds[n].start_ns >= best_constraint
+                        ? cmds[n].start_ns - best_constraint
+                        : 0);
+    n = best_pred;
+  }
+  std::reverse(path.begin(), path.end());
+  std::reverse(waits.begin(), waits.end());
+
+  std::vector<bool> on_path(cmds.size(), false);
+  out.critical_path.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const TraceCommand& c = cmds[path[i]];
+    on_path[path[i]] = true;
+    PathStep step;
+    step.id = c.id;
+    step.name = c.name;
+    step.cat = c.cat;
+    step.queue = c.queue;
+    step.tid = c.tid;
+    step.start_ns = c.start_ns;
+    step.dur_ns = c.dur_ns;
+    step.wait_ns = waits[i];
+    out.critical_path.push_back(std::move(step));
+  }
+  // Makespan attribution: each step is charged the idle gap before it plus
+  // the time from its start until it releases the next step (its full
+  // duration for the last step).  These segments telescope exactly to the
+  // makespan, even when a lane edge lets the successor start before the
+  // predecessor's span ends.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const TraceCommand& c = cmds[path[i]];
+    out.path_idle_ns += waits[i];
+    std::uint64_t charge = c.dur_ns;
+    if (i + 1 < path.size()) {
+      const std::uint64_t next_start = cmds[path[i + 1]].start_ns;
+      const std::uint64_t release = next_start - waits[i + 1];
+      charge = release >= c.start_ns ? release - c.start_ns : 0;
+    }
+    (is_compute(c) ? out.path_compute_ns : out.path_transfer_ns) += charge;
+  }
+
+  out.slack.reserve(cmds.size());
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    const TraceCommand& c = cmds[i];
+    SlackRow row;
+    row.id = c.id;
+    row.name = c.name;
+    row.cat = c.cat;
+    row.queue = c.queue;
+    row.tid = c.tid;
+    row.start_ns = c.start_ns;
+    row.dur_ns = c.dur_ns;
+    row.slack_ns = latest_finish[i] >= c.end_ns()
+                       ? latest_finish[i] - c.end_ns()
+                       : 0;
+    row.critical = on_path[i];
+    out.slack.push_back(std::move(row));
+  }
+
+  // Lane utilization: occupancy fraction plus achieved link bandwidth.
+  std::unordered_map<std::uint32_t, LaneUtilization> lanes;
+  std::unordered_map<std::uint32_t, std::uint64_t> transfer_busy;
+  for (const TraceCommand& c : cmds) {
+    LaneUtilization& lane = lanes[c.tid];
+    lane.tid = c.tid;
+    ++lane.commands;
+    lane.busy_ns += c.occupancy_ns();
+    if (c.is_link_transfer()) {
+      lane.bytes += c.bytes;
+      transfer_busy[c.tid] += c.occupancy_ns();
+    }
+  }
+  out.lanes.reserve(lanes.size());
+  for (auto& [tid, lane] : lanes) {
+    lane.name = doc.lane_name(2, tid);
+    lane.busy_fraction = out.makespan_ns != 0
+                             ? static_cast<double>(lane.busy_ns) /
+                                   static_cast<double>(out.makespan_ns)
+                             : 0.0;
+    if (const std::uint64_t busy = transfer_busy[tid];
+        busy != 0 && lane.bytes != 0) {
+      // bytes per nanosecond is numerically GB/s.
+      lane.achieved_gbs = static_cast<double>(lane.bytes) /
+                          static_cast<double>(busy);
+      if (options.transfer_peak_gbs > 0.0) {
+        lane.saturation = lane.achieved_gbs / options.transfer_peak_gbs;
+      }
+    }
+    out.lanes.push_back(std::move(lane));
+  }
+  std::sort(out.lanes.begin(), out.lanes.end(),
+            [](const LaneUtilization& a, const LaneUtilization& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::string ScheduleProfile::to_text() const {
+  std::string out = "== schedule profile ==\n";
+  auto line = [&](const char* key, const std::string& value) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-22s%s\n", key, value.c_str());
+    out += buf;
+  };
+  line("commands", std::to_string(slack.size()));
+  line("makespan_ms", format_ms(makespan_ns));
+  line("serialized_ms", format_ms(serialized_ns));
+  line("overlap_efficiency", format_double(overlap_efficiency) + "x");
+  const double total = makespan_ns != 0 ? static_cast<double>(makespan_ns)
+                                        : 1.0;
+  line("path_compute",
+       format_ms(path_compute_ns) + " ms (" +
+           format_double(100.0 * static_cast<double>(path_compute_ns) /
+                         total) +
+           "%)");
+  line("path_transfer",
+       format_ms(path_transfer_ns) + " ms (" +
+           format_double(100.0 * static_cast<double>(path_transfer_ns) /
+                         total) +
+           "%)");
+  line("path_idle",
+       format_ms(path_idle_ns) + " ms (" +
+           format_double(100.0 * static_cast<double>(path_idle_ns) / total) +
+           "%)");
+
+  out += "\ncritical path (" + std::to_string(critical_path.size()) +
+         " steps):\n";
+  for (const PathStep& s : critical_path) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  cmd %-6llu %-28s %-16s q%-3u lane%-3u start %10s ms  "
+                  "dur %10s ms  wait %s ms\n",
+                  static_cast<unsigned long long>(s.id), s.name.c_str(),
+                  s.cat.c_str(), s.queue, s.tid,
+                  format_ms(s.start_ns).c_str(), format_ms(s.dur_ns).c_str(),
+                  format_ms(s.wait_ns).c_str());
+    out += buf;
+  }
+
+  out += "\nlanes:\n";
+  for (const LaneUtilization& l : lanes) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  lane%-3u %-28s cmds %-5zu busy %6.2f%%  bytes %-12llu "
+                  "%8s GB/s  saturation %s\n",
+                  l.tid, l.name.c_str(), l.commands, 100.0 * l.busy_fraction,
+                  static_cast<unsigned long long>(l.bytes),
+                  format_double(l.achieved_gbs).c_str(),
+                  l.saturation > 0.0
+                      ? (format_double(100.0 * l.saturation) + "%").c_str()
+                      : "n/a");
+    out += buf;
+  }
+  return out;
+}
+
+std::string ScheduleProfile::to_tsv() const {
+  std::string out =
+      "id\tname\tcat\tqueue\ttid\tstart_ns\tdur_ns\tslack_ns\tcritical\n";
+  for (const SlackRow& r : slack) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%llu\t%s\t%s\t%u\t%u\t%llu\t%llu\t%llu\t%d\n",
+                  static_cast<unsigned long long>(r.id), r.name.c_str(),
+                  r.cat.c_str(), r.queue, r.tid,
+                  static_cast<unsigned long long>(r.start_ns),
+                  static_cast<unsigned long long>(r.dur_ns),
+                  static_cast<unsigned long long>(r.slack_ns),
+                  r.critical ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ScheduleProfile::to_json() const {
+  auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  std::string out = "{\n";
+  out += "  \"makespan_ns\": " + u64(makespan_ns) + ",\n";
+  out += "  \"serialized_ns\": " + u64(serialized_ns) + ",\n";
+  out += "  \"overlap_efficiency\": " + format_double(overlap_efficiency) +
+         ",\n";
+  out += "  \"compute_ns\": " + u64(compute_ns) + ",\n";
+  out += "  \"transfer_ns\": " + u64(transfer_ns) + ",\n";
+  out += "  \"path_compute_ns\": " + u64(path_compute_ns) + ",\n";
+  out += "  \"path_transfer_ns\": " + u64(path_transfer_ns) + ",\n";
+  out += "  \"path_idle_ns\": " + u64(path_idle_ns) + ",\n";
+  out += "  \"critical_path\": [";
+  for (std::size_t i = 0; i < critical_path.size(); ++i) {
+    const PathStep& s = critical_path[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": " + u64(s.id) + ", \"name\": \"" + s.name +
+           "\", \"cat\": \"" + s.cat + "\", \"queue\": " +
+           std::to_string(s.queue) + ", \"tid\": " + std::to_string(s.tid) +
+           ", \"start_ns\": " + u64(s.start_ns) + ", \"dur_ns\": " +
+           u64(s.dur_ns) + ", \"wait_ns\": " + u64(s.wait_ns) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"slack\": [";
+  for (std::size_t i = 0; i < slack.size(); ++i) {
+    const SlackRow& r = slack[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": " + u64(r.id) + ", \"name\": \"" + r.name +
+           "\", \"cat\": \"" + r.cat + "\", \"queue\": " +
+           std::to_string(r.queue) + ", \"tid\": " + std::to_string(r.tid) +
+           ", \"start_ns\": " + u64(r.start_ns) + ", \"dur_ns\": " +
+           u64(r.dur_ns) + ", \"slack_ns\": " + u64(r.slack_ns) +
+           ", \"critical\": " + (r.critical ? "true" : "false") + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"lanes\": [";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const LaneUtilization& l = lanes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"tid\": " + std::to_string(l.tid) + ", \"name\": \"" +
+           l.name + "\", \"commands\": " + std::to_string(l.commands) +
+           ", \"busy_ns\": " + u64(l.busy_ns) + ", \"busy_fraction\": " +
+           format_double(l.busy_fraction) + ", \"bytes\": " + u64(l.bytes) +
+           ", \"achieved_gbs\": " + format_double(l.achieved_gbs) +
+           ", \"saturation\": " + format_double(l.saturation) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace eod::prof

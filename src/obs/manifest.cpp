@@ -1,10 +1,40 @@
 #include "obs/manifest.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 namespace eod::obs {
+
+std::string unique_artifact_path(const std::string& requested) {
+  if (requested.empty()) return requested;
+  // Uniqueness only needs atomicity of the increment, not ordering.
+  static std::atomic<std::uint64_t> run_counter{0};
+  const std::uint64_t n =
+      run_counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(_WIN32)
+  const long pid = 0;
+#else
+  const long pid = static_cast<long>(getpid());
+#endif
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), ".%ld.%llu", pid,
+                static_cast<unsigned long long>(n));
+  // Insert before the extension of the *filename* component, so directory
+  // names containing dots are never split.
+  const std::size_t slash = requested.find_last_of("/\\");
+  const std::size_t dot = requested.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return requested + suffix;
+  }
+  return requested.substr(0, dot) + suffix + requested.substr(dot);
+}
 
 const std::string& git_describe() {
   static const std::string desc = [] {
@@ -76,6 +106,7 @@ std::string RunManifest::to_json(const MetricsSnapshot& metrics) const {
          std::string(validation_ok ? "true" : "false") + ",\n";
   out += "  \"trace_path\": " + str(trace_path) + ",\n";
   out += "  \"metrics_path\": " + str(metrics_path) + ",\n";
+  out += "  \"profile_path\": " + str(profile_path) + ",\n";
   // Embed the metrics snapshot body ({"metrics":{...}}) inline so one file
   // fully describes the run even when no separate --metrics file exists.
   std::string snap = metrics.to_json();

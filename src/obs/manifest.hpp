@@ -44,9 +44,12 @@ struct RunManifest {
   bool validated = false;
   bool validation_ok = false;
 
-  // Companion artifacts (empty = not written).
+  // Companion artifacts (empty = not written).  These are the *final*
+  // collision-suffixed paths (see unique_artifact_path), so the manifest is
+  // the one authoritative pointer to where the run's files actually landed.
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;  ///< eod_prof report written by --profile
 
   /// Serialises the manifest (embedding `metrics` under "metrics") to
   /// `path`.  Returns false when the file cannot be written.
@@ -55,6 +58,15 @@ struct RunManifest {
 
   [[nodiscard]] std::string to_json(const MetricsSnapshot& metrics) const;
 };
+
+/// Makes a requested artifact path collision-safe: inserts ".<pid>.<n>"
+/// before the filename's extension (appends it when there is none), where
+/// <n> is a process-wide monotonic run counter.  Two concurrent processes —
+/// or two measurement groups in one process — asked to write the same
+/// --trace path then land on distinct files instead of clobbering each
+/// other; the final path is recorded in the manifest.
+/// "trace.json" → "trace.12345.0.json".  Empty stays empty.
+[[nodiscard]] std::string unique_artifact_path(const std::string& requested);
 
 /// Result of `git describe --always --dirty` in the current directory,
 /// cached for the process; "unknown" when git or the repo is unavailable.

@@ -60,6 +60,48 @@ const char* kind_name(MetricSample::Kind k) {
 
 }  // namespace
 
+double quantile_from_buckets(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+    std::uint64_t count, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  double last_hi = 0.0;
+  for (const auto& [i, n] : buckets) {
+    if (n == 0) continue;
+    const double lo = static_cast<double>(Histogram::bucket_floor(i));
+    const double width = i == 0 ? 0.0 : lo;  // bucket i spans [lo, 2·lo)
+    if (cum + static_cast<double>(n) >= target) {
+      return lo + (target - cum) / static_cast<double>(n) * width;
+    }
+    cum += static_cast<double>(n);
+    last_hi = lo + width;
+  }
+  // Only reachable when `count` raced ahead of the bucket stores (relaxed
+  // snapshot): clamp to the highest observed bucket's upper edge.
+  return last_hi;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  double last_hi = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double b = static_cast<double>(bucket(i));
+    if (b == 0.0) continue;
+    const double lo = static_cast<double>(bucket_floor(i));
+    const double width = i == 0 ? 0.0 : lo;
+    if (cum + b >= target) return lo + (target - cum) / b * width;
+    cum += b;
+    last_hi = lo + width;
+  }
+  return last_hi;  // count/bucket race under relaxed ordering; see above
+}
+
 Counter& counter(std::string_view name) {
   return find_or_create<Counter>(name, "counter");
 }
@@ -134,8 +176,18 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
+std::string format_quantile(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::to_tsv() const {
-  std::string out = "name\tkind\tvalue\tsum\tbuckets\n";
+  std::string out = "name\tkind\tvalue\tsum\tp50\tp95\tp99\tbuckets\n";
   for (const MetricSample& s : samples) {
     out += s.name;
     out += '\t';
@@ -152,6 +204,12 @@ std::string MetricsSnapshot::to_tsv() const {
     }
     out += '\t';
     out += std::to_string(s.sum);
+    const bool hist = s.kind == MetricSample::Kind::kHistogram;
+    for (const double q : {0.50, 0.95, 0.99}) {
+      out += '\t';
+      out += hist ? format_quantile(quantile_from_buckets(s.buckets, s.count, q))
+                  : "0";
+    }
     out += '\t';
     bool first = true;
     for (const auto& [bucket, n] : s.buckets) {
@@ -187,6 +245,12 @@ std::string MetricsSnapshot::to_json() const {
       case MetricSample::Kind::kHistogram: {
         out += ",\"count\":" + std::to_string(s.count);
         out += ",\"sum\":" + std::to_string(s.sum);
+        out += ",\"p50\":" +
+               format_quantile(quantile_from_buckets(s.buckets, s.count, 0.50));
+        out += ",\"p95\":" +
+               format_quantile(quantile_from_buckets(s.buckets, s.count, 0.95));
+        out += ",\"p99\":" +
+               format_quantile(quantile_from_buckets(s.buckets, s.count, 0.99));
         out += ",\"buckets\":{";
         bool bfirst = true;
         for (const auto& [bucket, n] : s.buckets) {

@@ -96,6 +96,16 @@ class Histogram {
     return n == 0 ? 0.0
                   : static_cast<double>(sum()) / static_cast<double>(n);
   }
+  /// Quantile estimate (q in [0, 1]) interpolated from the log₂ buckets:
+  /// the target rank is located by cumulative count, then interpolated
+  /// linearly across its bucket's value range [floor, 2·floor).  Exact for
+  /// q landing in bucket 0 (the value 0); within a factor of 2 elsewhere,
+  /// which is the histogram's resolution by construction.  Returns 0 for an
+  /// empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -126,6 +136,13 @@ struct MetricSample {
   /// (bucket index, count) pairs for non-empty histogram buckets.
   std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
 };
+
+/// Snapshot-side twin of Histogram::quantile: interpolates the q-quantile
+/// from a sample's non-empty (bucket index, count) pairs.  Renderers and
+/// artifact consumers (eod_prof) share this with the live registry path.
+[[nodiscard]] double quantile_from_buckets(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+    std::uint64_t count, double q);
 
 struct MetricsSnapshot {
   std::vector<MetricSample> samples;  ///< sorted by name

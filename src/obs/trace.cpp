@@ -19,9 +19,10 @@ bool g_timed_metrics_enabled = false;
 
 namespace {
 
-/// Events kept per thread before the ring wraps.  ~56 B each, so the
-/// default is ~7 MiB per active lane — enough for every tiny/small run
-/// while bounding a runaway large trace.  Overridable via EOD_TRACE_EVENTS.
+/// Events kept per thread before the ring wraps.  ~200 B each (the DAG
+/// argument block roughly doubled the pre-profiler event), so the default
+/// is ~25 MiB per active lane — enough for every tiny/small run while
+/// bounding a runaway large trace.  Overridable via EOD_TRACE_EVENTS.
 std::size_t ring_capacity() {
   static const std::size_t cap = [] {
     if (const char* env = std::getenv("EOD_TRACE_EVENTS")) {
@@ -109,7 +110,7 @@ void write_event_json(std::string& out, const TraceEvent& e,
       e.pid == kDevicePid
           ? e.ts_ns
           : (e.ts_ns >= host_origin_ns ? e.ts_ns - host_origin_ns : 0);
-  char buf[160];
+  char buf[224];  // sized for the widest args block (DAG fields, %.17g)
   out += "{\"name\":\"";
   json_escape_into(out, e.name);
   out += "\",\"cat\":\"";
@@ -127,6 +128,26 @@ void write_event_json(std::string& out, const TraceEvent& e,
     std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.17g}",
                   e.arg_value);
     out += buf;
+  } else if (e.cmd_id != 0) {
+    // Device-command span: the DAG argument block.  "deps" carries the
+    // command's wait-list ids; "barrier" marks same-queue total ordering
+    // (in-order chain / ooo implicit barrier); "busy_ns" is the lane
+    // occupancy when shorter than the duration (pipelined link transfers).
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"energy_j\":%.17g,\"cmd\":%llu,\"q\":%u,"
+                  "\"barrier\":%u,\"busy_ns\":%llu,\"bytes\":%llu,"
+                  "\"deps\":[",
+                  e.arg_value, static_cast<unsigned long long>(e.cmd_id),
+                  e.queue_id, e.barrier ? 1u : 0u,
+                  static_cast<unsigned long long>(e.busy_ns),
+                  static_cast<unsigned long long>(e.bytes));
+    out += buf;
+    for (std::uint32_t i = 0; i < e.dep_count && i < kTraceDepCap; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(e.deps[i]));
+      out += buf;
+    }
+    out += "]}";
   } else if (e.arg_name[0] != '\0') {
     out += ",\"args\":{\"";
     json_escape_into(out, e.arg_name);
@@ -205,6 +226,28 @@ void emit_complete_on(std::uint32_t pid, std::uint32_t tid, const char* name,
   e.ts_ns = start_ns;
   e.dur_ns = dur_ns;
   if (arg_name != nullptr) fill_arg(e, arg_name, arg_value);
+  append(thread_lane(), e);
+}
+
+void emit_command_span(std::uint32_t tid, const char* name, const char* cat,
+                       std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const CommandSpanArgs& args) {
+  TraceEvent e;
+  fill_name(e, name);
+  e.cat = cat;
+  e.ph = kPhaseComplete;
+  e.pid = kDevicePid;
+  e.tid = tid;
+  e.ts_ns = start_ns;
+  e.dur_ns = dur_ns;
+  fill_arg(e, "energy_j", args.energy_j);
+  e.cmd_id = args.cmd_id;
+  e.queue_id = args.queue_id;
+  e.barrier = args.barrier;
+  e.busy_ns = args.busy_ns;
+  e.bytes = args.bytes;
+  e.dep_count = std::min<std::uint32_t>(args.dep_count, kTraceDepCap);
+  for (std::uint32_t i = 0; i < e.dep_count; ++i) e.deps[i] = args.deps[i];
   append(thread_lane(), e);
 }
 

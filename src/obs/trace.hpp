@@ -32,6 +32,11 @@ inline constexpr char kPhaseComplete = 'X';
 inline constexpr char kPhaseInstant = 'i';
 inline constexpr char kPhaseCounter = 'C';
 
+/// Wait-list ids carried per device-command span.  Longer wait lists are
+/// truncated (none in the tree today exceed this); the `barrier` flag still
+/// recovers same-queue ordering for any dropped edge.
+inline constexpr std::size_t kTraceDepCap = 8;
+
 /// One recorded event.  Fixed-size so ring-buffer writes never allocate;
 /// names are truncated copies, safe regardless of the caller's lifetime.
 struct TraceEvent {
@@ -44,6 +49,29 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  ///< complete events only
   char arg_name[16] = {};    ///< optional single numeric argument
   double arg_value = 0.0;
+  // Command-DAG args, set only on modeled device-command spans (cmd_id != 0
+  // is the discriminant).  Serialised into the Chrome event's "args" so the
+  // command graph — nodes, wait-list edges, barrier ordering, lane
+  // occupancy — is recoverable from the artifact alone (eod_prof's input).
+  std::uint64_t cmd_id = 0;     ///< process-wide xcl::Event id
+  std::uint64_t busy_ns = 0;    ///< lane occupancy; 0 = the full dur_ns
+  std::uint64_t bytes = 0;      ///< payload of transfer/copy/fill commands
+  std::uint64_t deps[kTraceDepCap] = {};  ///< wait-list command ids
+  std::uint32_t queue_id = 0;   ///< owning queue's process-wide sequence id
+  std::uint32_t dep_count = 0;  ///< ids recorded in deps[]
+  bool barrier = false;  ///< also ordered after every prior same-queue cmd
+};
+
+/// Argument block for one modeled device-command span (see emit_command_span).
+struct CommandSpanArgs {
+  std::uint64_t cmd_id = 0;
+  std::uint32_t queue_id = 0;
+  bool barrier = false;
+  std::uint64_t busy_ns = 0;  ///< 0 = lane busy for the full duration
+  std::uint64_t bytes = 0;
+  double energy_j = 0.0;
+  std::uint32_t dep_count = 0;
+  std::uint64_t deps[kTraceDepCap] = {};
 };
 
 namespace detail {
@@ -82,6 +110,12 @@ void emit_complete_on(std::uint32_t pid, std::uint32_t tid, const char* name,
                       const char* cat, std::uint64_t start_ns,
                       std::uint64_t dur_ns, const char* arg_name,
                       double arg_value);
+/// Records one device-command span on a kDevicePid lane, carrying the full
+/// command-DAG argument block (command id, queue id, wait-list ids, barrier
+/// flag, lane occupancy, payload bytes, energy) in the event's "args".
+void emit_command_span(std::uint32_t tid, const char* name, const char* cat,
+                       std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const CommandSpanArgs& args);
 /// Instant event on the calling thread's host lane.
 void emit_instant(const char* name, const char* cat);
 /// Counter sample (renders as a stacked counter track in the viewer).

@@ -106,6 +106,9 @@ struct Event {
   double modeled_end_s = 0;   ///< device virtual-timeline end
   std::uint64_t host_ns = 0;  ///< wall time of the functional execution
   double energy_j = 0;        ///< modeled device energy for this command
+  /// Payload size of transfer/copy/fill commands (0 for kernels) — feeds
+  /// the trace's per-command byte args and link-saturation analysis.
+  std::uint64_t bytes = 0;
   /// Process-unique command id (1-based; 0 = a null/default event that is
   /// rejected in wait lists).  Ids are allocated in enqueue order across all
   /// queues, so a wait list can only ever point backwards — the command

@@ -36,6 +36,11 @@ obs::Histogram& g_q_transfer_host_ns =
 // forged event (rejected with kInvalidEventWaitList).
 std::atomic<std::uint64_t> g_next_event_id{1};
 
+// Process-wide queue sequence ids for the trace's per-command "q" arg: a
+// stable queue identity that survives the JSON round-trip, so eod_prof can
+// reconstruct same-queue barrier ordering from the artifact alone.
+std::atomic<std::uint32_t> g_next_queue_id{1};
+
 // Folds the executor-counter delta of one launch into the queue's running
 // dispatch totals.  All fields are delta-based: the high-water mark is only
 // folded in when it *rose during this command* — the global gauge keeps its
@@ -117,7 +122,10 @@ QueueMode default_queue_mode() noexcept {
 }
 
 Queue::Queue(Context& ctx, std::optional<QueueMode> mode)
-    : ctx_(&ctx), mode_(mode.value_or(default_queue_mode())) {
+    : ctx_(&ctx),
+      mode_(mode.value_or(default_queue_mode())),
+      // lint: relaxed-ok(unique id generation needs atomicity only)
+      trace_queue_id_(g_next_queue_id.fetch_add(1, std::memory_order_relaxed)) {
   ctx_->register_queue(this);
 }
 
@@ -159,7 +167,9 @@ std::uint32_t Queue::obs_transfer_lane() {
   return static_cast<std::uint32_t>(obs_transfer_lane_);
 }
 
-void Queue::emit_device_span(const Event& e) {
+void Queue::emit_device_span(const Event& e,
+                             const std::span<const Event>* wait,
+                             double busy_s) {
   // Mirror every command onto this queue's modeled-device lanes (pid 2).
   // Device timestamps are the virtual timeline in ns, deliberately not
   // rebased against the host clock — the viewer shows them as a separate
@@ -171,12 +181,29 @@ void Queue::emit_device_span(const Event& e) {
   if (mode_ == QueueMode::kOutOfOrder && is_link_transfer(e.kind)) {
     lane = obs_transfer_lane();
   }
-  // lint: raw-span-ok(device-lane complete event with modeled timestamps)
-  obs::emit_complete_on(
-      obs::kDevicePid, lane, e.label.c_str(), device_trace_cat(e.kind),
-      static_cast<std::uint64_t>(e.modeled_start_s * 1e9),
-      static_cast<std::uint64_t>(e.modeled_seconds() * 1e9), "energy_j",
-      e.energy_j);
+  // The DAG argument block (DESIGN.md §11/§16): enough to rebuild the
+  // command graph from the artifact alone.  `barrier` covers the in-order
+  // chain and the ooo implicit barrier; explicit wait lists are recorded as
+  // ids even when cross-queue, so peer-copy edges survive the round-trip.
+  obs::CommandSpanArgs args;
+  args.cmd_id = e.id;
+  args.queue_id = trace_queue_id_;
+  args.barrier = mode_ == QueueMode::kInOrder || wait == nullptr;
+  const double dur_s = e.modeled_seconds();
+  if (busy_s >= 0.0 && busy_s < dur_s) {
+    args.busy_ns = static_cast<std::uint64_t>(busy_s * 1e9);
+  }
+  args.bytes = e.bytes;
+  args.energy_j = e.energy_j;
+  if (wait != nullptr) {
+    for (const Event& w : *wait) {
+      if (args.dep_count >= obs::kTraceDepCap) break;
+      args.deps[args.dep_count++] = w.id;
+    }
+  }
+  obs::emit_command_span(lane, e.label.c_str(), device_trace_cat(e.kind),
+                         static_cast<std::uint64_t>(e.modeled_start_s * 1e9),
+                         static_cast<std::uint64_t>(dur_s * 1e9), args);
 }
 
 bool Queue::has_pending(std::uint64_t id) const noexcept {
@@ -274,7 +301,7 @@ Event Queue::submit(Event e, double duration_s,
   events_.push_back(std::move(e));
   completion_dirty_ = true;
   Event& recorded = events_.back();
-  emit_device_span(recorded);
+  emit_device_span(recorded, wait, busy_s);
 
   if (eager()) {
     // A checker session may activate mid-stream; flush anything the queue
@@ -497,6 +524,7 @@ Event Queue::write_bytes(Buffer& dst, const void* src, std::size_t offset,
   Event e;
   e.kind = CommandKind::kWrite;
   e.label = transfer_label("write", dst.name(), bytes);
+  e.bytes = bytes;
   auto exec = [dptr = dst.data(), src, offset, bytes,
                label = e.label]() -> std::uint64_t {
     const std::uint64_t t0 = scibench::now_ns();
@@ -535,6 +563,7 @@ Event Queue::read_bytes(const Buffer& src, void* dst, std::size_t offset,
   Event e;
   e.kind = CommandKind::kRead;
   e.label = transfer_label("read", src.name(), bytes);
+  e.bytes = bytes;
   const void* sptr = src.data() + offset;
   auto exec = [sptr, dst, bytes, label = e.label]() -> std::uint64_t {
     const std::uint64_t t0 = scibench::now_ns();
@@ -629,6 +658,7 @@ Event Queue::peer_copy_impl(const Buffer& src, std::size_t src_offset,
   Event e;
   e.kind = CommandKind::kPeerCopy;
   e.label = transfer_label("peer", dst.name(), bytes);
+  e.bytes = bytes;
   std::function<void()> body;
   if (functional_) {
     body = [sptr = src.data() + src_offset, dbase = dst.data(), dst_offset,
@@ -673,6 +703,7 @@ Event Queue::device_side_op(CommandKind kind, std::string label,
   Event e;
   e.kind = kind;
   e.label = std::move(label);
+  e.bytes = bytes;  // modeled device-memory traffic of the copy/fill
   e.energy_j = device().model().kernel_power_watts(stats) * dt;
   auto exec = [body = std::move(body)]() -> std::uint64_t {
     if (!body) return 0;

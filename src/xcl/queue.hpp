@@ -305,10 +305,15 @@ class Queue {
   /// a second lane so overlap is visible in the viewer.
   std::uint32_t obs_lane();
   std::uint32_t obs_transfer_lane();
-  void emit_device_span(const Event& e);
+  /// Mirrors one command onto the pid-2 device track with the full DAG
+  /// argument block: `wait` is the caller's wait list (edge ids), `busy_s`
+  /// the lane occupancy submit() charged for it.
+  void emit_device_span(const Event& e, const std::span<const Event>* wait,
+                        double busy_s);
 
   Context* ctx_;
   QueueMode mode_ = QueueMode::kInOrder;
+  std::uint32_t trace_queue_id_ = 0;  ///< process-wide queue sequence id
   double now_s_ = 0.0;  // completion horizon (max modeled command end)
   double chain_end_s_ = 0.0;     // end of the last-enqueued command
   double kernel_lane_end_s_ = 0.0;

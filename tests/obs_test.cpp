@@ -15,7 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "dwarfs/lud/lud.hpp"
 #include "dwarfs/registry.hpp"
+#include "harness/partition.hpp"
 #include "harness/runner.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -245,6 +247,37 @@ TEST(Metrics, HistogramBucketBoundaries) {
   EXPECT_DOUBLE_EQ(h.mean(), 206.0);
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateFromBuckets) {
+  Histogram& h = histogram("test.hist_quantiles");
+  h.reset();
+  // All samples in bucket 0 (the value 0): every quantile is exactly 0.
+  for (int i = 0; i < 4; ++i) h.record(0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+
+  // One sample in bucket 3 ([4, 8)): quantiles interpolate linearly across
+  // the bucket's value range.
+  h.reset();
+  h.record(4);
+  EXPECT_DOUBLE_EQ(h.p50(), 6.0);  // 4 + 0.50·4
+  EXPECT_DOUBLE_EQ(h.p95(), 7.8);  // 4 + 0.95·4
+
+  // Mixed buckets: the rank walk crosses bucket 0 before interpolating.
+  h.record(0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 7.6);  // 4 + (1.9−1)·4
+
+  // The snapshot-side twin sees the same numbers through the sample's
+  // sparse (bucket, count) pairs — this is the path eod_prof consumes.
+  const MetricsSnapshot snap = snapshot_metrics();
+  for (const MetricSample& s : snap.samples) {
+    if (s.name != "test.hist_quantiles") continue;
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(s.buckets, s.count, 0.50), 0.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(s.buckets, s.count, 0.95), 7.6);
+  }
+  EXPECT_DOUBLE_EQ(quantile_from_buckets({}, 0, 0.5), 0.0);
+}
+
 // Concurrent first-use registration and mutation of one shared instrument
 // set.  Run under -fsanitize=thread via the `sanitize` ctest label.
 TEST(Metrics, RegistryIsRaceClean) {
@@ -284,6 +317,7 @@ TEST(Metrics, SnapshotRendersTsvAndJson) {
       }));
 
   const std::string tsv = snap.to_tsv();
+  EXPECT_NE(tsv.find("\tp50\tp95\tp99\t"), std::string::npos);
   EXPECT_NE(tsv.find("test.snap_counter\tcounter\t42"), std::string::npos);
   EXPECT_NE(tsv.find("test.snap_gauge\tgauge\t-7"), std::string::npos);
 
@@ -294,6 +328,9 @@ TEST(Metrics, SnapshotRendersTsvAndJson) {
   const JsonValue& hist = metrics.at("test.snap_hist");
   EXPECT_EQ(hist.at("count").number, 1.0);
   EXPECT_EQ(hist.at("sum").number, 5.0);
+  // Rendered quantiles: 5 sits in bucket [4, 8), so p50 = 4 + 0.5·4.
+  EXPECT_EQ(hist.at("p50").number, 6.0);
+  EXPECT_EQ(hist.at("p99").number, 7.96);
 
   // write_file picks the format from the suffix.
   const std::string tsv_path = temp_path("obs_snap.tsv");
@@ -425,6 +462,10 @@ TEST(ObsRoundTrip, MeasureWritesTraceMetricsAndManifest) {
   opts.trace_path = trace_path;
   opts.metrics_path = metrics_path;
   opts.manifest_path = manifest_path;
+  opts.profile = true;
+  // Out-of-order mode so the recorded wait lists are load-bearing (an
+  // in-order chain orders by barrier and may legally record no deps).
+  opts.queue_mode = xcl::QueueMode::kOutOfOrder;
   const harness::Measurement m =
       harness::measure(*dwarf, dwarfs::ProblemSize::kTiny,
                        sim::testbed_device("i7-6700K"), opts);
@@ -432,9 +473,23 @@ TEST(ObsRoundTrip, MeasureWritesTraceMetricsAndManifest) {
   // The recorder was scoped to the run.
   EXPECT_FALSE(tracing_enabled());
 
+  // The measurement reports back the *final* artifact paths: the requested
+  // names with a ".<pid>.<counter>" collision suffix spliced in before the
+  // extension.  Concurrent runs in one directory must never clobber each
+  // other's artifacts.
+  ASSERT_FALSE(m.trace_path.empty());
+  ASSERT_FALSE(m.metrics_path.empty());
+  ASSERT_FALSE(m.manifest_path.empty());
+  ASSERT_FALSE(m.profile_path.empty());
+  EXPECT_NE(m.trace_path, trace_path);
+  EXPECT_EQ(m.trace_path.rfind(trace_path.substr(0, trace_path.size() - 5),
+                               0),
+            0u);
+  EXPECT_EQ(m.trace_path.substr(m.trace_path.size() - 5), ".json");
+
   // Trace: both pids present; the device lane carries kernel spans whose
   // names match the benchmark's kernels; harness spans frame the run.
-  const JsonValue trace = parse_json_or_fail(read_file(trace_path));
+  const JsonValue trace = parse_json_or_fail(read_file(m.trace_path));
   bool saw_device_kernel = false;
   bool saw_harness_span = false;
   bool saw_labeled_transfer = false;
@@ -457,16 +512,42 @@ TEST(ObsRoundTrip, MeasureWritesTraceMetricsAndManifest) {
   EXPECT_TRUE(saw_harness_span);
   EXPECT_TRUE(saw_labeled_transfer);
 
+  // Device-command spans carry the DAG args block ("cmd"/"q"/"deps"), so
+  // the schedule is reconstructible from the artifact alone.
+  std::size_t dag_spans = 0;
+  std::size_t spans_with_deps = 0;
+  for (const JsonValue& e : trace.at("traceEvents").array) {
+    if (e.at("ph").str != "X" || e.at("pid").number != kDevicePid) continue;
+    const JsonValue& args = e.at("args");
+    if (args.at("cmd").type != JsonValue::Type::kNumber) continue;
+    ++dag_spans;
+    EXPECT_GT(args.at("cmd").number, 0.0);
+    EXPECT_GT(args.at("q").number, 0.0);
+    EXPECT_EQ(args.at("deps").type, JsonValue::Type::kArray);
+    if (!args.at("deps").array.empty()) ++spans_with_deps;
+  }
+  EXPECT_GT(dag_spans, 0u);
+  EXPECT_GT(spans_with_deps, 0u);
+
   // Metrics: parseable, and the executor counters moved.
-  const JsonValue metrics = parse_json_or_fail(read_file(metrics_path));
+  const JsonValue metrics = parse_json_or_fail(read_file(m.metrics_path));
   EXPECT_GT(
       metrics.at("metrics").at("executor.ndrange_launches").at("value")
           .number,
       0.0);
 
+  // Profile: the in-process eod_prof analysis ran over the written trace
+  // and its report parses back with a coherent schedule block.
+  const JsonValue profile = parse_json_or_fail(read_file(m.profile_path));
+  EXPECT_EQ(profile.at("benchmark").str, "kmeans");
+  const JsonValue& schedule = profile.at("schedule");
+  EXPECT_GT(schedule.at("makespan_ns").number, 0.0);
+  EXPECT_GT(schedule.at("overlap_efficiency").number, 0.0);
+  EXPECT_FALSE(schedule.at("critical_path").array.empty());
+
   // Manifest: identity, provenance, stats, artifact pointers, embedded
   // metrics.
-  const JsonValue manifest = parse_json_or_fail(read_file(manifest_path));
+  const JsonValue manifest = parse_json_or_fail(read_file(m.manifest_path));
   EXPECT_EQ(manifest.at("benchmark").str, "kmeans");
   EXPECT_EQ(manifest.at("size").str, "tiny");
   EXPECT_EQ(manifest.at("device").str, "i7-6700K");
@@ -483,14 +564,88 @@ TEST(ObsRoundTrip, MeasureWritesTraceMetricsAndManifest) {
   EXPECT_FALSE(manifest.at("timestamp").str.empty());
   EXPECT_TRUE(manifest.at("validated").boolean);
   EXPECT_TRUE(manifest.at("validation_ok").boolean);
-  EXPECT_EQ(manifest.at("trace_path").str, trace_path);
-  EXPECT_EQ(manifest.at("metrics_path").str, metrics_path);
+  // The manifest records the final (suffixed) artifact paths, so a
+  // consumer holding only the manifest can find everything else.
+  EXPECT_EQ(manifest.at("trace_path").str, m.trace_path);
+  EXPECT_EQ(manifest.at("metrics_path").str, m.metrics_path);
+  EXPECT_EQ(manifest.at("profile_path").str, m.profile_path);
   EXPECT_GT(manifest.at("time_median_ms").number, 0.0);
   EXPECT_EQ(manifest.at("metrics").type, JsonValue::Type::kObject);
 
-  std::remove(trace_path.c_str());
-  std::remove(metrics_path.c_str());
-  std::remove(manifest_path.c_str());
+  std::remove(m.trace_path.c_str());
+  std::remove(m.metrics_path.c_str());
+  std::remove(m.manifest_path.c_str());
+  std::remove(m.profile_path.c_str());
+}
+
+TEST(ObsRoundTrip, UniqueArtifactPathsNeverCollide) {
+  const std::string a = unique_artifact_path("out/trace.json");
+  const std::string b = unique_artifact_path("out/trace.json");
+  EXPECT_NE(a, b);
+  // The suffix lands before the *filename* extension; dots in directory
+  // names must not be split.
+  EXPECT_EQ(a.rfind("out/trace.", 0), 0u);
+  EXPECT_EQ(a.substr(a.size() - 5), ".json");
+  const std::string c = unique_artifact_path("run.d/metrics");
+  EXPECT_EQ(c.rfind("run.d/metrics.", 0), 0u);
+  EXPECT_TRUE(unique_artifact_path("").empty());
+}
+
+// A two-device partitioned run's trace parses back with both modeled
+// device lanes, the peer-copy halo spans, and the wait-list args intact —
+// the multi-device artifact is as self-describing as the single-device one.
+TEST(ObsRoundTrip, PartitionedTwoDeviceTraceParsesBack) {
+  dwarfs::Lud lud;
+  lud.configure(240);  // small preset, 15 block rows
+  std::vector<xcl::Device*> devices = {&sim::testbed_device("GTX 1080"),
+                                       &sim::testbed_device("Titan X")};
+  reset_tracing();
+  set_thread_lane_name("obs-test-partition");
+  set_tracing_enabled(true);
+  harness::PartitionOptions popts;
+  popts.validate = true;
+  const harness::PartitionedResult r =
+      harness::run_partitioned_lud(lud, devices, popts);
+  set_tracing_enabled(false);
+  EXPECT_TRUE(r.validation.ok);
+  ASSERT_GT(r.halo_transfers, 0u);
+
+  const std::string path = temp_path("obs_partitioned_trace.json");
+  ASSERT_TRUE(write_chrome_trace(path));
+  const JsonValue root = parse_json_or_fail(read_file(path));
+  std::remove(path.c_str());
+
+  bool lane_dev0 = false;
+  bool lane_dev1 = false;
+  std::size_t peer_spans = 0;
+  std::size_t spans_with_deps = 0;
+  std::vector<double> queues;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "M" && e.at("pid").number == kDevicePid &&
+        e.at("name").str == "thread_name") {
+      const std::string& lane = e.at("args").at("name").str;
+      if (lane.find("GTX 1080") != std::string::npos) lane_dev0 = true;
+      if (lane.find("Titan X") != std::string::npos) lane_dev1 = true;
+    }
+    if (e.at("ph").str != "X" || e.at("pid").number != kDevicePid) continue;
+    const JsonValue& args = e.at("args");
+    if (args.at("cmd").type != JsonValue::Type::kNumber) continue;
+    if (e.at("cat").str == "device:peer") {
+      ++peer_spans;
+      EXPECT_GT(args.at("bytes").number, 0.0);
+    }
+    if (!args.at("deps").array.empty()) ++spans_with_deps;
+    const double q = args.at("q").number;
+    if (std::find(queues.begin(), queues.end(), q) == queues.end()) {
+      queues.push_back(q);
+    }
+  }
+  EXPECT_TRUE(lane_dev0);
+  EXPECT_TRUE(lane_dev1);
+  EXPECT_GT(peer_spans, 0u);
+  EXPECT_GT(spans_with_deps, 0u);
+  // Each device runs its own queue; both must appear in the artifact.
+  EXPECT_GE(queues.size(), 2u);
 }
 
 }  // namespace

@@ -254,7 +254,10 @@ void check_event_deps(FileCtx& ctx) {
 
 void check_memory_order(FileCtx& ctx) {
   const std::vector<Token>& t = ctx.lx.tokens;
-  const bool obs_layer = starts_with(ctx.path, "src/obs/");
+  // src/obs/analysis is the prof layer, not the lock-free recorder: it gets
+  // no blanket exemption from the relaxed-ordering annotation requirement.
+  const bool obs_layer = starts_with(ctx.path, "src/obs/") &&
+                         !starts_with(ctx.path, "src/obs/analysis/");
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdent) continue;
     if (t[i].text == "memory_order_relaxed" && !obs_layer) {
@@ -342,7 +345,10 @@ void check_hot_alloc(FileCtx& ctx) {
 
 void check_obs_contract(FileCtx& ctx) {
   const std::vector<Token>& t = ctx.lx.tokens;
-  const bool obs_layer = starts_with(ctx.path, "src/obs/");
+  // The recorder implementation may use its own primitives freely; the
+  // analysis layer underneath src/obs/analysis/ is an ordinary consumer.
+  const bool obs_layer = starts_with(ctx.path, "src/obs/") &&
+                         !starts_with(ctx.path, "src/obs/analysis/");
 
   // R5a: a TraceSpan temporary destroyed at the end of its own statement
   // measures ~nothing — it must be bound to a named local.
@@ -570,6 +576,12 @@ void check_annotations(FileCtx& ctx) {
 // ------------------------------------------------------------ R4 layering
 
 [[nodiscard]] std::string module_of(std::string_view path) {
+  // src/obs/analysis plus the eod_prof CLI form the `prof` layer: offline
+  // analysis of recorded artifacts, above aiwc/sim but below harness.
+  if (starts_with(path, "src/obs/analysis/") ||
+      starts_with(path, "tools/eod_prof/")) {
+    return "prof";
+  }
   if (starts_with(path, "src/")) {
     const std::string_view rest = path.substr(4);
     return std::string(rest.substr(0, rest.find('/')));
@@ -826,10 +838,11 @@ LayeringMatrix LayeringMatrix::builtin_default() {
   set("sim", {"xcl", "obs", "scibench"});
   set("dwarfs", {"xcl", "sim", "obs", "scibench"});
   set("aiwc", {"xcl", "sim", "dwarfs", "scibench"});
+  set("prof", {"xcl", "sim", "dwarfs", "aiwc", "obs", "scibench"});
   set("harness",
-      {"xcl", "sim", "dwarfs", "aiwc", "obs", "scibench"});
+      {"xcl", "sim", "dwarfs", "aiwc", "prof", "obs", "scibench"});
   const std::initializer_list<const char*> all = {
-      "xcl", "sim", "dwarfs", "aiwc", "obs", "scibench", "harness"};
+      "xcl", "sim", "dwarfs", "aiwc", "prof", "obs", "scibench", "harness"};
   set("apps", all);
   set("bench", all);
   m.allowed["bench"].insert("apps");
